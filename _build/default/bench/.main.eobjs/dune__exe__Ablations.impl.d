@@ -1,0 +1,1 @@
+bench/ablations.ml: Bench_common Gunfu List Memsim Netcore Nfs Traffic

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Gunfu Memsim Metrics Netcore Nfs Printf Rtc Scheduler Traffic Worker Workload

@@ -1,0 +1,1 @@
+bench/fig10.ml: Bench_common Gunfu List Printf

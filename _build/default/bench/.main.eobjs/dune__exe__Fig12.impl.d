@@ -1,0 +1,1 @@
+bench/fig12.ml: Bench_common Gunfu List Memsim Nfs Traffic

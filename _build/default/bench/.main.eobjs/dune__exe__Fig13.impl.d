@@ -1,0 +1,1 @@
+bench/fig13.ml: Bench_common Gunfu List

@@ -1,0 +1,1 @@
+bench/fig14.ml: Bench_common Float Gunfu List Netcore Nfs Traffic

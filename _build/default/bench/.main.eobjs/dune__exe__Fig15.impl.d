@@ -1,0 +1,1 @@
+bench/fig15.ml: Array Bench_common Float Gunfu Lazy List Memsim Netcore Nfs Traffic

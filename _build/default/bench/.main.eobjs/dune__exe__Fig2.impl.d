@@ -1,0 +1,1 @@
+bench/fig2.ml: Bench_common Gunfu List

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig2 Fig3 Fig9 List Microbench Printf Sys

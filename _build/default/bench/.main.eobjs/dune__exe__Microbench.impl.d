@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Bench_common Benchmark Float Gunfu Hashtbl Instance Int64 List Measure Memsim Netcore Staged Structures Test Time Toolkit

@@ -1,0 +1,104 @@
+(* Shared builders and table printing for the figure-regeneration harness.
+
+   Every experiment constructs a fresh worker (own caches / address space),
+   populates the NF under test with the paper's workload, runs a warmup
+   slice to reach steady state, then measures a fixed packet count. *)
+
+open Gunfu
+
+let default_packets = 50_000
+let warmup_packets = 5_000
+
+type model = Rtc_model | Interleaved of int
+
+let model_name = function
+  | Rtc_model -> "RTC"
+  | Interleaved n -> Printf.sprintf "IL-%d" n
+
+(* Run [source] under [model] on [worker], measuring only after warmup. *)
+let measure ?(warmup = warmup_packets) ?(packets = default_packets) worker program model
+    (mk_source : count:int -> Workload.source) =
+  let run count =
+    match model with
+    | Rtc_model -> Rtc.run worker program (mk_source ~count)
+    | Interleaved n -> Scheduler.run worker program ~n_tasks:n (mk_source ~count)
+  in
+  ignore (run warmup);
+  run packets
+
+(* ----- builders ----- *)
+
+let nat_env ?(n_flows = 131072) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen =
+    Traffic.Flowgen.create ~seed:1 ~n_flows ~size_model:(Traffic.Flowgen.Fixed 128) ()
+  in
+  let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+  let nat = Nfs.Nat.create layout ~name:"nat" ~n_flows () in
+  Nfs.Nat.populate nat (Traffic.Flowgen.flows gen);
+  let program = Nfs.Nat.program nat in
+  (worker, program, fun ~count -> Workload.of_flowgen gen ~pool ~count)
+
+let upf_env ?(n_sessions = 131072) ?(n_pdrs = 16) ?(wire_len = 128) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let mgw = Traffic.Mgw.create ~seed:2 ~n_sessions ~n_pdrs ~wire_len () in
+  let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+  let upf =
+    Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs ()
+  in
+  Nfs.Upf.populate upf;
+  let program = Nfs.Upf.program upf in
+  (worker, program, fun ~count -> Workload.of_mgw_downlink mgw ~pool ~count)
+
+let amf_env ?(n_ues = 131072) ?(packed = false) ?only_msg () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen = Traffic.Mgw.amf_create ~seed:3 ~n_ues () in
+  let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+  let amf = Nfs.Amf.create layout ~name:"amf" ~packed ~n_ues () in
+  Nfs.Amf.populate amf;
+  let program = Nfs.Amf.program amf in
+  let source ~count =
+    match only_msg with
+    | None -> Workload.of_amf gen ~pool ~count
+    | Some msg ->
+        (* Homogeneous stream of one message type across random UEs — used
+           to attribute cost per message (Fig 3). *)
+        let rng = Memsim.Rng.create 17 in
+        Workload.limited count (fun () ->
+            let ue = Memsim.Rng.int rng n_ues in
+            let pkt = Workload.amf_packet ~ue ~msg in
+            Netcore.Packet.Pool.assign pool pkt;
+            {
+              Workload.packet = Some pkt;
+              aux = Workload.amf_msg_code msg;
+              flow_hint = ue;
+            })
+  in
+  (worker, program, amf, source)
+
+let sfc_env ?(n_flows = 131072) ?(length = 6) ?(packed = false)
+    ?(opts = Gunfu.Compiler.default_opts) ?(size_model = Traffic.Flowgen.Fixed 128) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen = Traffic.Flowgen.create ~seed:4 ~n_flows ~size_model () in
+  let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+  let sfc = Nfs.Sfc.create layout ~length ~packed ~n_flows () in
+  Nfs.Sfc.populate sfc (Traffic.Flowgen.flows gen);
+  let program = Nfs.Sfc.program ~opts sfc in
+  (worker, program, fun ~count -> Workload.of_flowgen gen ~pool ~count)
+
+(* ----- output ----- *)
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+let pp_run label r =
+  row "%-34s %8.2f Mpps %8.2f Gbps  ipc=%.2f  cyc/pkt=%8.1f  L1m/p=%.2f L2m/p=%.2f LLCm/p=%.2f"
+    label (Metrics.mpps r) (Metrics.gbps r) (Metrics.ipc r) (Metrics.cycles_per_packet r)
+    (Metrics.l1_misses_per_packet r) (Metrics.l2_misses_per_packet r)
+    (Metrics.llc_misses_per_packet r)

@@ -1,0 +1,45 @@
+(* Benchmark harness regenerating every figure of the paper's evaluation
+   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig13   # one figure
+     dune exec bench/main.exe -- micro   # bechamel microbenchmarks
+*)
+
+let figures =
+  [
+    ("fig2", "UPF concurrency under RTC (EXP A)", Fig2.run);
+    ("fig3", "AMF state complexity under RTC (EXP B)", Fig3.run);
+    ("fig9", "NFTask vs pthread context switches", Fig9.run);
+    ("fig10", "UPF single-core improvement", Fig10.run);
+    ("fig11", "NAT granular decomposition", Fig11.run);
+    ("fig12", "AMF interleaved + data packing", Fig12.run);
+    ("fig13", "SFC compiler optimisations", Fig13.run);
+    ("fig14", "SFC multicore scalability", Fig14.run);
+    ("fig15", "UPF multicore scalability", Fig15.run);
+    ("ablations", "design-choice ablations (A1-A6)", Ablations.run);
+    ("micro", "substrate microbenchmarks (bechamel)", Microbench.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [figN|micro ...]";
+  print_endline "available targets:";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) figures
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      Printf.printf "GuNFu-OCaml benchmark harness - regenerating all figures\n";
+      List.iter (fun (_, _, run) -> run ()) figures
+  | _ :: args ->
+      List.iter
+        (fun arg ->
+          match List.find_opt (fun (name, _, _) -> name = arg) figures with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Printf.printf "unknown target %S\n" arg;
+              usage ();
+              exit 1)
+        args
+  | [] -> usage ()

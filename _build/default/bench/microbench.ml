@@ -1,0 +1,93 @@
+(* Bechamel micro-benchmarks of the substrate primitives (wall-clock costs
+   of the simulator itself, not simulated cycles): cuckoo lookup, MDI tree
+   walk, cache access, flow hashing, NF-C interpretation. Useful for
+   keeping the simulator fast enough to drive the figure sweeps. *)
+
+open Bechamel
+open Toolkit
+
+let cuckoo_test =
+  let layout = Memsim.Layout.create () in
+  let t = Structures.Cuckoo.create layout ~label:"c" ~capacity:65536 () in
+  for i = 0 to 65535 do
+    ignore (Structures.Cuckoo.insert t ~key:(Int64.of_int (i * 3)) ~value:i)
+  done;
+  let i = ref 0 in
+  Test.make ~name:"cuckoo.lookup"
+    (Staged.stage (fun () ->
+         i := (!i + 1) land 0xFFFF;
+         ignore (Structures.Cuckoo.lookup t (Int64.of_int (!i * 3)))))
+
+let mdi_test =
+  let layout = Memsim.Layout.create () in
+  let rules =
+    List.init 128 (fun j ->
+        {
+          Structures.Mdi_tree.src_ip = Structures.Mdi_tree.full_range;
+          src_port = Structures.Mdi_tree.range ~lo:(j * 100) ~hi:((j * 100) + 99);
+          dst_port = Structures.Mdi_tree.full_range;
+          proto = Structures.Mdi_tree.full_range;
+          value = j;
+        })
+  in
+  let t = Structures.Mdi_tree.create layout ~label:"m" ~rules () in
+  let i = ref 0 in
+  Test.make ~name:"mdi.lookup"
+    (Staged.stage (fun () ->
+         i := (!i + 97) mod 12800;
+         ignore
+           (Structures.Mdi_tree.lookup t
+              { Structures.Mdi_tree.k_src_ip = 1; k_src_port = !i; k_dst_port = 1; k_proto = 0 })))
+
+let cache_test =
+  let h = Memsim.Hierarchy.create () in
+  let i = ref 0 in
+  Test.make ~name:"hierarchy.read"
+    (Staged.stage (fun () ->
+         i := (!i + 4096) land 0xFFFFF;
+         ignore (Memsim.Hierarchy.read h ~now:!i ~addr:!i ~bytes:8)))
+
+let flow_hash_test =
+  let flow =
+    Netcore.Flow.make ~src_ip:0x0A000001l ~dst_ip:0x0A000002l ~src_port:1234 ~dst_port:80
+      ~proto:6
+  in
+  Test.make ~name:"flow.key64" (Staged.stage (fun () -> ignore (Netcore.Flow.key64 flow)))
+
+let nfc_test =
+  let binding =
+    {
+      Gunfu.Nfc.read_field = (fun _ _ _ _ -> 7);
+      write_field = (fun _ _ _ _ _ -> ());
+    }
+  in
+  let action =
+    Gunfu.Nfc.compile ~binding
+      "NFAction(x) { Packet.a = PerFlowState.b * 2 + 1; Emit(Event_Packet); }"
+  in
+  let worker = Gunfu.Worker.create ~id:0 () in
+  let task = Gunfu.Nftask.create 0 in
+  Gunfu.Nftask.load task ~cs:0 ();
+  Test.make ~name:"nfc.interpret"
+    (Staged.stage (fun () ->
+         ignore (Gunfu.Action.execute action (Gunfu.Worker.ctx worker) task)))
+
+let run () =
+  Bench_common.header "Microbenchmarks (bechamel, host wall-clock ns/op)";
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      [ cuckoo_test; mdi_test; cache_test; flow_hash_test; nfc_test ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> Float.nan
+      in
+      Bench_common.row "%-28s %10.1f ns/op" name ns)
+    (List.sort compare rows)

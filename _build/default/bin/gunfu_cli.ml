@@ -1,0 +1,307 @@
+(* gunfu — command-line driver for the GuNFu platform.
+
+     gunfu_cli run --nf sfc4 --model il16 --flows 131072 --packets 50000
+     gunfu_cli run --nf upf --model rtc --cores 4
+     gunfu_cli inspect --nf nat --match-removal
+     gunfu_cli check-spec path/to/module.yaml
+     gunfu_cli list
+*)
+
+open Cmdliner
+
+type nf_kind =
+  | Nat_nf
+  | Lb_nf
+  | Fw_nf
+  | Nm_nf
+  | Upf_nf
+  | Upf_uplink_nf
+  | Amf_nf
+  | Sfc_nf of int
+
+let nf_of_string = function
+  | "nat" -> Ok Nat_nf
+  | "lb" -> Ok Lb_nf
+  | "fw" -> Ok Fw_nf
+  | "nm" -> Ok Nm_nf
+  | "upf" -> Ok Upf_nf
+  | "upf-uplink" -> Ok Upf_uplink_nf
+  | "amf" -> Ok Amf_nf
+  | s when String.length s = 4 && String.sub s 0 3 = "sfc" -> (
+      match int_of_string_opt (String.sub s 3 1) with
+      | Some n when n >= 2 && n <= 6 -> Ok (Sfc_nf n)
+      | _ -> Error (`Msg "sfc length must be 2..6"))
+  | s -> Error (`Msg ("unknown NF: " ^ s))
+
+let nf_names = "nat, lb, fw, nm, upf, upf-uplink, amf, sfc2..sfc6"
+
+type model = Rtc_m | Batch_m | Il_m of int
+
+let model_of_string = function
+  | "rtc" -> Ok Rtc_m
+  | "batch" -> Ok Batch_m
+  | s when String.length s > 2 && String.sub s 0 2 = "il" -> (
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some n when n > 0 -> Ok (Il_m n)
+      | _ -> Error (`Msg "model ilN needs a positive task count"))
+  | s -> Error (`Msg ("unknown model: " ^ s))
+
+(* Build the requested NF on a worker; returns the program and a source
+   factory. *)
+let build nf ~flows ~packed ~opts worker =
+  let layout = Gunfu.Worker.layout worker in
+  let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+  let flow_src gen ~count = Gunfu.Workload.of_flowgen gen ~pool ~count in
+  let simple_gen () =
+    Traffic.Flowgen.create ~seed:1 ~n_flows:flows
+      ~size_model:(Traffic.Flowgen.Fixed 128) ()
+  in
+  match nf with
+  | Nat_nf ->
+      let gen = simple_gen () in
+      let nat = Nfs.Nat.create layout ~name:"nat" ~n_flows:flows () in
+      Nfs.Nat.populate nat (Traffic.Flowgen.flows gen);
+      (Nfs.Nat.program ~opts nat, flow_src gen)
+  | Lb_nf ->
+      let gen = simple_gen () in
+      let lb = Nfs.Lb.create layout ~name:"lb" ~n_flows:flows () in
+      Nfs.Lb.populate lb (Traffic.Flowgen.flows gen);
+      (Nfs.Lb.program ~opts lb, flow_src gen)
+  | Fw_nf ->
+      let gen = simple_gen () in
+      let fw = Nfs.Firewall.create layout ~name:"fw" ~n_flows:flows () in
+      Nfs.Firewall.populate fw (Traffic.Flowgen.flows gen);
+      (Nfs.Firewall.program ~opts fw, flow_src gen)
+  | Nm_nf ->
+      let gen = simple_gen () in
+      let nm = Nfs.Monitor.create layout ~name:"nm" ~n_flows:flows () in
+      Nfs.Monitor.populate nm (Traffic.Flowgen.flows gen);
+      (Nfs.Monitor.program ~opts nm, flow_src gen)
+  | Upf_nf ->
+      let mgw = Traffic.Mgw.create ~seed:2 ~n_sessions:flows ~n_pdrs:16 () in
+      let upf =
+        Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw)
+          ~n_pdrs:16 ()
+      in
+      Nfs.Upf.populate upf;
+      (Nfs.Upf.program ~opts upf, fun ~count -> Gunfu.Workload.of_mgw_downlink mgw ~pool ~count)
+  | Upf_uplink_nf ->
+      let mgw = Traffic.Mgw.create ~seed:2 ~n_sessions:flows ~n_pdrs:16 () in
+      let upf =
+        Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw)
+          ~n_pdrs:16 ()
+      in
+      Nfs.Upf.populate upf;
+      let ran_ip = Netcore.Ipv4.addr_of_string "10.200.1.1" in
+      let upf_ip = Netcore.Ipv4.addr_of_string "10.200.0.1" in
+      ( Nfs.Upf.uplink_program ~opts upf,
+        fun ~count ->
+          Gunfu.Workload.limited count (fun () ->
+              let si, pkt = Traffic.Mgw.next_uplink mgw ~ran_ip ~upf_ip in
+              Netcore.Packet.Pool.assign pool pkt;
+              { Gunfu.Workload.packet = Some pkt; aux = 0; flow_hint = si }) )
+  | Amf_nf ->
+      let gen = Traffic.Mgw.amf_create ~seed:3 ~n_ues:flows () in
+      let amf = Nfs.Amf.create layout ~name:"amf" ~packed ~n_ues:flows () in
+      Nfs.Amf.populate amf;
+      (Nfs.Amf.program ~opts amf, fun ~count -> Gunfu.Workload.of_amf gen ~pool ~count)
+  | Sfc_nf length ->
+      let gen = simple_gen () in
+      let sfc = Nfs.Sfc.create layout ~length ~packed ~n_flows:flows () in
+      Nfs.Sfc.populate sfc (Traffic.Flowgen.flows gen);
+      (Nfs.Sfc.program ~opts sfc, flow_src gen)
+
+let execute model worker program source ~packets =
+  match model with
+  | Rtc_m -> Gunfu.Rtc.run worker program (source ~count:packets)
+  | Batch_m -> Gunfu.Batch_rtc.run worker program (source ~count:packets)
+  | Il_m n -> Gunfu.Scheduler.run worker program ~n_tasks:n (source ~count:packets)
+
+(* ----- run command ----- *)
+
+let run_cmd nf model flows packets cores packed match_removal no_prefetch =
+  let opts =
+    {
+      Gunfu.Compiler.match_removal;
+      prefetch_dedup = true;
+      prefetching = not no_prefetch;
+    }
+  in
+  if cores = 1 then begin
+    let worker = Gunfu.Worker.create ~id:0 () in
+    let program, source = build nf ~flows ~packed ~opts worker in
+    let r = execute model worker program source ~packets in
+    Fmt.pr "%a@." Gunfu.Metrics.pp_row r;
+    `Ok ()
+  end
+  else begin
+    let platform = Gunfu.Platform.create ~cores () in
+    let setup w _core =
+      let program, source = build nf ~flows:(max 1024 (flows / cores)) ~packed ~opts w in
+      (program, source ~count:(packets / cores))
+    in
+    let runs =
+      match model with
+      | Rtc_m -> Gunfu.Platform.run_rtc platform ~setup
+      | Batch_m ->
+          Gunfu.Platform.run platform ~setup ~execute:(fun w p s -> Gunfu.Batch_rtc.run w p s)
+      | Il_m n -> Gunfu.Platform.run_interleaved platform ~n_tasks:n ~setup
+    in
+    let merged = Gunfu.Metrics.merge_parallel runs in
+    Fmt.pr "%a@." Gunfu.Metrics.pp_row merged;
+    Fmt.pr "aggregate over %d cores, capped at the 100G line rate: %.2f Gbps@." cores
+      (Gunfu.Metrics.gbps_scaled merged ~cores:1);
+    `Ok ()
+  end
+
+(* ----- inspect command ----- *)
+
+let inspect_cmd nf match_removal =
+  let opts = { Gunfu.Compiler.default_opts with match_removal } in
+  let worker = Gunfu.Worker.create ~id:0 () in
+  let program, _ = build nf ~flows:1024 ~packed:false ~opts worker in
+  Fmt.pr "%a@." Gunfu.Program.pp program;
+  `Ok ()
+
+(* ----- check-spec command ----- *)
+
+let check_spec_cmd path =
+  let read_file p =
+    let ic = open_in p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match read_file path with
+  | exception Sys_error e -> `Error (false, e)
+  | src -> (
+      try
+        let looks_like_nf =
+          List.exists
+            (fun line -> String.length line >= 3 && String.sub line 0 3 = "nf:")
+            (String.split_on_char '\n' src)
+        in
+        if looks_like_nf then begin
+          let nf = Gunfu.Spec.nf_spec_of_string src in
+          Fmt.pr "NF spec %s: %d module instances, %d transitions - OK@."
+            nf.Gunfu.Spec.n_name
+            (List.length nf.Gunfu.Spec.n_modules)
+            (List.length nf.Gunfu.Spec.n_transitions)
+        end
+        else begin
+          let m = Gunfu.Spec.module_spec_of_string src in
+          Gunfu.Spec.validate_module m;
+          Fmt.pr "module spec %s (%s): %d control states, %d transitions - OK@."
+            m.Gunfu.Spec.m_name m.Gunfu.Spec.m_category
+            (List.length (Gunfu.Spec.control_states_of m))
+            (List.length m.Gunfu.Spec.m_transitions)
+        end;
+        `Ok ()
+      with Gunfu.Spec.Spec_error msg -> `Error (false, "spec error: " ^ msg))
+
+(* ----- compose command: build and run an NF from on-disk YAML ----- *)
+
+let compose_cmd nf_file specs_dir model flows packets =
+  try
+    let worker = Gunfu.Worker.create ~id:0 () in
+    let layout = Gunfu.Worker.layout worker in
+    let built =
+      Nfs.Catalog.build_from_files layout ~nf_file ~specs_dir ~n_flows:flows ()
+    in
+    Fmt.pr "composed %s from %s: NFs [%s]@."
+      (Gunfu.Program.name built.Nfs.Catalog.program)
+      nf_file
+      (String.concat "; " built.Nfs.Catalog.nf_names);
+    let gen =
+      Traffic.Flowgen.create ~seed:1 ~n_flows:flows
+        ~size_model:(Traffic.Flowgen.Fixed 128) ()
+    in
+    built.Nfs.Catalog.populate (Traffic.Flowgen.flows gen);
+    let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+    let source = Gunfu.Workload.of_flowgen gen ~pool ~count:packets in
+    let r =
+      match model with
+      | Rtc_m -> Gunfu.Rtc.run worker built.Nfs.Catalog.program source
+      | Batch_m -> Gunfu.Batch_rtc.run worker built.Nfs.Catalog.program source
+      | Il_m n -> Gunfu.Scheduler.run worker built.Nfs.Catalog.program ~n_tasks:n source
+    in
+    Fmt.pr "%a@." Gunfu.Metrics.pp_row r;
+    `Ok ()
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Sys_error msg -> `Error (false, msg)
+
+let list_cmd () =
+  Fmt.pr "network functions: %s@." nf_names;
+  Fmt.pr "execution models:  rtc, batch, ilN (e.g. il16)@.";
+  `Ok ()
+
+(* ----- cmdliner wiring ----- *)
+
+let nf_conv = Arg.conv (nf_of_string, fun ppf _ -> Fmt.string ppf "<nf>")
+let model_conv = Arg.conv (model_of_string, fun ppf _ -> Fmt.string ppf "<model>")
+
+let nf_arg =
+  Arg.(required & opt (some nf_conv) None & info [ "nf" ] ~docv:"NF" ~doc:("Network function: " ^ nf_names))
+
+let model_arg =
+  Arg.(value & opt model_conv (Il_m 16) & info [ "model" ] ~docv:"MODEL" ~doc:"rtc, batch or ilN")
+
+let flows_arg =
+  Arg.(value & opt int 131072 & info [ "flows" ] ~doc:"Concurrent flows / sessions / UEs")
+
+let packets_arg = Arg.(value & opt int 50000 & info [ "packets" ] ~doc:"Packets to process")
+let cores_arg = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Simulated cores")
+let packed_arg = Arg.(value & flag & info [ "packed" ] ~doc:"Enable data packing")
+
+let mr_arg =
+  Arg.(value & flag & info [ "match-removal" ] ~doc:"Enable redundant-matching removal")
+
+let nopf_arg =
+  Arg.(value & flag & info [ "no-prefetch" ] ~doc:"Compile without prefetch policies")
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Run an NF under an execution model and report metrics")
+    Term.(
+      ret
+        (const run_cmd $ nf_arg $ model_arg $ flows_arg $ packets_arg $ cores_arg
+       $ packed_arg $ mr_arg $ nopf_arg))
+
+let inspect_t =
+  Cmd.v (Cmd.info "inspect" ~doc:"Print the compiled control-logic FSM and prefetch policy")
+    Term.(ret (const inspect_cmd $ nf_arg $ mr_arg))
+
+let check_spec_t =
+  Cmd.v
+    (Cmd.info "check-spec" ~doc:"Parse and validate a module/NF specification file")
+    Term.(
+      ret
+        (const check_spec_cmd
+        $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")))
+
+let list_t = Cmd.v (Cmd.info "list" ~doc:"List NFs and execution models") Term.(ret (const list_cmd $ const ()))
+
+let compose_t =
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:
+         "Build an NF from an on-disk composition file (and the module specs \
+          next to it) and run traffic through it")
+    Term.(
+      ret
+        (const compose_cmd
+        $ Arg.(required & pos 0 (some file) None & info [] ~docv:"NF_FILE")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ model_arg
+        $ Arg.(value & opt int 65536 & info [ "flows" ] ~doc:"Concurrent flows")
+        $ packets_arg))
+
+let () =
+  let doc = "GuNFu: granular, cache-aware NF platform (simulated reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gunfu" ~doc)
+          [ run_t; inspect_t; check_spec_t; compose_t; list_t ]))

@@ -1,0 +1,1 @@
+examples/amf_registration.ml: Array Gunfu List Netcore Nfs Printf Traffic

@@ -1,0 +1,1 @@
+examples/amf_registration.mli:

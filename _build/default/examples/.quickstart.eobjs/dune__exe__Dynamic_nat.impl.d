@@ -1,0 +1,1 @@
+examples/dynamic_nat.ml: Filename Fmt Gunfu Int32 List Memsim Netcore Nfs Printf

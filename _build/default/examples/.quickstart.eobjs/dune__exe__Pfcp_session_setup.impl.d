@@ -1,0 +1,1 @@
+examples/pfcp_session_setup.ml: Gunfu Int32 Memsim Netcore Nfs Printf String Traffic

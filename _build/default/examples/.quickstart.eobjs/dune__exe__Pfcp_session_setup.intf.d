@@ -1,0 +1,1 @@
+examples/pfcp_session_setup.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gunfu Netcore Nfs Printf Traffic

@@ -1,0 +1,1 @@
+examples/sfc_chain.ml: Fmt Gunfu List Netcore Nfs Printf Traffic

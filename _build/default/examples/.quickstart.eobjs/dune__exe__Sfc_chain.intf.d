@@ -1,0 +1,1 @@
+examples/sfc_chain.mli:

@@ -1,0 +1,1 @@
+examples/upf_downlink.ml: Gunfu Int32 Lazy List Memsim Netcore Nfs Printf Traffic

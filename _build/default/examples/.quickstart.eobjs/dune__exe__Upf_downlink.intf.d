@@ -1,0 +1,1 @@
+examples/upf_downlink.mli:

@@ -1,0 +1,1 @@
+lib/core/action.ml: Event Exec_ctx Fmt Nftask

@@ -1,0 +1,1 @@
+lib/core/action.mli: Event Exec_ctx Format Nftask

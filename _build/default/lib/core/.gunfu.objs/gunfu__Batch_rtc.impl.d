@@ -1,0 +1,1 @@
+lib/core/batch_rtc.ml: Action Array Event Exec_ctx Fsm List Metrics Netcore Nftask Option Prefetch Printf Program Worker Workload

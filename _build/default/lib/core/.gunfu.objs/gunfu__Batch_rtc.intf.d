@@ -1,0 +1,1 @@
+lib/core/batch_rtc.mli: Metrics Program Worker Workload

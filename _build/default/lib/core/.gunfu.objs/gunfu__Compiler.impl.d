@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Action Array Fmt Fsm List Prefetch Program Spec

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Action Fsm Prefetch Program Spec

@@ -1,0 +1,1 @@
+lib/core/director.ml: Fmt List Metrics Platform Program Spec Worker Workload

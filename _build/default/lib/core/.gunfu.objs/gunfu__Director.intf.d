@@ -1,0 +1,1 @@
+lib/core/director.mli: Format Metrics Program Spec Worker Workload

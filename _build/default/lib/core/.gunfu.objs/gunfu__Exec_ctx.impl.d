@@ -1,0 +1,1 @@
+lib/core/exec_ctx.ml: Array Memsim Sref

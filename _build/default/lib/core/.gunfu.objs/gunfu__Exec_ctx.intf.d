@@ -1,0 +1,1 @@
+lib/core/exec_ctx.mli: Memsim Sref

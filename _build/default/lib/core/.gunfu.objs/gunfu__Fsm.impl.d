@@ -1,0 +1,1 @@
+lib/core/fsm.ml: Array Event Hashtbl List Option Printf String

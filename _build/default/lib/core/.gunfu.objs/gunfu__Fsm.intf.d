@@ -1,0 +1,1 @@
+lib/core/fsm.mli: Event

@@ -1,0 +1,1 @@
+lib/core/nfc.ml: Action Event Exec_ctx Fmt List Nftask String

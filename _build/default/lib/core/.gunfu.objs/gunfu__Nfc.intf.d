@@ -1,0 +1,1 @@
+lib/core/nfc.mli: Action Event Exec_ctx Format Nftask

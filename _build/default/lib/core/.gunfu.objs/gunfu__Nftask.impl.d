@@ -1,0 +1,1 @@
+lib/core/nftask.ml: Array Event Netcore

@@ -1,0 +1,1 @@
+lib/core/nftask.mli: Event Netcore

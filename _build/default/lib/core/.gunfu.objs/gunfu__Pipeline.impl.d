@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Action Event Exec_ctx List Metrics Netcore Nftask Program Worker Workload

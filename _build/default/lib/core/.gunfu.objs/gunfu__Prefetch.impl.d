@@ -1,0 +1,1 @@
+lib/core/prefetch.ml: Fmt List Netcore Nftask Sref State_arena String Structures

@@ -1,0 +1,1 @@
+lib/core/rtc.ml: Action Event Exec_ctx Metrics Netcore Nftask Option Printf Program Worker Workload

@@ -1,0 +1,1 @@
+lib/core/rtc.mli: Metrics Program Worker Workload

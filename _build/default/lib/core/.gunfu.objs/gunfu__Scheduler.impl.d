@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Action Array Event Exec_ctx Hashtbl List Metrics Netcore Nftask Option Prefetch Printf Program Worker Workload

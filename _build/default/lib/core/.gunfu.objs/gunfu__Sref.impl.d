@@ -1,0 +1,1 @@
+lib/core/sref.ml: Fmt

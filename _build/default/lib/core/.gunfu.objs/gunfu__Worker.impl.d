@@ -1,0 +1,1 @@
+lib/core/worker.ml: Array Exec_ctx Memsim Metrics

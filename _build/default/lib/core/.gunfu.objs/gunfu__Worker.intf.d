@@ -1,0 +1,1 @@
+lib/core/worker.mli: Exec_ctx Memsim Metrics

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Bytes Ethernet Flow Int32 Ipv4 L4 List Nas Netcore Packet Pcap Printf Traffic

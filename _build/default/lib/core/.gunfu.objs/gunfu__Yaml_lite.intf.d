@@ -1,0 +1,1 @@
+lib/core/yaml_lite.mli:

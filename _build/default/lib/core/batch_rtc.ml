@@ -1,0 +1,153 @@
+(* Run-to-completion with batched software prefetching — the prior-art
+   baseline the paper positions against (§II-C): CuckooSwitch / G-opt style
+   batch lookups.
+
+   For each RX batch the executor performs a prefetch pass and then a
+   processing pass:
+   - prefetch pass: for every packet, run the NF's leading match actions
+     far enough to *resolve* the first dependent state address (key
+     extraction + first hash), and issue a prefetch for it, plus the packet
+     headers;
+   - processing pass: run each packet to completion.
+
+   This captures exactly what single-stream batching can and cannot do:
+   the first bucket of the first classifier is covered, but every
+   control-flow-dependent access after it (second cuckoo bucket, key-store
+   line, tree descent, per-flow state, later NFs of an SFC) is a demand
+   miss — the control-flow divergence limitation the interleaved
+   function-stream model removes. *)
+
+let default_batch = 32
+
+(* Control states whose action resolves the next match address without
+   needing any not-yet-prefetched state: the prefix we may pre-run. A
+   conservative, structural choice: the entry state (key extraction, needs
+   only the packet) and states reached from it by pure-compute actions
+   (hash). We identify the prefix as the chain up to the first state whose
+   prefetch policy demands Match_addrs — that state's address is what the
+   prefix resolved. *)
+let prefix_of program =
+  let rec walk cs acc depth =
+    if depth > 4 then List.rev acc
+    else
+      let info = Program.info program cs in
+      let wants_match =
+        List.exists
+          (fun t -> match Prefetch.class_of t with `Match_addrs -> true | _ -> false)
+          info.Program.prefetch
+      in
+      if wants_match then List.rev acc
+      else
+        match info.Program.action with
+        | None -> List.rev acc
+        | Some _ -> (
+            (* Follow the unique expected-success edge if unambiguous. *)
+            match Fsm.successors program.Program.fsm cs with
+            | [ next ] -> walk next (cs :: acc) (depth + 1)
+            | _ -> List.rev (cs :: acc))
+  in
+  let first = Program.step program (Program.start program) Event.Packet_arrival in
+  walk first [] 0
+
+let run ?label ?(batch = default_batch) (worker : Worker.t) (program : Program.t)
+    (source : Workload.source) =
+  if batch <= 0 then invalid_arg "Batch_rtc.run: batch must be positive";
+  let label =
+    Option.value label ~default:(Printf.sprintf "%s/batch-rtc" (Program.name program))
+  in
+  let ctx = Worker.ctx worker in
+  let cfg = worker.Worker.cfg in
+  let snap = Worker.snapshot worker in
+  let packets = ref 0 in
+  let drops = ref 0 in
+  let wire_bytes = ref 0 in
+  let latencies = Metrics.Collector.create () in
+  let tasks = Array.init batch Nftask.create in
+  let prefix = prefix_of program in
+  let rec fill n =
+    if n = batch then n
+    else
+      match source () with
+      | None -> n
+      | Some item ->
+          let task = tasks.(n) in
+          Nftask.load task ~cs:(Program.start program) ?packet:item.Workload.packet
+            ~aux:item.Workload.aux ~flow_hint:item.Workload.flow_hint ();
+          task.Nftask.start_clock <- ctx.Exec_ctx.clock;
+          Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
+            ~instrs:cfg.Worker.rx_tx_instrs;
+          fill (n + 1)
+  in
+  let prefetch_pass n =
+    for i = 0 to n - 1 do
+      let task = tasks.(i) in
+      (* Packet headers are known: prefetch them. *)
+      (match task.Nftask.packet with
+      | Some p when p.Netcore.Packet.sim_addr >= 0 ->
+          ignore (Exec_ctx.prefetch ctx ~addr:p.Netcore.Packet.sim_addr ~bytes:64)
+      | Some _ | None -> ());
+      (* Pre-run the pure prefix (key + first hash) to resolve the first
+         bucket, then prefetch it. The prefix's compute is charged here;
+         the processing pass will not repeat it. *)
+      task.Nftask.cs <- Program.step program (Program.start program) Event.Packet_arrival;
+      let rec pre = function
+        | [] -> ()
+        | cs :: rest when cs = task.Nftask.cs -> (
+            match (Program.info program cs).Program.action with
+            | None -> ()
+            | Some action ->
+                task.Nftask.event <- Action.execute action ctx task;
+                task.Nftask.cs <- Program.step program cs task.Nftask.event;
+                Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                pre rest)
+        | _ :: _ -> ()
+      in
+      pre prefix;
+      List.iter
+        (fun (addr, bytes) -> ignore (Exec_ctx.prefetch ctx ~addr ~bytes))
+        task.Nftask.match_addrs
+    done
+  in
+  let process_pass n =
+    for i = 0 to n - 1 do
+      let task = tasks.(i) in
+      let rec go () =
+        let cs = task.Nftask.cs in
+        if Program.is_done program cs then ()
+        else
+          match (Program.info program cs).Program.action with
+          | None -> ()
+          | Some action ->
+              Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+              task.Nftask.event <- Action.execute action ctx task;
+              task.Nftask.cs <- Program.step program cs task.Nftask.event;
+              go ()
+      in
+      go ();
+      incr packets;
+      let dropped =
+        Event.equal task.Nftask.event Event.Drop_packet
+        || Event.equal task.Nftask.event Event.Match_fail
+      in
+      if dropped then incr drops
+      else (
+        match task.Nftask.packet with
+        | Some p -> wire_bytes := !wire_bytes + p.Netcore.Packet.wire_len
+        | None -> ());
+      Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+      Nftask.retire task
+    done
+  in
+  let rec loop () =
+    let n = fill 0 in
+    if n > 0 then begin
+      prefetch_pass n;
+      process_pass n;
+      if n = batch then loop ()
+    end
+  in
+  loop ();
+  Worker.finish
+    ?latency:(Metrics.Collector.summarize latencies)
+    worker snap ~label ~packets:!packets ~drops:!drops ~wire_bytes:!wire_bytes
+    ~switches:0

@@ -1,0 +1,15 @@
+(** Run-to-completion with batched software prefetching — the
+    CuckooSwitch / G-opt style prior art of §II-C. Per RX batch: a prefetch
+    pass pre-runs each packet's pure match prefix (key extraction + first
+    hash) and prefetches the resolved first bucket plus the headers; a
+    processing pass then runs each packet to completion. Control-flow-
+    dependent accesses after the first bucket (second bucket, key store,
+    tree descent, per-flow state, later NFs) remain demand misses — the
+    divergence limitation the interleaved model removes. *)
+
+val default_batch : int
+
+(** @raise Invalid_argument when [batch <= 0]. *)
+val run :
+  ?label:string -> ?batch:int -> Worker.t -> Program.t -> Workload.source ->
+  Metrics.run

@@ -1,0 +1,43 @@
+(** The director compiler (§VI): specifications + the NFAction
+    implementation library -> an executable {!Program}.
+
+    Passes: flattening of module FSMs along the NF-level wiring;
+    redundant-matching removal (classifier instances repeating an earlier
+    instance's key reuse its match result and disappear); and
+    redundant-prefetch removal (a forward must-analysis strips prefetch
+    targets already fetched on every path and not invalidated since). *)
+
+exception Compile_error of string
+
+(** A module instance: its spec, the action implementation per control
+    state, the binding from spec state names to prefetch targets, and — for
+    classifiers — the key kind they match on (equal key kinds make a later
+    classifier redundant). *)
+type instance = {
+  i_name : string;
+  i_spec : Spec.module_spec;
+  i_actions : (string * Action.t) list;
+  i_bindings : (string * Prefetch.target) list;
+  i_key_kind : string option;
+}
+
+type opts = {
+  match_removal : bool;
+  prefetch_dedup : bool;
+  prefetching : bool;  (** [false]: compile with empty prefetch policies *)
+}
+
+(** prefetching on, dedup on, match removal off. *)
+val default_opts : opts
+
+(** @raise Compile_error (or {!Spec.Spec_error}) on invalid specs, missing
+    action implementations or missing prefetch bindings. *)
+val compile : ?opts:opts -> name:string -> instance list -> Spec.nf_spec -> Program.t
+
+(** Exposed for tests: the match-removal rewrite on the instance graph. *)
+val remove_redundant_matching :
+  instance list -> Spec.nf_spec -> instance list * Spec.nf_spec
+
+(** Exposed for tests: the prefetch must-analysis; returns removed-target
+    count. *)
+val remove_redundant_prefetch : Program.cs_info array -> Fsm.t -> start:int -> int

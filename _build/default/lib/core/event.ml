@@ -1,0 +1,32 @@
+(* NFEvents (§IV-A): notifications the control logic transitions on.
+   System events originate outside the NF (packet arrival); user events are
+   raised by NFActions. The FSM layer keys transitions by the event's wire
+   name, so every event has a stable string form. *)
+
+type t =
+  | Packet_arrival  (* system: a packet was handed to the function stream *)
+  | Match_success
+  | Match_fail
+  | Emit_packet     (* processing finished; forward the packet *)
+  | Drop_packet
+  | User of string  (* module-defined events, e.g. "hash_done" *)
+
+let to_key = function
+  | Packet_arrival -> "packet"
+  | Match_success -> "MATCH_SUCCESS"
+  | Match_fail -> "MATCH_FAIL"
+  | Emit_packet -> "EMIT"
+  | Drop_packet -> "DROP"
+  | User s -> s
+
+let of_key = function
+  | "packet" -> Packet_arrival
+  | "MATCH_SUCCESS" -> Match_success
+  | "MATCH_FAIL" -> Match_fail
+  | "EMIT" -> Emit_packet
+  | "DROP" -> Drop_packet
+  | s -> User s
+
+let equal a b = String.equal (to_key a) (to_key b)
+
+let pp ppf t = Fmt.string ppf (to_key t)

@@ -1,0 +1,37 @@
+(** Per-core execution context: the simulated memory hierarchy plus cycle
+    and instruction counters. NFAction bodies charge all memory traffic and
+    computation here; executors add their own overheads. *)
+
+type t = {
+  mem : Memsim.Hierarchy.t;
+  layout : Memsim.Layout.t;
+  mutable clock : int;  (** cycles *)
+  mutable instrs : int;  (** retired instructions, for IPC *)
+  cycles_by_class : int array;  (** memory cycles per {!Sref.state_class} *)
+}
+
+val n_classes : int
+val class_index : Sref.state_class -> int
+val class_of_index : int -> Sref.state_class
+
+val create : ?mem_cfg:Memsim.Hierarchy.config -> unit -> t
+
+(** Pure computation: advance the clock without memory traffic. *)
+val compute : t -> cycles:int -> instrs:int -> unit
+
+(** Demand load/store of [bytes] at [addr], classified as [cls] state;
+    charges the latency of whatever level serves it. *)
+val read : t -> cls:Sref.state_class -> addr:int -> bytes:int -> unit
+
+val write : t -> cls:Sref.state_class -> addr:int -> bytes:int -> unit
+val read_sref : t -> Sref.t -> unit
+
+(** Issue a software prefetch (non-blocking); returns fills issued. *)
+val prefetch : t -> addr:int -> bytes:int -> int
+
+(** Would an access now be cheap? (resident in L1/L2 with no fill in
+    flight). *)
+val ready : t -> addr:int -> bytes:int -> bool
+
+val counters : t -> Memsim.Memstats.t
+val state_access_cycles : t -> Sref.state_class -> int

@@ -1,0 +1,143 @@
+(* Per-run measurements: the quantities the paper reports in its figures —
+   throughput (Mpps / Gbps), IPC, per-level cache misses per packet, and
+   the share of time spent in state access. *)
+
+(* Per-packet latency distribution (cycles from arrival to completion). *)
+type latency = {
+  l_count : int;
+  l_mean : float;
+  l_p50 : int;
+  l_p90 : int;
+  l_p99 : int;
+  l_max : int;
+}
+
+module Collector = struct
+  type t = { mutable samples : int array; mutable n : int }
+
+  let create () = { samples = Array.make 1024 0; n = 0 }
+
+  let record t v =
+    if t.n = Array.length t.samples then begin
+      let bigger = Array.make (2 * t.n) 0 in
+      Array.blit t.samples 0 bigger 0 t.n;
+      t.samples <- bigger
+    end;
+    t.samples.(t.n) <- v;
+    t.n <- t.n + 1
+
+  let summarize t =
+    if t.n = 0 then None
+    else begin
+      let sorted = Array.sub t.samples 0 t.n in
+      Array.sort compare sorted;
+      let pct p = sorted.(min (t.n - 1) (p * t.n / 100)) in
+      let sum = Array.fold_left ( + ) 0 sorted in
+      Some
+        {
+          l_count = t.n;
+          l_mean = float_of_int sum /. float_of_int t.n;
+          l_p50 = pct 50;
+          l_p90 = pct 90;
+          l_p99 = pct 99;
+          l_max = sorted.(t.n - 1);
+        }
+    end
+end
+
+type run = {
+  label : string;
+  packets : int;
+  drops : int;
+  cycles : int;
+  instrs : int;
+  wire_bytes : int;
+  switches : int;  (* NFTask switches (0 for RTC) *)
+  mem : Memsim.Memstats.t;
+  freq_ghz : float;
+  state_cycles : int array;  (* memory cycles per Sref state class *)
+  latency : latency option;  (* per-packet latency distribution, if collected *)
+}
+
+(* Latency in nanoseconds given the run's clock. *)
+let cycles_to_ns r cycles = float_of_int cycles /. r.freq_ghz
+
+let seconds r = float_of_int r.cycles /. (r.freq_ghz *. 1e9)
+
+let mpps r =
+  if r.cycles = 0 then 0.0 else float_of_int r.packets /. seconds r /. 1e6
+
+let gbps r =
+  if r.cycles = 0 then 0.0
+  else float_of_int r.wire_bytes *. 8.0 /. seconds r /. 1e9
+
+(* Aggregate throughput over [cores] replicas, capped at line rate. *)
+let gbps_scaled ?(line_rate = 100.0) r ~cores =
+  Float.min line_rate (gbps r *. float_of_int cores)
+
+let ipc r = if r.cycles = 0 then 0.0 else float_of_int r.instrs /. float_of_int r.cycles
+
+let cycles_per_packet r =
+  if r.packets = 0 then 0.0 else float_of_int r.cycles /. float_of_int r.packets
+
+let per_packet r v = if r.packets = 0 then 0.0 else float_of_int v /. float_of_int r.packets
+
+let l1_misses_per_packet r = per_packet r (Memsim.Memstats.l1_misses r.mem)
+let l2_misses_per_packet r = per_packet r (Memsim.Memstats.l2_misses r.mem)
+let llc_misses_per_packet r = per_packet r (Memsim.Memstats.llc_misses r.mem)
+
+let l1_hit_rate r = Memsim.Memstats.l1_hit_rate r.mem
+
+(* Fraction of run time spent waiting on the given state classes. *)
+let state_access_share r classes =
+  if r.cycles = 0 then 0.0
+  else
+    let cyc =
+      List.fold_left
+        (fun acc cls -> acc + r.state_cycles.(Exec_ctx.class_index cls))
+        0 classes
+    in
+    float_of_int cyc /. float_of_int r.cycles
+
+let switches_per_second r =
+  if r.cycles = 0 then 0.0 else float_of_int r.switches /. seconds r
+
+let pp_row ppf r =
+  Fmt.pf ppf
+    "%-34s pkts=%-8d %6.2f Mpps %7.2f Gbps ipc=%4.2f cyc/pkt=%7.1f \
+     L1m/p=%5.2f L2m/p=%5.2f LLCm/p=%5.2f"
+    r.label r.packets (mpps r) (gbps r) (ipc r) (cycles_per_packet r)
+    (l1_misses_per_packet r) (l2_misses_per_packet r) (llc_misses_per_packet r)
+
+(* Sum of parallel per-core runs (multicore experiments): cycles is the max
+   (cores run concurrently), counts add. *)
+let merge_parallel = function
+  | [] -> invalid_arg "Metrics.merge_parallel: empty"
+  | first :: _ as runs ->
+      let max_cycles = List.fold_left (fun a r -> max a r.cycles) 0 runs in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 runs in
+      {
+        label = first.label;
+        packets = sum (fun r -> r.packets);
+        drops = sum (fun r -> r.drops);
+        cycles = max_cycles;
+        instrs = sum (fun r -> r.instrs);
+        wire_bytes = sum (fun r -> r.wire_bytes);
+        switches = sum (fun r -> r.switches);
+        mem = List.fold_left (fun a r -> Memsim.Memstats.add a r.mem) Memsim.Memstats.zero runs;
+        freq_ghz = first.freq_ghz;
+        state_cycles =
+          Array.init Exec_ctx.n_classes (fun i ->
+              List.fold_left (fun a r -> a + r.state_cycles.(i)) 0 runs);
+        latency = None;
+      }
+
+let pp_latency ppf (r : run) =
+  match r.latency with
+  | None -> Fmt.string ppf "latency: not collected"
+  | Some l ->
+      Fmt.pf ppf
+        "latency (ns): mean=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f (%d samples)"
+        (cycles_to_ns r (int_of_float l.l_mean))
+        (cycles_to_ns r l.l_p50) (cycles_to_ns r l.l_p90) (cycles_to_ns r l.l_p99)
+        (cycles_to_ns r l.l_max) l.l_count

@@ -1,0 +1,70 @@
+(** Per-run measurements: the quantities the paper's figures report —
+    throughput, IPC, per-level cache misses per packet, state-access time
+    share. *)
+
+(** Per-packet latency distribution, in cycles from arrival to
+    completion. *)
+type latency = {
+  l_count : int;
+  l_mean : float;
+  l_p50 : int;
+  l_p90 : int;
+  l_p99 : int;
+  l_max : int;
+}
+
+(** Sample collector used by the executors. *)
+module Collector : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> int -> unit
+
+  (** [None] when no samples were recorded. *)
+  val summarize : t -> latency option
+end
+
+type run = {
+  label : string;
+  packets : int;
+  drops : int;
+  cycles : int;
+  instrs : int;
+  wire_bytes : int;
+  switches : int;  (** NFTask switches (0 under RTC) *)
+  mem : Memsim.Memstats.t;  (** counter delta over the run *)
+  freq_ghz : float;
+  state_cycles : int array;  (** memory cycles per {!Sref.state_class} *)
+  latency : latency option;  (** per-packet latency, if collected *)
+}
+
+(** Convert a cycle count to nanoseconds at the run's clock. *)
+val cycles_to_ns : run -> int -> float
+
+val seconds : run -> float
+val mpps : run -> float
+val gbps : run -> float
+
+(** Aggregate over [cores] replicas, capped at [line_rate] (default 100). *)
+val gbps_scaled : ?line_rate:float -> run -> cores:int -> float
+
+val ipc : run -> float
+val cycles_per_packet : run -> float
+val per_packet : run -> int -> float
+val l1_misses_per_packet : run -> float
+val l2_misses_per_packet : run -> float
+val llc_misses_per_packet : run -> float
+val l1_hit_rate : run -> float
+
+(** Fraction of run time stalled on the given state classes. *)
+val state_access_share : run -> Sref.state_class list -> float
+
+val switches_per_second : run -> float
+val pp_row : Format.formatter -> run -> unit
+
+(** Combine concurrent per-core runs: counts add, cycles take the max
+    (latency distributions are not merged).
+    @raise Invalid_argument on an empty list. *)
+val merge_parallel : run list -> run
+
+val pp_latency : Format.formatter -> run -> unit

@@ -1,0 +1,51 @@
+(* Multi-core platform (§VII-C): share-nothing per-core runtimes. RSS
+   steers each flow to one core, so cores touch disjoint state and scale
+   independently; we model this by giving every worker its own simulated
+   memory, substrate instances and traffic slice.
+
+   LLC capacity is partitioned across active cores (the paper's testbed
+   shares a 33 MiB LLC among cores of one socket). *)
+
+type t = {
+  workers : Worker.t array;
+  cfg : Worker.cfg;
+}
+
+let create ?(cfg = Worker.default_cfg) ~cores () =
+  if cores <= 0 then invalid_arg "Platform.create: cores must be positive";
+  let mem_cfg = cfg.Worker.mem_cfg in
+  let llc_share =
+    (* Keep the geometry valid: power-of-two set count per way. *)
+    let per_core = mem_cfg.Memsim.Hierarchy.llc_size / cores in
+    let line_assoc = mem_cfg.Memsim.Hierarchy.line_bytes * mem_cfg.Memsim.Hierarchy.llc_assoc in
+    let sets = max 1 (per_core / line_assoc) in
+    let rec pow2_below v acc = if acc * 2 > v then acc else pow2_below v (acc * 2) in
+    pow2_below sets 1 * line_assoc
+  in
+  let cfg =
+    { cfg with Worker.mem_cfg = { mem_cfg with Memsim.Hierarchy.llc_size = llc_share } }
+  in
+  { workers = Array.init cores (fun id -> Worker.create ~cfg ~id ()); cfg }
+
+let cores t = Array.length t.workers
+let worker t i = t.workers.(i)
+let workers t = t.workers
+
+(* Run one experiment on every core. [setup] builds the per-core NF and its
+   traffic slice (cores are share-nothing, so each gets fresh substrate
+   state); returns the per-core runs, mergeable with
+   {!Metrics.merge_parallel}. *)
+let run t ~setup ~execute =
+  Array.to_list
+    (Array.map
+       (fun w ->
+         let program, source = setup w (Worker.id w) in
+         execute w program source)
+       t.workers)
+
+let run_interleaved t ~n_tasks ~setup =
+  run t ~setup ~execute:(fun w program source ->
+      Scheduler.run w program ~n_tasks source)
+
+let run_rtc t ~setup =
+  run t ~setup ~execute:(fun w program source -> Rtc.run w program source)

@@ -1,0 +1,27 @@
+(** Multi-core platform (§VII-C): share-nothing per-core runtimes; RSS
+    steers each flow to one core, so cores hold disjoint state and scale
+    independently. The LLC capacity is partitioned across cores. *)
+
+type t
+
+(** @raise Invalid_argument when [cores <= 0]. *)
+val create : ?cfg:Worker.cfg -> cores:int -> unit -> t
+
+val cores : t -> int
+val worker : t -> int -> Worker.t
+val workers : t -> Worker.t array
+
+(** Run one experiment on every core; [setup] builds the per-core NF and
+    traffic slice. Merge results with {!Metrics.merge_parallel}. *)
+val run :
+  t ->
+  setup:(Worker.t -> int -> Program.t * Workload.source) ->
+  execute:(Worker.t -> Program.t -> Workload.source -> Metrics.run) ->
+  Metrics.run list
+
+val run_interleaved :
+  t -> n_tasks:int -> setup:(Worker.t -> int -> Program.t * Workload.source) ->
+  Metrics.run list
+
+val run_rtc :
+  t -> setup:(Worker.t -> int -> Program.t * Workload.source) -> Metrics.run list

@@ -1,0 +1,34 @@
+(** A compiled network function: the flattened control-logic FSM plus, per
+    control state, the fetching function's output — the NFAction to run and
+    the NFState targets to prefetch (F of §IV-A, produced by the director
+    compiler of §VI). *)
+
+type cs_info = {
+  qname : string;  (** "instance.control_state" *)
+  inst : string;
+  action : Action.t option;  (** [None] only for pseudo states *)
+  mutable prefetch : Prefetch.target list;
+}
+
+type t = {
+  p_name : string;
+  fsm : Fsm.t;
+  info : cs_info array;
+  start : int;
+  done_cs : int;
+}
+
+val name : t -> string
+val n_states : t -> int
+val info : t -> int -> cs_info
+val start : t -> int
+val is_done : t -> int -> bool
+
+(** @raise Invalid_argument on unknown names. *)
+val cs_by_name : t -> string -> int
+
+(** Δ with a hard failure on undefined transitions (a spec/compiler bug,
+    not a runtime condition). @raise Invalid_argument. *)
+val step : t -> int -> Event.t -> int
+
+val pp : Format.formatter -> t -> unit

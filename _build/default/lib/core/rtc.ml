@@ -1,0 +1,69 @@
+(* The per-packet run-to-completion baseline (§II-B): the execution model of
+   BESS / FastClick / L25GC / Free5GC that the paper compares against.
+
+   Each packet is processed start-to-finish with no yielding: every state
+   access demand-fetches and the core stalls for the full latency of
+   whatever level serves it. The same compiled {!Program} is executed —
+   only the execution model differs — so comparisons isolate exactly the
+   paper's variable. Prefetch policies are ignored. *)
+
+let run ?label (worker : Worker.t) (program : Program.t) (source : Workload.source) =
+  let label =
+    Option.value label ~default:(Printf.sprintf "%s/rtc" (Program.name program))
+  in
+  let ctx = Worker.ctx worker in
+  let cfg = worker.Worker.cfg in
+  let snap = Worker.snapshot worker in
+  let task = Nftask.create 0 in
+  let packets = ref 0 in
+  let drops = ref 0 in
+  let wire_bytes = ref 0 in
+  let latencies = Metrics.Collector.create () in
+  let rec drain () =
+    match source () with
+    | None -> ()
+    | Some item ->
+        Nftask.load task ~cs:(Program.start program) ?packet:item.Workload.packet
+          ~aux:item.Workload.aux ~flow_hint:item.Workload.flow_hint ();
+        task.Nftask.start_clock <- ctx.Exec_ctx.clock;
+        Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
+          ~instrs:cfg.Worker.rx_tx_instrs;
+        let rec step () =
+          let next = Program.step program task.Nftask.cs task.Nftask.event in
+          if Program.is_done program next then begin
+            incr packets;
+            if
+              Event.equal task.Nftask.event Event.Drop_packet
+              || Event.equal task.Nftask.event Event.Match_fail
+            then incr drops
+            else
+              match task.Nftask.packet with
+              | Some p -> wire_bytes := !wire_bytes + p.Netcore.Packet.wire_len
+              | None -> ()
+          end
+          else begin
+            task.Nftask.cs <- next;
+            Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+            let info = Program.info program next in
+            let action =
+              match info.Program.action with
+              | Some a -> a
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Rtc: control state %s has no action"
+                       info.Program.qname)
+            in
+            task.Nftask.event <- Action.execute action ctx task;
+            step ()
+          end
+        in
+        step ();
+        Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+        Nftask.retire task;
+        drain ()
+  in
+  drain ();
+  Worker.finish
+    ?latency:(Metrics.Collector.summarize latencies)
+    worker snap ~label ~packets:!packets ~drops:!drops ~wire_bytes:!wire_bytes
+    ~switches:0

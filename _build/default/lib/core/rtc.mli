@@ -1,0 +1,8 @@
+(** The per-packet run-to-completion baseline (§II-B): the execution model
+    of BESS / FastClick / L25GC / Free5GC. Each packet runs start-to-finish
+    with no yielding; every state access demand-fetches and stalls for the
+    full latency of whatever level serves it. Executes the same compiled
+    {!Program} (prefetch policies ignored), so comparisons isolate exactly
+    the execution model. *)
+
+val run : ?label:string -> Worker.t -> Program.t -> Workload.source -> Metrics.run

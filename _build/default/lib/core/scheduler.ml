@@ -1,0 +1,245 @@
+(* The interleaved function-stream executor — Algorithm 1 of the paper.
+
+   A fixed set of NFTasks is multiplexed round-robin on one core. The Fetch
+   step (run right after each transition) resolves the next action's
+   NFState targets and issues their prefetches immediately, so the fills
+   overlap with the execution of the other function streams. On a visit,
+   the scheduler checks the task's P-state (isPrefetched, Algorithm 1 line
+   7): if a fill is still in flight it re-issues anything dropped or
+   evicted and switches to the next task; otherwise it executes the action,
+   takes the FSM transition and fetches for the successor state.
+
+   Finished NFTasks are re-initialised with new work in place (line 13), so
+   the pipeline stays full until the source drains. *)
+
+type completion = { completed : int; dropped : int; wire_bytes : int }
+
+(* Task-selection policy. The paper's scheduler is round-robin; Ready_first
+   is a design-space variant that scans for a task whose P-state allows
+   immediate execution, trading a (charged) scan for fewer wasted visits. *)
+type policy = Round_robin | Ready_first
+
+let run ?label ?(policy = Round_robin) (worker : Worker.t) (program : Program.t)
+    ~n_tasks (source : Workload.source) =
+  if n_tasks <= 0 then invalid_arg "Scheduler.run: n_tasks must be positive";
+  let label =
+    Option.value label
+      ~default:(Printf.sprintf "%s/interleaved-%d" (Program.name program) n_tasks)
+  in
+  let ctx = Worker.ctx worker in
+  let cfg = worker.Worker.cfg in
+  let snap = Worker.snapshot worker in
+  let tasks = Array.init n_tasks Nftask.create in
+  let exhausted = ref false in
+  let stats = ref { completed = 0; dropped = 0; wire_bytes = 0 } in
+  let switches = ref 0 in
+  let latencies = Metrics.Collector.create () in
+
+  (* Per-flow ordering: two packets of one flow must not be in flight in
+     two NFTasks at once (their state mutations would race and could
+     complete out of order). Items whose flow is already being processed
+     wait in [stash]; [inflight] counts active tasks per flow. *)
+  let inflight : (int, int) Hashtbl.t = Hashtbl.create (4 * n_tasks) in
+  let stash : Workload.item list ref = ref [] in
+  let flow_of (item : Workload.item) = item.Workload.flow_hint in
+  let mark_inflight fh =
+    if fh >= 0 then
+      Hashtbl.replace inflight fh (1 + Option.value ~default:0 (Hashtbl.find_opt inflight fh))
+  in
+  let clear_inflight fh =
+    if fh >= 0 then
+      match Hashtbl.find_opt inflight fh with
+      | Some 1 -> Hashtbl.remove inflight fh
+      | Some n -> Hashtbl.replace inflight fh (n - 1)
+      | None -> ()
+  in
+  (* First stashed item whose flow is idle; earlier stash entries of the
+     same flow are by construction in front, so taking the first match
+     preserves per-flow FIFO order. *)
+  let take_stashed () =
+    let rec go acc = function
+      | [] -> None
+      | item :: rest ->
+          if Hashtbl.mem inflight (flow_of item) then go (item :: acc) rest
+          else begin
+            stash := List.rev_append acc rest;
+            Some item
+          end
+    in
+    go [] !stash
+  in
+  let stashed_flow fh = List.exists (fun i -> flow_of i = fh) !stash in
+  let next_item () =
+    match take_stashed () with
+    | Some item -> Some item
+    | None ->
+        if !exhausted then None
+        else
+          let rec pull () =
+            match source () with
+            | None ->
+                exhausted := true;
+                None
+            | Some item ->
+                let fh = flow_of item in
+                if fh >= 0 && (Hashtbl.mem inflight fh || stashed_flow fh) then begin
+                  stash := !stash @ [ item ];
+                  (* Keep pulling: another flow's packet can fill this task. *)
+                  if List.length !stash < 4 * n_tasks then pull () else None
+                end
+                else Some item
+          in
+          pull ()
+  in
+
+  let issue_prefetches (task : Nftask.t) =
+    List.iter
+      (fun (addr, bytes) -> ignore (Exec_ctx.prefetch ctx ~addr ~bytes))
+      task.Nftask.pending_blocks
+  in
+
+  (* Fetch (F): resolve the prefetch targets of the (new) current control
+     state and issue their prefetches right away. *)
+  let fetch (task : Nftask.t) =
+    let info = Program.info program task.Nftask.cs in
+    let blocks = Prefetch.resolve_all info.Program.prefetch task in
+    task.Nftask.pending_blocks <- blocks;
+    if blocks = [] then task.Nftask.p_state <- Nftask.P_ready
+    else begin
+      issue_prefetches task;
+      (* If everything is already resident (e.g. packed states fetched by an
+         earlier NF of the chain), run on the next visit without waiting. *)
+      task.Nftask.p_state <-
+        (if List.for_all (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes) blocks
+         then Nftask.P_ready
+         else Nftask.P_issued)
+    end
+  in
+
+  (* Transition (Δ) + Fetch; returns [false] when the task reached the
+     terminal state and was retired. *)
+  let rec transition_and_fetch (task : Nftask.t) =
+    let next = Program.step program task.Nftask.cs task.Nftask.event in
+    Exec_ctx.compute ctx ~cycles:cfg.Worker.fetch_cycles ~instrs:cfg.Worker.fetch_instrs;
+    if Program.is_done program next then begin
+      (* Explicit drops and failed matches both mean the packet is not
+         forwarded. *)
+      let dropped =
+        Event.equal task.Nftask.event Event.Drop_packet
+        || Event.equal task.Nftask.event Event.Match_fail
+      in
+      let wire =
+        match task.Nftask.packet with
+        | Some p when not dropped -> p.Netcore.Packet.wire_len
+        | Some _ | None -> 0
+      in
+      stats :=
+        {
+          completed = !stats.completed + 1;
+          dropped = (!stats.dropped + if dropped then 1 else 0);
+          wire_bytes = !stats.wire_bytes + wire;
+        };
+      Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+      clear_inflight task.Nftask.flow_hint;
+      Nftask.retire task;
+      (* Re-initialise with fresh work immediately (Algorithm 1 line 13). *)
+      load_new task
+    end
+    else begin
+      task.Nftask.cs <- next;
+      fetch task;
+      true
+    end
+
+  and load_new (task : Nftask.t) =
+    match next_item () with
+    | None -> false
+    | Some item ->
+        mark_inflight item.Workload.flow_hint;
+        Nftask.load task ~cs:(Program.start program) ?packet:item.Workload.packet
+          ~aux:item.Workload.aux ~flow_hint:item.Workload.flow_hint ();
+          task.Nftask.start_clock <- ctx.Exec_ctx.clock;
+          Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
+            ~instrs:cfg.Worker.rx_tx_instrs;
+          (* Initial transition and fetching (Algorithm 1 line 4), driven by
+             the "packet" system event. *)
+          ignore (transition_and_fetch task);
+          task.Nftask.active
+  in
+
+  (* One scheduler visit (one iteration of Algorithm 1's inner loop). *)
+  let visit (task : Nftask.t) =
+    if not task.Nftask.active then ignore (load_new task)
+    else
+      let ready_to_run =
+        match task.Nftask.p_state with
+        | Nftask.P_ready -> true
+        | Nftask.P_none | Nftask.P_issued ->
+            if
+              List.for_all
+                (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes)
+                task.Nftask.pending_blocks
+            then true
+            else begin
+              (* Fills dropped (MSHR full) or lines evicted before use:
+                 re-issue; resident/pending lines are skipped inside the
+                 hierarchy, so this is cheap and idempotent. *)
+              issue_prefetches task;
+              false
+            end
+      in
+      if ready_to_run then begin
+        let info = Program.info program task.Nftask.cs in
+        let action =
+          match info.Program.action with
+          | Some a -> a
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Scheduler: control state %s has no action"
+                   info.Program.qname)
+        in
+        task.Nftask.event <- Action.execute action ctx task;
+        ignore (transition_and_fetch task)
+      end
+  in
+
+  let any_active () = Array.exists (fun t -> t.Nftask.active) tasks in
+  let idx = ref 0 in
+  (* Ready_first: advance to the next runnable (or inactive, to refill)
+     task, charging one cycle per skipped slot for the scan. Falls back to
+     plain round-robin when nothing is ready. *)
+  let advance () =
+    match policy with
+    | Round_robin -> idx := (!idx + 1) mod n_tasks
+    | Ready_first ->
+        let runnable i =
+          let t = tasks.(i) in
+          (not t.Nftask.active)
+          || (match t.Nftask.p_state with
+             | Nftask.P_ready -> true
+             | Nftask.P_none | Nftask.P_issued ->
+                 List.for_all
+                   (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes)
+                   t.Nftask.pending_blocks)
+        in
+        let rec scan k skipped =
+          if skipped = n_tasks then (!idx + 1) mod n_tasks
+          else if runnable k then begin
+            Exec_ctx.compute ctx ~cycles:skipped ~instrs:skipped;
+            k
+          end
+          else scan ((k + 1) mod n_tasks) (skipped + 1)
+        in
+        idx := scan ((!idx + 1) mod n_tasks) 0
+  in
+  let continue_run = ref true in
+  while !continue_run do
+    visit tasks.(!idx);
+    Exec_ctx.compute ctx ~cycles:cfg.Worker.switch_cycles ~instrs:cfg.Worker.switch_instrs;
+    incr switches;
+    advance ();
+    if !exhausted && !stash = [] && not (any_active ()) then continue_run := false
+  done;
+  Worker.finish ?latency:(Metrics.Collector.summarize latencies) worker snap ~label
+    ~packets:!stats.completed ~drops:!stats.dropped ~wire_bytes:!stats.wire_bytes
+    ~switches:!switches

@@ -1,0 +1,20 @@
+(** The interleaved function-stream executor — Algorithm 1 of the paper.
+
+    A fixed set of NFTasks is multiplexed round-robin on one core. The
+    Fetch step resolves the next action's NFState targets and issues their
+    prefetches immediately, overlapping the fills with the other streams'
+    execution; a task whose fills are still in flight is skipped (its
+    P-state says so) until they land. Finished NFTasks are re-initialised
+    in place, and per-flow ordering is preserved: two packets of one flow
+    are never in flight concurrently. *)
+
+(** Task-selection policy: the paper's round-robin, or a ready-first scan
+    that skips tasks whose fills are still in flight (charging one cycle
+    per skipped slot). *)
+type policy = Round_robin | Ready_first
+
+(** Run until the source drains; returns the measured run.
+    @raise Invalid_argument when [n_tasks <= 0]. *)
+val run :
+  ?label:string -> ?policy:policy -> Worker.t -> Program.t -> n_tasks:int ->
+  Workload.source -> Metrics.run

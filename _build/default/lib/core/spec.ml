@@ -1,0 +1,199 @@
+(* Module / NF specifications (§IV-B, Fig 6, Listings 1-3).
+
+   A module spec declares the control-logic FSM of one granularly
+   decomposed module: its transitions, and for each control state the
+   NFStates its action will access (the fetching function F). An NF spec
+   composes module instances into a network function (or SFC) by wiring
+   exit events of one instance to the next. *)
+
+exception Spec_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Spec_error s)) fmt
+
+type transition = { src : string; event : string; dst : string }
+
+type module_spec = {
+  m_name : string;
+  m_category : string;
+  m_parameters : string list;
+  m_transitions : transition list;
+  m_fetching : (string * string list) list;  (* control state -> state names *)
+  m_states : (string * string) list;  (* state name -> class ("match", ...) *)
+}
+
+type nf_spec = {
+  n_name : string;
+  n_modules : (string * string) list;  (* instance name -> module type *)
+  n_transitions : transition list;  (* instance-level wiring *)
+}
+
+let start_state = "Start"
+let end_state = "End"
+
+(* "src,event->dst" *)
+let parse_transition s =
+  match String.index_opt s ',' with
+  | None -> fail "malformed transition %S (expected src,event->dst)" s
+  | Some i -> (
+      let src = String.trim (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match
+        let rec find_arrow j =
+          if j + 1 >= String.length rest then None
+          else if rest.[j] = '-' && rest.[j + 1] = '>' then Some j
+          else find_arrow (j + 1)
+        in
+        find_arrow 0
+      with
+      | None -> fail "malformed transition %S (missing ->)" s
+      | Some j ->
+          let event = String.trim (String.sub rest 0 j) in
+          let dst = String.trim (String.sub rest (j + 2) (String.length rest - j - 2)) in
+          if src = "" || event = "" || dst = "" then fail "malformed transition %S" s;
+          { src; event; dst })
+
+let transitions_of_yaml y key =
+  match Yaml_lite.find key y with
+  | None -> []
+  | Some v -> (
+      match Yaml_lite.scalar_list v with
+      | Some items -> List.map parse_transition items
+      | None -> fail "%s: expected a list of transitions" key)
+
+let module_spec_of_yaml y =
+  let get_scalar key =
+    match Option.bind (Yaml_lite.find key y) Yaml_lite.scalar with
+    | Some s -> s
+    | None -> fail "module spec: missing scalar field %S" key
+  in
+  let m_name = get_scalar "module" in
+  let m_category = get_scalar "category" in
+  let m_parameters =
+    match Yaml_lite.find "parameters" y with
+    | None -> []
+    | Some v -> Option.value ~default:[] (Yaml_lite.scalar_list v)
+  in
+  let m_transitions = transitions_of_yaml y "transitions" in
+  if m_transitions = [] then fail "module %s: no transitions" m_name;
+  let m_fetching =
+    match Yaml_lite.find "fetching" y with
+    | None -> []
+    | Some (Yaml_lite.Map kvs) ->
+        List.map
+          (fun (cs, v) ->
+            match Yaml_lite.scalar_list v with
+            | Some names -> (cs, names)
+            | None -> fail "module %s: fetching.%s must be a list" m_name cs)
+          kvs
+    | Some _ -> fail "module %s: fetching must be a map" m_name
+  in
+  let m_states =
+    match Yaml_lite.find "states" y with
+    | None -> []
+    | Some (Yaml_lite.Map kvs) ->
+        List.map
+          (fun (name, v) ->
+            match Yaml_lite.scalar v with
+            | Some cls -> (name, cls)
+            | None -> fail "module %s: states.%s must be a scalar class" m_name name)
+          kvs
+    | Some _ -> fail "module %s: states must be a map" m_name
+  in
+  { m_name; m_category; m_parameters; m_transitions; m_fetching; m_states }
+
+let nf_spec_of_yaml y =
+  let n_name =
+    match Option.bind (Yaml_lite.find "nf" y) Yaml_lite.scalar with
+    | Some s -> s
+    | None -> fail "nf spec: missing 'nf' field"
+  in
+  let n_modules =
+    match Yaml_lite.find "modules" y with
+    | Some (Yaml_lite.Map kvs) ->
+        List.map
+          (fun (inst, v) ->
+            match Yaml_lite.scalar v with
+            | Some mtype -> (inst, mtype)
+            | None -> fail "nf %s: modules.%s must name a module type" n_name inst)
+          kvs
+    | _ -> fail "nf %s: missing modules map" n_name
+  in
+  let n_transitions = transitions_of_yaml y "transitions" in
+  { n_name; n_modules; n_transitions }
+
+let module_spec_of_string src =
+  try module_spec_of_yaml (Yaml_lite.of_string src)
+  with Yaml_lite.Parse_error (line, msg) -> fail "line %d: %s" line msg
+
+let nf_spec_of_string src =
+  try nf_spec_of_yaml (Yaml_lite.of_string src)
+  with Yaml_lite.Parse_error (line, msg) -> fail "line %d: %s" line msg
+
+(* ----- validation ----- *)
+
+let control_states_of m =
+  let add acc s = if List.mem s acc then acc else s :: acc in
+  List.fold_left (fun acc t -> add (add acc t.src) t.dst) [] m.m_transitions
+
+(* Structural checks the director compiler performs before code generation:
+   Start reachable exit, deterministic Δ, fetching refers to known control
+   states and declared NFStates. *)
+let validate_module m =
+  let states = control_states_of m in
+  if not (List.mem start_state states) then
+    fail "module %s: no transition from %s" m.m_name start_state;
+  if not (List.mem end_state states) then
+    fail "module %s: no transition into %s" m.m_name end_state;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      let key = (t.src, t.event) in
+      (match Hashtbl.find_opt seen key with
+      | Some dst when dst <> t.dst ->
+          fail "module %s: non-deterministic transition %s,%s" m.m_name t.src t.event
+      | _ -> ());
+      Hashtbl.replace seen key t.dst)
+    m.m_transitions;
+  List.iter
+    (fun (cs, names) ->
+      if not (List.mem cs states) then
+        fail "module %s: fetching for unknown control state %s" m.m_name cs;
+      List.iter
+        (fun n ->
+          if m.m_states <> [] && not (List.mem_assoc n m.m_states) then
+            fail "module %s: fetching.%s references undeclared state %s" m.m_name cs n)
+        names)
+    m.m_fetching;
+  (* Every non-Start/End state should be reachable from Start. *)
+  let rec reach acc frontier =
+    match frontier with
+    | [] -> acc
+    | s :: rest ->
+        let nexts =
+          List.filter_map
+            (fun t -> if t.src = s && not (List.mem t.dst acc) then Some t.dst else None)
+            m.m_transitions
+        in
+        reach (nexts @ acc) (nexts @ rest)
+  in
+  let reachable = reach [ start_state ] [ start_state ] in
+  List.iter
+    (fun s ->
+      if not (List.mem s reachable) then
+        fail "module %s: control state %s unreachable from Start" m.m_name s)
+    states
+
+let validate_nf nf ~known_modules =
+  if nf.n_modules = [] then fail "nf %s: empty module list" nf.n_name;
+  List.iter
+    (fun (inst, mtype) ->
+      if not (List.mem mtype known_modules) then
+        fail "nf %s: instance %s uses unknown module type %s" nf.n_name inst mtype)
+    nf.n_modules;
+  List.iter
+    (fun t ->
+      if not (List.mem_assoc t.src nf.n_modules) then
+        fail "nf %s: transition from unknown instance %s" nf.n_name t.src;
+      if t.dst <> end_state && not (List.mem_assoc t.dst nf.n_modules) then
+        fail "nf %s: transition to unknown instance %s" nf.n_name t.dst)
+    nf.n_transitions

@@ -1,0 +1,46 @@
+(** Module / NF specifications (§IV-B, Fig 6, Listings 1-3): a module spec
+    declares one granularly decomposed module's control-logic FSM — its
+    transitions and, per control state, the NFStates its action accesses
+    (the fetching function F). An NF spec composes module instances by
+    wiring exit events to the next instance. *)
+
+exception Spec_error of string
+
+type transition = { src : string; event : string; dst : string }
+
+type module_spec = {
+  m_name : string;
+  m_category : string;  (** e.g. StatefulClassifier, StatefulNF *)
+  m_parameters : string list;  (** operator-configurable parameters *)
+  m_transitions : transition list;
+  m_fetching : (string * string list) list;  (** control state -> state names *)
+  m_states : (string * string) list;  (** state name -> class name *)
+}
+
+type nf_spec = {
+  n_name : string;
+  n_modules : (string * string) list;  (** instance name -> module type *)
+  n_transitions : transition list;  (** instance-level wiring *)
+}
+
+val start_state : string
+val end_state : string
+
+(** Parse ["src,event->dst"]. @raise Spec_error when malformed. *)
+val parse_transition : string -> transition
+
+(** @raise Spec_error on parse or structural errors. *)
+val module_spec_of_string : string -> module_spec
+
+val nf_spec_of_string : string -> nf_spec
+
+(** All control states mentioned by the transitions. *)
+val control_states_of : module_spec -> string list
+
+(** Structural validation: Start/End present, deterministic Δ, fetching
+    refers to known control states and declared NFStates, all states
+    reachable. @raise Spec_error on violations. *)
+val validate_module : module_spec -> unit
+
+(** @raise Spec_error on unknown module types or instances. *)
+val validate_nf : nf_spec -> known_modules:string list -> unit

@@ -1,0 +1,157 @@
+(* Work sources feeding the executors. An item is one unit of NF input — a
+   packet (for data-plane NFs) and/or an auxiliary code (e.g. the AMF
+   message type). Sources are pull-based: [None] means the run is over. *)
+
+open Netcore
+
+type item = {
+  packet : Packet.t option;
+  aux : int;
+  flow_hint : int;  (* generator's flow/session/UE index, for cross-checks *)
+}
+
+type source = unit -> item option
+
+let of_fn f : source = f
+
+(* At most [count] items from a producer. *)
+let limited count (produce : unit -> item) : source =
+  let left = ref count in
+  fun () ->
+    if !left <= 0 then None
+    else begin
+      decr left;
+      Some (produce ())
+    end
+
+let total_items (items : item list) : source =
+  let rest = ref items in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some x
+
+(* Replay a parsed pcap capture: reconstruct packets (flow, offsets, wire
+   length) from the captured bytes and feed them in timestamp order. The
+   flow identity is re-derived by actually decoding the headers. *)
+let of_pcap (records : Pcap.record list) ~pool : source =
+  let ordered =
+    List.stable_sort (fun a b -> compare a.Pcap.ts_us b.Pcap.ts_us) records
+  in
+  let remaining = ref ordered in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | r :: rest ->
+        remaining := rest;
+        let data = r.Pcap.data in
+        if Bytes.length data < Ethernet.header_bytes + Ipv4.header_bytes then None
+        else begin
+          let ip = Ipv4.decode data ~off:Ethernet.header_bytes in
+          let l4_off = Ethernet.header_bytes + Ipv4.header_bytes in
+          let flow =
+            Flow.make ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst
+              ~src_port:(L4.src_port data ~off:l4_off)
+              ~dst_port:(L4.dst_port data ~off:l4_off)
+              ~proto:ip.Ipv4.proto
+          in
+          let pkt = Packet.make ~flow ~wire_len:(max r.Pcap.orig_len (l4_off + 8)) () in
+          (* Carry the captured bytes verbatim. *)
+          Bytes.blit data 0 pkt.Packet.buf 0
+            (min (Bytes.length data) (Bytes.length pkt.Packet.buf));
+          pkt.Packet.hdr_len <-
+            max pkt.Packet.hdr_len
+              (min (Bytes.length data) (Bytes.length pkt.Packet.buf));
+          Packet.Pool.assign pool pkt;
+          Some { packet = Some pkt; aux = 0; flow_hint = -1 }
+        end
+
+(* Generic flows (NAT / LB / FW / NM / SFC experiments). *)
+let of_flowgen gen ~pool ~count : source =
+  limited count (fun () ->
+      let idx, pkt = Traffic.Flowgen.next_with_idx gen in
+      Packet.Pool.assign pool pkt;
+      { packet = Some pkt; aux = 0; flow_hint = idx })
+
+(* UPF downlink (MGW workload): flow_hint is the PFCP session index. *)
+let of_mgw_downlink mgw ~pool ~count : source =
+  limited count (fun () ->
+      let si, _pdr, pkt = Traffic.Mgw.next_downlink mgw in
+      Packet.Pool.assign pool pkt;
+      { packet = Some pkt; aux = 0; flow_hint = si })
+
+(* AMF signalling: aux encodes the message type; small NAS packets. *)
+let amf_msg_code = function
+  | Traffic.Mgw.Registration_request -> 0
+  | Traffic.Mgw.Authentication_response -> 1
+  | Traffic.Mgw.Security_mode_complete -> 2
+  | Traffic.Mgw.Registration_complete -> 3
+  | Traffic.Mgw.Pdu_session_request -> 4
+  | Traffic.Mgw.Service_request -> 5
+  | Traffic.Mgw.Periodic_update -> 6
+  | Traffic.Mgw.Context_release -> 7
+  | Traffic.Mgw.Deregistration_request -> 8
+
+let amf_msg_of_code = function
+  | 0 -> Traffic.Mgw.Registration_request
+  | 1 -> Traffic.Mgw.Authentication_response
+  | 2 -> Traffic.Mgw.Security_mode_complete
+  | 3 -> Traffic.Mgw.Registration_complete
+  | 4 -> Traffic.Mgw.Pdu_session_request
+  | 5 -> Traffic.Mgw.Service_request
+  | 6 -> Traffic.Mgw.Periodic_update
+  | 7 -> Traffic.Mgw.Context_release
+  | 8 -> Traffic.Mgw.Deregistration_request
+  | n -> invalid_arg (Printf.sprintf "amf_msg_of_code: %d" n)
+
+(* NAS message type on the wire for each workload message. *)
+let nas_type_of_msg = function
+  | Traffic.Mgw.Registration_request -> Nas.mt_registration_request
+  | Traffic.Mgw.Authentication_response -> Nas.mt_authentication_response
+  | Traffic.Mgw.Security_mode_complete -> Nas.mt_security_mode_complete
+  | Traffic.Mgw.Registration_complete -> Nas.mt_registration_complete
+  | Traffic.Mgw.Pdu_session_request -> Nas.mt_ul_nas_transport
+  | Traffic.Mgw.Service_request -> Nas.mt_service_request
+  | Traffic.Mgw.Periodic_update -> Nas.mt_periodic_update
+  | Traffic.Mgw.Context_release -> Nas.mt_context_release
+  | Traffic.Mgw.Deregistration_request -> Nas.mt_deregistration_request
+
+let msg_of_nas_type ty =
+  if ty = Nas.mt_registration_request then Some Traffic.Mgw.Registration_request
+  else if ty = Nas.mt_authentication_response then Some Traffic.Mgw.Authentication_response
+  else if ty = Nas.mt_security_mode_complete then Some Traffic.Mgw.Security_mode_complete
+  else if ty = Nas.mt_registration_complete then Some Traffic.Mgw.Registration_complete
+  else if ty = Nas.mt_ul_nas_transport then Some Traffic.Mgw.Pdu_session_request
+  else if ty = Nas.mt_service_request then Some Traffic.Mgw.Service_request
+  else if ty = Nas.mt_periodic_update then Some Traffic.Mgw.Periodic_update
+  else if ty = Nas.mt_context_release then Some Traffic.Mgw.Context_release
+  else if ty = Nas.mt_deregistration_request then Some Traffic.Mgw.Deregistration_request
+  else None
+
+(* Build the NGAP/NAS signalling packet for (ue, msg): real TCP/SCTP-port
+   headers with a genuine NAS-lite PDU as payload — the AMF's dispatch
+   action parses it back out of the bytes. *)
+let amf_packet ~ue ~msg =
+  let flow =
+    Flow.make
+      ~src_ip:(Int32.of_int (0x0A640000 lor (ue land 0xFFFF)))
+      ~dst_ip:(Ipv4.addr_of_string "10.250.0.1")
+      ~src_port:(38412 + (ue mod 1000))
+      ~dst_port:38412 ~proto:Ipv4.proto_tcp
+  in
+  let pkt = Packet.make ~flow ~wire_len:120 () in
+  let nas =
+    { Nas.msg_type = nas_type_of_msg msg; ue_id = ue; payload_len = 64 }
+  in
+  Nas.encode nas pkt.Packet.buf ~off:pkt.Packet.hdr_len;
+  pkt.Packet.hdr_len <- pkt.Packet.hdr_len + Nas.encoded_bytes;
+  pkt
+
+let of_amf gen ~pool ~count : source =
+  limited count (fun () ->
+      let ue, msg = Traffic.Mgw.amf_next gen in
+      let pkt = amf_packet ~ue ~msg in
+      Packet.Pool.assign pool pkt;
+      { packet = Some pkt; aux = amf_msg_code msg; flow_hint = ue })

@@ -1,0 +1,109 @@
+(* A minimal YAML-subset parser, sufficient for the specification dialect of
+   §IV-B (Listings 1-3): nested maps, lists of scalars, inline scalars,
+   comments. Indentation is significant; any consistent widening counts as
+   one nesting level. *)
+
+type t =
+  | Scalar of string
+  | List of t list
+  | Map of (string * t) list
+
+exception Parse_error of int * string  (* line number, message *)
+
+let error line msg = raise (Parse_error (line, msg))
+
+type line = { num : int; indent : int; content : string }
+
+let tokenize src =
+  let raw = String.split_on_char '\n' src in
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  List.filteri (fun _ _ -> true) raw
+  |> List.mapi (fun i s -> (i + 1, strip_comment s))
+  |> List.filter_map (fun (num, s) ->
+         let len = String.length s in
+         let indent =
+           let rec go i = if i < len && s.[i] = ' ' then go (i + 1) else i in
+           go 0
+         in
+         let content = String.trim s in
+         if String.contains s '\t' then error num "tab characters are not allowed"
+         else if String.equal content "" then None
+         else Some { num; indent; content })
+
+(* Split "key: value" / "key:"; keys may not contain ':'. *)
+let split_key line =
+  match String.index_opt line.content ':' with
+  | None -> None
+  | Some i ->
+      let key = String.trim (String.sub line.content 0 i) in
+      let rest =
+        String.trim (String.sub line.content (i + 1) (String.length line.content - i - 1))
+      in
+      if String.equal key "" then error line.num "empty key" else Some (key, rest)
+
+let rec parse_block lines indent =
+  match lines with
+  | [] -> (Map [], [])
+  | first :: _ when first.indent < indent -> (Map [], lines)
+  | first :: _ ->
+      if String.length first.content >= 2 && String.sub first.content 0 2 = "- " then
+        parse_list lines first.indent []
+      else parse_map lines first.indent []
+
+and parse_list lines indent acc =
+  match lines with
+  | { indent = i; content; num } :: rest
+    when i = indent && String.length content >= 2 && String.sub content 0 2 = "- " ->
+      let item = String.trim (String.sub content 2 (String.length content - 2)) in
+      if String.equal item "" then error num "empty list item"
+      else parse_list rest indent (Scalar item :: acc)
+  | _ -> (List (List.rev acc), lines)
+
+and parse_map lines indent acc =
+  match lines with
+  | ({ indent = i; _ } as line) :: rest when i = indent -> (
+      match split_key line with
+      | None -> error line.num ("expected 'key:' or 'key: value', got: " ^ line.content)
+      | Some (key, "") ->
+          (* Block value: everything more indented; an immediately following
+             list at the same indent also belongs to this key (the common
+             YAML style for "key:\n- a\n- b"). *)
+          let value, rest' =
+            match rest with
+            | next :: _ when next.indent > i -> parse_block rest (i + 1)
+            | next :: _
+              when next.indent = i
+                   && String.length next.content >= 2
+                   && String.sub next.content 0 2 = "- " ->
+                parse_list rest i []
+            | _ -> (Scalar "", rest)
+          in
+          parse_map rest' indent ((key, value) :: acc)
+      | Some (key, value) -> parse_map rest indent ((key, Scalar value) :: acc))
+  | _ -> (Map (List.rev acc), lines)
+
+let of_string src =
+  match tokenize src with
+  | [] -> Map []
+  | lines -> (
+      match parse_block lines 0 with
+      | v, [] -> v
+      | _, { num; content; _ } :: _ ->
+          error num ("unexpected trailing content: " ^ content))
+
+(* Accessors used by the spec layer. *)
+
+let find key = function
+  | Map kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let scalar = function Scalar s -> Some s | _ -> None
+
+let scalar_list = function
+  | List items -> Some (List.filter_map scalar items)
+  | Scalar "" -> Some []
+  | _ -> None

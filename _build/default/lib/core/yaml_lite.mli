@@ -1,0 +1,20 @@
+(** Minimal YAML-subset parser for the specification dialect of §IV-B
+    (Listings 1-3): nested maps, lists of scalars, inline scalars,
+    [#] comments, significant indentation (tabs rejected). *)
+
+type t =
+  | Scalar of string
+  | List of t list
+  | Map of (string * t) list
+
+(** (line number, message) *)
+exception Parse_error of int * string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+val find : string -> t -> t option
+val scalar : t -> string option
+
+(** List of scalar items; an empty scalar counts as an empty list. *)
+val scalar_list : t -> string list option

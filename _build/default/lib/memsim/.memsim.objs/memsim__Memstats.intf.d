@@ -1,0 +1,1 @@
+lib/memsim/memstats.mli: Format

@@ -1,0 +1,161 @@
+(* A single set-associative cache level with LRU replacement.
+
+   The cache tracks line *presence* only; data contents live on the OCaml
+   side of the simulation. Addresses are byte addresses in the simulated
+   physical address space; internally everything is keyed by line number
+   (addr lsr line_bits). *)
+
+type t = {
+  name : string;
+  line_bits : int;
+  nsets : int;
+  assoc : int;
+  tags : int array;   (* nsets * assoc; -1 = invalid, otherwise line number *)
+  stamp : int array;  (* recency timestamp, parallel to [tags] *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable installs : int;
+}
+
+let log2_exact name n =
+  if n <= 0 then invalid_arg (name ^ ": must be positive");
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  let b = go 0 n in
+  if 1 lsl b <> n then invalid_arg (name ^ ": must be a power of two");
+  b
+
+let create ~name ~size_bytes ~assoc ~line_bytes =
+  let line_bits = log2_exact "line_bytes" line_bytes in
+  if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc * line_bytes";
+  let nsets = size_bytes / (assoc * line_bytes) in
+  if nsets <= 0 then invalid_arg "Cache.create: zero sets";
+  {
+    name;
+    line_bits;
+    nsets;
+    assoc;
+    tags = Array.make (nsets * assoc) (-1);
+    stamp = Array.make (nsets * assoc) 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    installs = 0;
+  }
+
+let name t = t.name
+let line_bytes t = 1 lsl t.line_bits
+let nsets t = t.nsets
+let assoc t = t.assoc
+let capacity_bytes t = nsets t * t.assoc * line_bytes t
+
+let line_of_addr t addr = addr lsr t.line_bits
+
+let set_of_line t line = line mod t.nsets
+
+let base t line = set_of_line t line * t.assoc
+
+(* Find the way holding [line] in its set, or -1. *)
+let find_way t line =
+  let b = base t line in
+  let rec go i =
+    if i = t.assoc then -1
+    else if t.tags.(b + i) = line then b + i
+    else go (i + 1)
+  in
+  go 0
+
+let contains_line t line = find_way t line >= 0
+
+let contains t addr = contains_line t (line_of_addr t addr)
+
+let touch t idx =
+  t.tick <- t.tick + 1;
+  t.stamp.(idx) <- t.tick
+
+(* [access_line] performs a tag check and updates recency on hit. *)
+let access_line t line =
+  let way = find_way t line in
+  if way >= 0 then begin
+    t.hits <- t.hits + 1;
+    touch t way;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let access t addr = access_line t (line_of_addr t addr)
+
+(* Install a line, evicting the LRU way if the set is full. Returns the line
+   number of the victim, if a valid line was evicted. *)
+let install_line t line =
+  let b = base t line in
+  let existing = find_way t line in
+  if existing >= 0 then begin
+    touch t existing;
+    None
+  end
+  else begin
+    t.installs <- t.installs + 1;
+    (* Prefer an invalid way; otherwise evict the least recently used. *)
+    let victim = ref b in
+    let found_invalid = ref false in
+    for i = 0 to t.assoc - 1 do
+      let idx = b + i in
+      if (not !found_invalid) && t.tags.(idx) = -1 then begin
+        victim := idx;
+        found_invalid := true
+      end
+      else if (not !found_invalid) && t.stamp.(idx) < t.stamp.(!victim) then
+        victim := idx
+    done;
+    let evicted =
+      if t.tags.(!victim) = -1 then None
+      else begin
+        t.evictions <- t.evictions + 1;
+        Some t.tags.(!victim)
+      end
+    in
+    t.tags.(!victim) <- line;
+    touch t !victim;
+    evicted
+  end
+
+let install t addr = install_line t (line_of_addr t addr)
+
+let invalidate_line t line =
+  let way = find_way t line in
+  if way >= 0 then t.tags.(way) <- -1
+
+let invalidate t addr = invalidate_line t (line_of_addr t addr)
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.tick <- 0
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.installs <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let installs t = t.installs
+
+let resident_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d sets x %d ways x %dB (%d KiB), hits=%d misses=%d evict=%d"
+    t.name (nsets t) t.assoc (line_bytes t)
+    (capacity_bytes t / 1024)
+    t.hits t.misses t.evictions

@@ -1,0 +1,59 @@
+(** A single set-associative cache level with LRU replacement.
+
+    The cache tracks only the {e presence} of 64-byte (configurable) lines of
+    the simulated physical address space; actual data contents live in
+    ordinary OCaml values elsewhere. This is all the paper's evaluation
+    needs: hit/miss placement per level drives every reported metric. *)
+
+type t
+
+(** [create ~name ~size_bytes ~assoc ~line_bytes] builds an empty cache.
+    [size_bytes] must equal [nsets * assoc * line_bytes] with [nsets] and
+    [line_bytes] powers of two.
+    @raise Invalid_argument on malformed geometry. *)
+val create : name:string -> size_bytes:int -> assoc:int -> line_bytes:int -> t
+
+val name : t -> string
+val line_bytes : t -> int
+val nsets : t -> int
+val assoc : t -> int
+val capacity_bytes : t -> int
+
+(** Line number of a byte address. *)
+val line_of_addr : t -> int -> int
+
+(** [access t addr] performs a tag check; on hit, recency is refreshed and
+    the result is [true]. Updates hit/miss counters. *)
+val access : t -> int -> bool
+
+(** As [access], keyed directly by line number. *)
+val access_line : t -> int -> bool
+
+(** Presence test without touching LRU state or counters. *)
+val contains : t -> int -> bool
+
+val contains_line : t -> int -> bool
+
+(** [install t addr] brings the line of [addr] in, evicting the LRU way of
+    its set when full. Returns the evicted line number, if any. Installing a
+    present line only refreshes recency. *)
+val install : t -> int -> int option
+
+val install_line : t -> int -> int option
+
+val invalidate : t -> int -> unit
+val invalidate_line : t -> int -> unit
+
+(** Drop all lines (counters preserved). *)
+val clear : t -> unit
+
+val reset_stats : t -> unit
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val installs : t -> int
+
+(** Number of currently valid lines. *)
+val resident_lines : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,289 @@
+(* Multi-level cache hierarchy with MSHR-limited asynchronous prefetch.
+
+   Time is an externally supplied cycle count ([now]); the hierarchy never
+   advances time itself. A prefetch installs the line into L1/L2 immediately
+   (so it participates in replacement pressure — this is what makes "too many
+   interleaved NFTasks" degrade, as in the paper) and records a completion
+   time in an MSHR. A demand access that arrives before completion pays the
+   residual wait; after completion it is an ordinary L1 hit.
+
+   Multi-line demand accesses model hardware stream-in: the first missing
+   line pays the full latency of the level that serves it, subsequent
+   contiguous missing lines pay [stream_num/stream_den] of it. *)
+
+type config = {
+  l1_size : int;
+  l1_assoc : int;
+  l2_size : int;
+  l2_assoc : int;
+  llc_size : int;
+  llc_assoc : int;
+  line_bytes : int;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_llc : int;
+  lat_dram : int;
+  mshr_count : int;
+  stream_num : int;
+  stream_den : int;
+}
+
+(* Latencies in cycles at 2.7 GHz, matching the paper's Xeon 8168 testbed
+   discussion in §II-A (L1 ~1.2ns, L2 ~4.1ns, LLC ~13-20ns, DRAM ~70-125ns). *)
+let default_config =
+  {
+    l1_size = 32 * 1024;
+    l1_assoc = 8;
+    l2_size = 1024 * 1024;
+    l2_assoc = 16;
+    llc_size = 33 * 1024 * 1024;
+    llc_assoc = 11;
+    line_bytes = 64;
+    lat_l1 = 4;
+    lat_l2 = 14;
+    lat_llc = 50;
+    lat_dram = 250;
+    mshr_count = 10;
+    stream_num = 2;
+    stream_den = 5;
+  }
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  llc : Cache.t;
+  line_bits : int;
+  mshr_line : int array;   (* -1 = free slot *)
+  mshr_ready : int array;
+  mutable reads : int;
+  mutable writes : int;
+  mutable line_accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable llc_hits : int;
+  mutable dram_fills : int;
+  mutable mshr_waits : int;
+  mutable wait_cycles : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_redundant : int;
+  mutable prefetch_dropped : int;
+}
+
+let log2_exact n =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let create ?(cfg = default_config) () =
+  {
+    cfg;
+    l1 =
+      Cache.create ~name:"L1d" ~size_bytes:cfg.l1_size ~assoc:cfg.l1_assoc
+        ~line_bytes:cfg.line_bytes;
+    l2 =
+      Cache.create ~name:"L2" ~size_bytes:cfg.l2_size ~assoc:cfg.l2_assoc
+        ~line_bytes:cfg.line_bytes;
+    llc =
+      Cache.create ~name:"LLC" ~size_bytes:cfg.llc_size ~assoc:cfg.llc_assoc
+        ~line_bytes:cfg.line_bytes;
+    line_bits = log2_exact cfg.line_bytes;
+    mshr_line = Array.make cfg.mshr_count (-1);
+    mshr_ready = Array.make cfg.mshr_count 0;
+    reads = 0;
+    writes = 0;
+    line_accesses = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    llc_hits = 0;
+    dram_fills = 0;
+    mshr_waits = 0;
+    wait_cycles = 0;
+    prefetch_issued = 0;
+    prefetch_redundant = 0;
+    prefetch_dropped = 0;
+  }
+
+let config t = t.cfg
+let line_bytes t = t.cfg.line_bytes
+let l1 t = t.l1
+let l2 t = t.l2
+let llc t = t.llc
+
+let line_of t addr = addr lsr t.line_bits
+
+(* Lines spanned by [addr, addr+bytes). A zero-byte access touches nothing. *)
+let lines_of t ~addr ~bytes =
+  if bytes <= 0 then []
+  else begin
+    let first = line_of t addr in
+    let last = line_of t (addr + bytes - 1) in
+    let rec go acc l = if l < first then acc else go (l :: acc) (l - 1) in
+    go [] last
+  end
+
+(* MSHR helpers; slots whose deadline has passed are reclaimed lazily. *)
+
+let mshr_find t line =
+  let n = Array.length t.mshr_line in
+  let rec go i = if i = n then -1 else if t.mshr_line.(i) = line then i else go (i + 1) in
+  go 0
+
+let mshr_free_slot t ~now =
+  let n = Array.length t.mshr_line in
+  let rec go i =
+    if i = n then -1
+    else if t.mshr_line.(i) = -1 || t.mshr_ready.(i) <= now then i
+    else go (i + 1)
+  in
+  go 0
+
+let mshr_pending_count t ~now =
+  let count = ref 0 in
+  Array.iteri
+    (fun i line -> if line >= 0 && t.mshr_ready.(i) > now then incr count)
+    t.mshr_line;
+  !count
+
+(* Pending completion time for [line], if in flight and not yet done. *)
+let mshr_pending t ~now line =
+  let i = mshr_find t line in
+  if i >= 0 && t.mshr_ready.(i) > now then Some t.mshr_ready.(i) else None
+
+let mshr_clear t line =
+  let i = mshr_find t line in
+  if i >= 0 then t.mshr_line.(i) <- -1
+
+(* Serve one demand line access at time [now]; returns its latency. *)
+let access_line t ~now line =
+  t.line_accesses <- t.line_accesses + 1;
+  match mshr_pending t ~now line with
+  | Some ready ->
+      (* The line is in flight from an earlier prefetch: pay the residual. *)
+      t.mshr_waits <- t.mshr_waits + 1;
+      let wait = ready - now in
+      t.wait_cycles <- t.wait_cycles + wait;
+      mshr_clear t line;
+      ignore (Cache.install_line t.l1 line);
+      ignore (Cache.install_line t.l2 line);
+      wait + t.cfg.lat_l1
+  | None ->
+      if Cache.access_line t.l1 line then begin
+        t.l1_hits <- t.l1_hits + 1;
+        t.cfg.lat_l1
+      end
+      else if Cache.access_line t.l2 line then begin
+        t.l2_hits <- t.l2_hits + 1;
+        ignore (Cache.install_line t.l1 line);
+        t.cfg.lat_l2
+      end
+      else if Cache.access_line t.llc line then begin
+        t.llc_hits <- t.llc_hits + 1;
+        ignore (Cache.install_line t.l1 line);
+        ignore (Cache.install_line t.l2 line);
+        t.cfg.lat_llc
+      end
+      else begin
+        t.dram_fills <- t.dram_fills + 1;
+        ignore (Cache.install_line t.l1 line);
+        ignore (Cache.install_line t.l2 line);
+        ignore (Cache.install_line t.llc line);
+        t.cfg.lat_dram
+      end
+
+let stream_discount t lat = max t.cfg.lat_l1 (lat * t.cfg.stream_num / t.cfg.stream_den)
+
+let access_block t ~now ~addr ~bytes =
+  let lines = lines_of t ~addr ~bytes in
+  let total = ref 0 in
+  let first_miss_seen = ref false in
+  List.iter
+    (fun line ->
+      let lat = access_line t ~now:(now + !total) line in
+      let lat =
+        if lat > t.cfg.lat_l1 && !first_miss_seen then stream_discount t lat
+        else begin
+          if lat > t.cfg.lat_l1 then first_miss_seen := true;
+          lat
+        end
+      in
+      total := !total + lat)
+    lines;
+  !total
+
+let read t ~now ~addr ~bytes =
+  t.reads <- t.reads + 1;
+  access_block t ~now ~addr ~bytes
+
+(* Write-allocate, same timing as a read. *)
+let write t ~now ~addr ~bytes =
+  t.writes <- t.writes + 1;
+  access_block t ~now ~addr ~bytes
+
+(* Issue an asynchronous prefetch for every line of the block. Returns the
+   number of prefetches actually issued (0 when everything was already
+   resident or pending). Lines are installed immediately so they contend for
+   cache space from the moment of issue. *)
+let prefetch t ~now ~addr ~bytes =
+  let issued = ref 0 in
+  List.iter
+    (fun line ->
+      if Cache.contains_line t.l1 line || Cache.contains_line t.l2 line then
+        t.prefetch_redundant <- t.prefetch_redundant + 1
+      else
+        match mshr_pending t ~now line with
+        | Some _ -> t.prefetch_redundant <- t.prefetch_redundant + 1
+        | None -> (
+            match mshr_free_slot t ~now with
+            | -1 -> t.prefetch_dropped <- t.prefetch_dropped + 1
+            | slot ->
+                let lat =
+                  if Cache.contains_line t.llc line then t.cfg.lat_llc
+                  else t.cfg.lat_dram
+                in
+                if not (Cache.contains_line t.llc line) then
+                  ignore (Cache.install_line t.llc line);
+                ignore (Cache.install_line t.l2 line);
+                ignore (Cache.install_line t.l1 line);
+                t.mshr_line.(slot) <- line;
+                t.mshr_ready.(slot) <- now + lat;
+                t.prefetch_issued <- t.prefetch_issued + 1;
+                incr issued))
+    (lines_of t ~addr ~bytes);
+  !issued
+
+(* A block is "ready" when every line is resident in L1 or L2 and no fetch
+   for it is still in flight. Prefetched lines that were evicted before use
+   therefore report not-ready and must be re-prefetched. *)
+let ready t ~now ~addr ~bytes =
+  List.for_all
+    (fun line ->
+      (match mshr_pending t ~now line with Some _ -> false | None -> true)
+      && (Cache.contains_line t.l1 line || Cache.contains_line t.l2 line))
+    (lines_of t ~addr ~bytes)
+
+let resident t ~addr ~bytes =
+  List.for_all
+    (fun line -> Cache.contains_line t.l1 line || Cache.contains_line t.l2 line)
+    (lines_of t ~addr ~bytes)
+
+let counters t : Memstats.t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    line_accesses = t.line_accesses;
+    l1_hits = t.l1_hits;
+    l2_hits = t.l2_hits;
+    llc_hits = t.llc_hits;
+    dram_fills = t.dram_fills;
+    mshr_waits = t.mshr_waits;
+    wait_cycles = t.wait_cycles;
+    prefetch_issued = t.prefetch_issued;
+    prefetch_redundant = t.prefetch_redundant;
+    prefetch_dropped = t.prefetch_dropped;
+  }
+
+let clear t =
+  Cache.clear t.l1;
+  Cache.clear t.l2;
+  Cache.clear t.llc;
+  Array.fill t.mshr_line 0 (Array.length t.mshr_line) (-1)

@@ -1,0 +1,47 @@
+(* Bump allocator for the simulated physical address space, with labelled
+   regions so that tests and metrics can classify an address. *)
+
+type region = { label : string; start : int; mutable stop : int }
+
+type t = {
+  mutable cursor : int;
+  mutable regions : region list;  (* newest first *)
+}
+
+let base_addr = 0x10000
+
+let create () = { cursor = base_addr; regions = [] }
+
+let align_up v align =
+  if align <= 0 then invalid_arg "Layout: align must be positive";
+  (v + align - 1) / align * align
+
+let alloc t ?(align = 8) ~label ~bytes () =
+  if bytes < 0 then invalid_arg "Layout.alloc: negative size";
+  let start = align_up t.cursor align in
+  t.cursor <- start + bytes;
+  (match t.regions with
+  | { label = l; _ } :: _ when String.equal l label ->
+      (* Extend the current region when allocations share a label. *)
+      (List.hd t.regions).stop <- t.cursor
+  | _ -> t.regions <- { label; start; stop = t.cursor } :: t.regions);
+  start
+
+(* Allocate [count] objects of exactly [stride] bytes each; object [i] lives
+   at [base + i * stride]. The caller chooses the stride — state arenas use
+   this to realise packed vs. unpacked per-flow layouts. *)
+let alloc_array t ?(align = 64) ~label ~stride ~count () =
+  if stride <= 0 || count < 0 then invalid_arg "Layout.alloc_array";
+  alloc t ~align ~label ~bytes:(stride * count) ()
+
+let region_of t addr =
+  let rec go = function
+    | [] -> None
+    | r :: rest -> if addr >= r.start && addr < r.stop then Some r.label else go rest
+  in
+  go t.regions
+
+let used_bytes t = t.cursor - base_addr
+
+let regions t =
+  List.rev_map (fun r -> (r.label, r.start, r.stop - r.start)) t.regions

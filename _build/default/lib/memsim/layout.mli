@@ -1,0 +1,30 @@
+(** Bump allocator for the simulated physical address space.
+
+    State structures (flow tables, per-flow arenas, packet pools) allocate
+    their simulated addresses here; labelled regions let tests and metrics
+    classify an address back to the structure that owns it. *)
+
+type t
+
+val create : unit -> t
+
+(** First address handed out; everything below is unmapped. *)
+val base_addr : int
+
+(** [alloc t ~align ~label ~bytes ()] reserves [bytes] bytes aligned to
+    [align] (default 8) and returns the start address. *)
+val alloc : t -> ?align:int -> label:string -> bytes:int -> unit -> int
+
+(** [alloc_array t ~align ~label ~stride ~count ()] reserves [count] objects
+    of exactly [stride] bytes; object [i] lives at [result + i * stride].
+    Default alignment 64 (one cache line). *)
+val alloc_array :
+  t -> ?align:int -> label:string -> stride:int -> count:int -> unit -> int
+
+(** Label of the region containing [addr], if mapped. *)
+val region_of : t -> int -> string option
+
+val used_bytes : t -> int
+
+(** All regions as [(label, start, size)], oldest first. *)
+val regions : t -> (string * int * int) list

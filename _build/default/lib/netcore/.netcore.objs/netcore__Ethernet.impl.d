@@ -1,0 +1,1 @@
+lib/netcore/ethernet.ml: Bytes Char List Printf String

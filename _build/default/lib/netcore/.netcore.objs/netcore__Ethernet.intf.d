@@ -1,0 +1,1 @@
+lib/netcore/ethernet.mli: Bytes

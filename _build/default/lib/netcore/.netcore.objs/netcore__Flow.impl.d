@@ -1,0 +1,1 @@
+lib/netcore/flow.ml: Fmt Int32 Int64 Ipv4 Stdlib

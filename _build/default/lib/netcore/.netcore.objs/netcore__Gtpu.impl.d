@@ -1,0 +1,1 @@
+lib/netcore/gtpu.ml: Bytes Char Ethernet Ipv4 L4

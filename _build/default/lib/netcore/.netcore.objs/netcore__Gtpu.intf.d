@@ -1,0 +1,1 @@
+lib/netcore/gtpu.mli: Bytes

@@ -1,0 +1,1 @@
+lib/netcore/ipv4.ml: Bytes Char Checksum Ethernet Int32 Printf String

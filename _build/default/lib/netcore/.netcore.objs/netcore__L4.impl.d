@@ -1,0 +1,1 @@
+lib/netcore/l4.ml: Bytes Char Ethernet Ipv4

@@ -1,0 +1,1 @@
+lib/netcore/l4.mli: Bytes

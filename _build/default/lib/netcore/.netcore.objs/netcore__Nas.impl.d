@@ -1,0 +1,1 @@
+lib/netcore/nas.ml: Bytes Char Ethernet Int32 Ipv4

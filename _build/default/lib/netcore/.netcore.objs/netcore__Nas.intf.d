@@ -1,0 +1,1 @@
+lib/netcore/nas.mli: Bytes

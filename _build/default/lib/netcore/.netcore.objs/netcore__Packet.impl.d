@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Bytes Ethernet Flow Gtpu Ipv4 L4 Memsim

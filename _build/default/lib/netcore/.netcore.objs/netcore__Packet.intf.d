@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Bytes Ethernet Flow Ipv4 Memsim

@@ -1,0 +1,1 @@
+lib/netcore/pcap.ml: Buffer Bytes Char Fun List Packet String

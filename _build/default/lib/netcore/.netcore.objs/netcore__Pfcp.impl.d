@@ -1,0 +1,1 @@
+lib/netcore/pfcp.ml: Buffer Char Int32 Int64 Ipv4 List Printf String

@@ -1,0 +1,1 @@
+lib/netcore/pfcp.mli: Ipv4

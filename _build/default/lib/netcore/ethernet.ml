@@ -1,0 +1,50 @@
+(* Ethernet II framing. *)
+
+type mac = int (* low 48 bits *)
+
+let header_bytes = 14
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+
+type t = { dst : mac; src : mac; ethertype : int }
+
+let mac_of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] ->
+      List.fold_left
+        (fun acc hex -> (acc lsl 8) lor int_of_string ("0x" ^ hex))
+        0 [ a; b; c; d; e; f ]
+  | _ -> invalid_arg "Ethernet.mac_of_string"
+
+let mac_to_string m =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+    ((m lsr 40) land 0xFF) ((m lsr 32) land 0xFF) ((m lsr 24) land 0xFF)
+    ((m lsr 16) land 0xFF) ((m lsr 8) land 0xFF) (m land 0xFF)
+
+let put_mac buf off m =
+  for i = 0 to 5 do
+    Bytes.set buf (off + i) (Char.chr ((m lsr ((5 - i) * 8)) land 0xFF))
+  done
+
+let get_mac buf off =
+  let m = ref 0 in
+  for i = 0 to 5 do
+    m := (!m lsl 8) lor Char.code (Bytes.get buf (off + i))
+  done;
+  !m
+
+let put_u16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get_u16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let encode t buf ~off =
+  put_mac buf off t.dst;
+  put_mac buf (off + 6) t.src;
+  put_u16 buf (off + 12) t.ethertype
+
+let decode buf ~off =
+  { dst = get_mac buf off; src = get_mac buf (off + 6); ethertype = get_u16 buf (off + 12) }

@@ -1,0 +1,28 @@
+(** Ethernet II framing: MAC addresses and the 14-byte header. *)
+
+(** A MAC address in the low 48 bits. *)
+type mac = int
+
+val header_bytes : int
+val ethertype_ipv4 : int
+val ethertype_arp : int
+
+type t = { dst : mac; src : mac; ethertype : int }
+
+(** Parse ["aa:bb:cc:dd:ee:ff"]. @raise Invalid_argument on malformed input. *)
+val mac_of_string : string -> mac
+
+val mac_to_string : mac -> string
+
+(** Encode the header at [off] (14 bytes). *)
+val encode : t -> Bytes.t -> off:int -> unit
+
+val decode : Bytes.t -> off:int -> t
+
+(** Big-endian 16-bit accessors shared by the other header codecs. *)
+val put_u16 : Bytes.t -> int -> int -> unit
+
+val get_u16 : Bytes.t -> int -> int
+
+val put_mac : Bytes.t -> int -> mac -> unit
+val get_mac : Bytes.t -> int -> mac

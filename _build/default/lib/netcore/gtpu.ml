@@ -1,0 +1,31 @@
+(* GTP-U (GPRS Tunnelling Protocol, user plane) — the encapsulation the UPF
+   applies between the core network and the RAN. 8-byte mandatory header. *)
+
+let header_bytes = 8
+let udp_port = 2152
+let msg_gpdu = 0xFF
+let msg_echo_request = 0x01
+let msg_echo_response = 0x02
+
+type t = { msg_type : int; length : int; teid : int32 }
+
+let make ?(msg_type = msg_gpdu) ~teid ~length () = { msg_type; length; teid }
+
+let encode t buf ~off =
+  Bytes.set buf off (Char.chr 0x30) (* version 1, PT=1, no extensions *);
+  Bytes.set buf (off + 1) (Char.chr t.msg_type);
+  Ethernet.put_u16 buf (off + 2) t.length;
+  Ipv4.put_u32 buf (off + 4) t.teid
+
+let decode buf ~off =
+  let flags = Char.code (Bytes.get buf off) in
+  if flags lsr 5 <> 1 then invalid_arg "Gtpu.decode: unsupported version";
+  {
+    msg_type = Char.code (Bytes.get buf (off + 1));
+    length = Ethernet.get_u16 buf (off + 2);
+    teid = Ipv4.get_u32 buf (off + 4);
+  }
+
+(* Total overhead of a GTP-U tunnel on an inner IP packet:
+   outer IPv4 + outer UDP + GTP-U. *)
+let encap_overhead = Ipv4.header_bytes + L4.udp_header_bytes + header_bytes

@@ -1,0 +1,23 @@
+(** GTP-U (user-plane GPRS tunnelling): the 8-byte mandatory header the UPF
+    puts between core network and RAN. *)
+
+val header_bytes : int
+
+(** Well-known UDP port 2152. *)
+val udp_port : int
+
+val msg_gpdu : int
+val msg_echo_request : int
+val msg_echo_response : int
+
+type t = { msg_type : int; length : int; teid : int32 }
+
+val make : ?msg_type:int -> teid:int32 -> length:int -> unit -> t
+val encode : t -> Bytes.t -> off:int -> unit
+
+(** @raise Invalid_argument on an unsupported version nibble. *)
+val decode : Bytes.t -> off:int -> t
+
+(** Bytes a GTP-U tunnel adds to an inner IP packet (outer IPv4 + UDP +
+    GTP-U). *)
+val encap_overhead : int

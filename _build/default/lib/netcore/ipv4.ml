@@ -1,0 +1,113 @@
+(* IPv4 header encode/decode (no options). Addresses are int32 read in
+   network order; ports and lengths are host ints. *)
+
+type addr = int32
+
+let header_bytes = 20
+
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+
+type t = {
+  src : addr;
+  dst : addr;
+  proto : int;
+  ttl : int;
+  total_len : int;
+  ident : int;
+  dscp : int;
+}
+
+let make ?(ttl = 64) ?(ident = 0) ?(dscp = 0) ~src ~dst ~proto ~total_len () =
+  { src; dst; proto; ttl; total_len; ident; dscp }
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let p x = Int32.of_int (int_of_string x) in
+      let ( <| ) v x = Int32.logor (Int32.shift_left v 8) (p x) in
+      p a <| b <| c <| d
+  | _ -> invalid_arg "Ipv4.addr_of_string"
+
+let addr_to_string a =
+  let b i = Int32.to_int (Int32.logand (Int32.shift_right_logical a (i * 8)) 0xFFl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 3) (b 2) (b 1) (b 0)
+
+let put_u8 buf off v = Bytes.set buf off (Char.chr (v land 0xFF))
+let put_u16 = Ethernet.put_u16
+let get_u16 = Ethernet.get_u16
+let get_u8 buf off = Char.code (Bytes.get buf off)
+
+let put_u32 buf off (v : int32) =
+  let vi = Int32.to_int (Int32.logand v 0xFFFFFFFFl) land 0xFFFFFFFF in
+  put_u16 buf off (vi lsr 16);
+  put_u16 buf (off + 2) (vi land 0xFFFF)
+
+let get_u32 buf off : int32 =
+  let hi = get_u16 buf off and lo = get_u16 buf (off + 2) in
+  Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo)
+
+let checksum_offset = 10
+
+let encode t buf ~off =
+  put_u8 buf off 0x45 (* version 4, IHL 5 *);
+  put_u8 buf (off + 1) (t.dscp lsl 2);
+  put_u16 buf (off + 2) t.total_len;
+  put_u16 buf (off + 4) t.ident;
+  put_u16 buf (off + 6) 0x4000 (* DF *);
+  put_u8 buf (off + 8) t.ttl;
+  put_u8 buf (off + 9) t.proto;
+  put_u16 buf (off + checksum_offset) 0;
+  put_u32 buf (off + 12) t.src;
+  put_u32 buf (off + 16) t.dst;
+  let csum = Checksum.of_bytes buf ~off ~len:header_bytes in
+  put_u16 buf (off + checksum_offset) csum
+
+let decode buf ~off =
+  let vihl = get_u8 buf off in
+  if vihl lsr 4 <> 4 then invalid_arg "Ipv4.decode: not IPv4";
+  {
+    src = get_u32 buf (off + 12);
+    dst = get_u32 buf (off + 16);
+    proto = get_u8 buf (off + 9);
+    ttl = get_u8 buf (off + 8);
+    total_len = get_u16 buf (off + 2);
+    ident = get_u16 buf (off + 4);
+    dscp = get_u8 buf (off + 1) lsr 2;
+  }
+
+let header_valid buf ~off = Checksum.valid buf ~off ~len:header_bytes
+
+(* In-place src address rewrite with incremental checksum update (the NAT
+   fast path). *)
+let rewrite_src buf ~off ~src =
+  let old_hi = get_u16 buf (off + 12) and old_lo = get_u16 buf (off + 14) in
+  put_u32 buf (off + 12) src;
+  let new_hi = get_u16 buf (off + 12) and new_lo = get_u16 buf (off + 14) in
+  let c = get_u16 buf (off + checksum_offset) in
+  let c = Checksum.update ~old_csum:c ~old_field:old_hi ~new_field:new_hi in
+  let c = Checksum.update ~old_csum:c ~old_field:old_lo ~new_field:new_lo in
+  put_u16 buf (off + checksum_offset) c
+
+let rewrite_dst buf ~off ~dst =
+  let old_hi = get_u16 buf (off + 16) and old_lo = get_u16 buf (off + 18) in
+  put_u32 buf (off + 16) dst;
+  let new_hi = get_u16 buf (off + 16) and new_lo = get_u16 buf (off + 18) in
+  let c = get_u16 buf (off + checksum_offset) in
+  let c = Checksum.update ~old_csum:c ~old_field:old_hi ~new_field:new_hi in
+  let c = Checksum.update ~old_csum:c ~old_field:old_lo ~new_field:new_lo in
+  put_u16 buf (off + checksum_offset) c
+
+let decrement_ttl buf ~off =
+  let ttl = get_u8 buf (off + 8) in
+  if ttl = 0 then false
+  else begin
+    put_u8 buf (off + 8) (ttl - 1);
+    let old_field = get_u16 buf (off + 8) + 0x0100 in
+    let new_field = get_u16 buf (off + 8) in
+    let c = get_u16 buf (off + checksum_offset) in
+    put_u16 buf (off + checksum_offset)
+      (Checksum.update ~old_csum:c ~old_field ~new_field);
+    true
+  end

@@ -1,0 +1,58 @@
+(** IPv4 header encode/decode (no options) with real checksum handling,
+    including the incremental rewrites NAT-style functions perform. *)
+
+(** Address in network byte order. *)
+type addr = int32
+
+val header_bytes : int
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+type t = {
+  src : addr;
+  dst : addr;
+  proto : int;
+  ttl : int;
+  total_len : int;
+  ident : int;
+  dscp : int;
+}
+
+val make :
+  ?ttl:int -> ?ident:int -> ?dscp:int -> src:addr -> dst:addr -> proto:int ->
+  total_len:int -> unit -> t
+
+(** Parse dotted-quad notation. @raise Invalid_argument on malformed input. *)
+val addr_of_string : string -> addr
+
+val addr_to_string : addr -> string
+
+(** Encode at [off], computing the header checksum. *)
+val encode : t -> Bytes.t -> off:int -> unit
+
+(** @raise Invalid_argument if the version nibble is not 4. *)
+val decode : Bytes.t -> off:int -> t
+
+(** Verify the header checksum of an encoded header. *)
+val header_valid : Bytes.t -> off:int -> bool
+
+(** In-place source/destination rewrite with RFC 1624 incremental checksum
+    update — the NAT/LB fast path. *)
+val rewrite_src : Bytes.t -> off:int -> src:addr -> unit
+
+val rewrite_dst : Bytes.t -> off:int -> dst:addr -> unit
+
+(** Decrement TTL (incremental checksum update); [false] when TTL is
+    already 0 and the packet must be dropped. *)
+val decrement_ttl : Bytes.t -> off:int -> bool
+
+(** Big-endian 32-bit accessors shared with other codecs. *)
+val put_u32 : Bytes.t -> int -> int32 -> unit
+
+val get_u32 : Bytes.t -> int -> int32
+val put_u16 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val put_u8 : Bytes.t -> int -> int -> unit
+val get_u8 : Bytes.t -> int -> int
+val checksum_offset : int

@@ -1,0 +1,66 @@
+(* Minimal UDP and TCP header handling — enough for stateful NFs that match
+   and rewrite ports. *)
+
+let udp_header_bytes = 8
+let tcp_header_bytes = 20
+
+type udp = { src_port : int; dst_port : int; length : int }
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type tcp = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_seq : int32;
+  flags : tcp_flags;
+  window : int;
+}
+
+let put_u16 = Ethernet.put_u16
+let get_u16 = Ethernet.get_u16
+
+let encode_udp (u : udp) buf ~off =
+  put_u16 buf off u.src_port;
+  put_u16 buf (off + 2) u.dst_port;
+  put_u16 buf (off + 4) u.length;
+  put_u16 buf (off + 6) 0 (* checksum optional over IPv4 *)
+
+let decode_udp buf ~off : udp =
+  { src_port = get_u16 buf off; dst_port = get_u16 buf (off + 2); length = get_u16 buf (off + 4) }
+
+let flags_byte f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor if f.ack then 0x10 else 0
+
+let flags_of_byte b =
+  { fin = b land 0x01 <> 0; syn = b land 0x02 <> 0; rst = b land 0x04 <> 0; ack = b land 0x10 <> 0 }
+
+let encode_tcp (t : tcp) buf ~off =
+  put_u16 buf off t.src_port;
+  put_u16 buf (off + 2) t.dst_port;
+  Ipv4.put_u32 buf (off + 4) t.seq;
+  Ipv4.put_u32 buf (off + 8) t.ack_seq;
+  Bytes.set buf (off + 12) (Char.chr 0x50) (* data offset 5 *);
+  Bytes.set buf (off + 13) (Char.chr (flags_byte t.flags));
+  put_u16 buf (off + 14) t.window;
+  put_u16 buf (off + 16) 0 (* checksum: not computed in simulation *);
+  put_u16 buf (off + 18) 0
+
+let decode_tcp buf ~off : tcp =
+  {
+    src_port = get_u16 buf off;
+    dst_port = get_u16 buf (off + 2);
+    seq = Ipv4.get_u32 buf (off + 4);
+    ack_seq = Ipv4.get_u32 buf (off + 8);
+    flags = flags_of_byte (Char.code (Bytes.get buf (off + 13)));
+    window = get_u16 buf (off + 14);
+  }
+
+(* Port rewrites shared by UDP and TCP (ports sit at the same offsets). *)
+let rewrite_src_port buf ~off ~port = put_u16 buf off port
+let rewrite_dst_port buf ~off ~port = put_u16 buf (off + 2) port
+let src_port buf ~off = get_u16 buf off
+let dst_port buf ~off = get_u16 buf (off + 2)

@@ -1,0 +1,30 @@
+(** Minimal UDP and TCP header handling — enough for stateful NFs that
+    match and rewrite ports. *)
+
+val udp_header_bytes : int
+val tcp_header_bytes : int
+
+type udp = { src_port : int; dst_port : int; length : int }
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type tcp = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_seq : int32;
+  flags : tcp_flags;
+  window : int;
+}
+
+val encode_udp : udp -> Bytes.t -> off:int -> unit
+val decode_udp : Bytes.t -> off:int -> udp
+val encode_tcp : tcp -> Bytes.t -> off:int -> unit
+val decode_tcp : Bytes.t -> off:int -> tcp
+
+(** Port rewrites/reads valid for both UDP and TCP (same offsets). *)
+val rewrite_src_port : Bytes.t -> off:int -> port:int -> unit
+
+val rewrite_dst_port : Bytes.t -> off:int -> port:int -> unit
+val src_port : Bytes.t -> off:int -> int
+val dst_port : Bytes.t -> off:int -> int

@@ -1,0 +1,153 @@
+(* Simulated packets.
+
+   A packet couples three things:
+   - real header bytes (Ethernet/IPv4/L4[/GTP-U]) that NF actions genuinely
+     parse and rewrite,
+   - a wire length (payload is virtual — only its size matters to
+     throughput),
+   - an address in the simulated physical memory (assigned by a {!Pool}),
+     so that header accesses are charged to the cache model. *)
+
+type t = {
+  id : int;
+  mutable buf : Bytes.t;
+  mutable hdr_len : int;    (* valid bytes at the front of [buf] *)
+  mutable l3_off : int;     (* offset of the (innermost) IPv4 header *)
+  mutable l4_off : int;
+  mutable wire_len : int;   (* bytes on the wire, incl. virtual payload *)
+  mutable flow : Flow.t;
+  mutable sim_addr : int;   (* simulated buffer address; -1 = unassigned *)
+}
+
+let max_header_bytes = 128
+
+let next_id = ref 0
+
+(* Build a plain Eth/IPv4/L4 packet for [flow] with the headers actually
+   encoded into [buf]. *)
+let make ?(src_mac = 0x020000000001) ?(dst_mac = 0x020000000002) ~flow ~wire_len () =
+  let buf = Bytes.make max_header_bytes '\000' in
+  let eth = Ethernet.{ dst = dst_mac; src = src_mac; ethertype = ethertype_ipv4 } in
+  Ethernet.encode eth buf ~off:0;
+  let l3_off = Ethernet.header_bytes in
+  let l4_is_udp = flow.Flow.proto = Ipv4.proto_udp in
+  let l4_len =
+    if l4_is_udp then L4.udp_header_bytes
+    else if flow.Flow.proto = Ipv4.proto_tcp then L4.tcp_header_bytes
+    else 0
+  in
+  let ip_total = wire_len - Ethernet.header_bytes in
+  let ip =
+    Ipv4.make ~src:flow.Flow.src_ip ~dst:flow.Flow.dst_ip ~proto:flow.Flow.proto
+      ~total_len:(max ip_total (Ipv4.header_bytes + l4_len))
+      ()
+  in
+  Ipv4.encode ip buf ~off:l3_off;
+  let l4_off = l3_off + Ipv4.header_bytes in
+  if l4_is_udp then
+    L4.encode_udp
+      { src_port = flow.Flow.src_port; dst_port = flow.Flow.dst_port;
+        length = max (ip_total - Ipv4.header_bytes) L4.udp_header_bytes }
+      buf ~off:l4_off
+  else if flow.Flow.proto = Ipv4.proto_tcp then
+    L4.encode_tcp
+      { src_port = flow.Flow.src_port; dst_port = flow.Flow.dst_port;
+        seq = 0l; ack_seq = 0l;
+        flags = { syn = false; ack = true; fin = false; rst = false };
+        window = 65535 }
+      buf ~off:l4_off;
+  incr next_id;
+  {
+    id = !next_id;
+    buf;
+    hdr_len = l4_off + l4_len;
+    l3_off;
+    l4_off;
+    wire_len = max wire_len (l4_off + l4_len);
+    flow;
+    sim_addr = -1;
+  }
+
+let ipv4 t = Ipv4.decode t.buf ~off:t.l3_off
+
+(* Re-derive the 5-tuple from the actual header bytes (used by tests to
+   check that rewrites really happened on the wire format). *)
+let flow_of_headers t =
+  let ip = ipv4 t in
+  Flow.make ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst
+    ~src_port:(L4.src_port t.buf ~off:t.l4_off)
+    ~dst_port:(L4.dst_port t.buf ~off:t.l4_off)
+    ~proto:ip.Ipv4.proto
+
+(* GTP-U encapsulation: prepend outer IPv4/UDP/GTP-U between the Ethernet
+   header and the inner IPv4 packet (the UPF downlink data action). *)
+let encapsulate_gtpu t ~outer_src ~outer_dst ~teid =
+  let inner_len = t.wire_len - Ethernet.header_bytes in
+  let shift = Gtpu.encap_overhead in
+  let needed = t.hdr_len + shift in
+  if needed > Bytes.length t.buf then begin
+    let bigger = Bytes.make (max needed (2 * Bytes.length t.buf)) '\000' in
+    Bytes.blit t.buf 0 bigger 0 t.hdr_len;
+    t.buf <- bigger
+  end;
+  (* Move the inner headers out of the way. *)
+  Bytes.blit t.buf t.l3_off t.buf (t.l3_off + shift) (t.hdr_len - t.l3_off);
+  let outer_ip_off = Ethernet.header_bytes in
+  let outer_udp_off = outer_ip_off + Ipv4.header_bytes in
+  let gtpu_off = outer_udp_off + L4.udp_header_bytes in
+  let outer_ip =
+    Ipv4.make ~src:outer_src ~dst:outer_dst ~proto:Ipv4.proto_udp
+      ~total_len:(inner_len + shift) ()
+  in
+  Ipv4.encode outer_ip t.buf ~off:outer_ip_off;
+  L4.encode_udp
+    { src_port = Gtpu.udp_port; dst_port = Gtpu.udp_port;
+      length = inner_len + L4.udp_header_bytes + Gtpu.header_bytes }
+    t.buf ~off:outer_udp_off;
+  Gtpu.encode (Gtpu.make ~teid ~length:inner_len ()) t.buf ~off:gtpu_off;
+  t.l3_off <- t.l3_off + shift;
+  t.l4_off <- t.l4_off + shift;
+  t.hdr_len <- t.hdr_len + shift;
+  t.wire_len <- t.wire_len + shift
+
+(* Strip a GTP-U tunnel (uplink direction); returns the TEID. *)
+let decapsulate_gtpu t =
+  let outer_ip_off = Ethernet.header_bytes in
+  let outer = Ipv4.decode t.buf ~off:outer_ip_off in
+  if outer.Ipv4.proto <> Ipv4.proto_udp then invalid_arg "decapsulate_gtpu: not UDP";
+  let gtpu_off = outer_ip_off + Ipv4.header_bytes + L4.udp_header_bytes in
+  let g = Gtpu.decode t.buf ~off:gtpu_off in
+  let shift = Gtpu.encap_overhead in
+  Bytes.blit t.buf (outer_ip_off + shift) t.buf outer_ip_off (t.hdr_len - outer_ip_off - shift);
+  t.l3_off <- t.l3_off - shift;
+  t.l4_off <- t.l4_off - shift;
+  t.hdr_len <- t.hdr_len - shift;
+  t.wire_len <- t.wire_len - shift;
+  g.Gtpu.teid
+
+module Pool = struct
+  (* A DPDK-mempool-like ring of packet buffers in simulated memory. Buffers
+     are recycled round-robin, like an RX descriptor ring: under high
+     concurrency a buffer's lines have been evicted long before it comes
+     around again, which is exactly the packet-state cache behaviour the
+     paper describes. *)
+  type pool = {
+    base : int;
+    stride : int;
+    count : int;
+    mutable next : int;
+  }
+
+  let create layout ~count =
+    let stride = 2048 in
+    let base =
+      Memsim.Layout.alloc_array layout ~align:64 ~label:"packet_pool" ~stride ~count ()
+    in
+    { base; stride; count; next = 0 }
+
+  let assign pool pkt =
+    pkt.sim_addr <- pool.base + (pool.next * pool.stride);
+    pool.next <- (pool.next + 1) mod pool.count
+
+  let count pool = pool.count
+end

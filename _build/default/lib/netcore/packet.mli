@@ -1,0 +1,48 @@
+(** Simulated packets: real header bytes that NF actions genuinely parse
+    and rewrite, a virtual payload (only its size matters), and a buffer
+    address in the simulated physical memory so header accesses are charged
+    to the cache model. *)
+
+type t = {
+  id : int;
+  mutable buf : Bytes.t;  (** header bytes *)
+  mutable hdr_len : int;  (** valid bytes at the front of [buf] *)
+  mutable l3_off : int;  (** offset of the (innermost) IPv4 header *)
+  mutable l4_off : int;
+  mutable wire_len : int;  (** on-wire size including virtual payload *)
+  mutable flow : Flow.t;  (** canonical flow identity (not affected by rewrites) *)
+  mutable sim_addr : int;  (** simulated buffer address; -1 = unassigned *)
+}
+
+val max_header_bytes : int
+
+(** Build an Eth/IPv4/UDP-or-TCP packet for [flow], encoding real headers. *)
+val make : ?src_mac:Ethernet.mac -> ?dst_mac:Ethernet.mac -> flow:Flow.t -> wire_len:int -> unit -> t
+
+(** Decode the (innermost) IPv4 header from the actual bytes. *)
+val ipv4 : t -> Ipv4.t
+
+(** Re-derive the 5-tuple from the actual header bytes — reflects rewrites
+    performed by NFs, unlike the canonical [flow] field. *)
+val flow_of_headers : t -> Flow.t
+
+(** Prepend an outer IPv4/UDP/GTP-U tunnel (UPF downlink). Adjusts offsets,
+    header and wire lengths. *)
+val encapsulate_gtpu : t -> outer_src:Ipv4.addr -> outer_dst:Ipv4.addr -> teid:int32 -> unit
+
+(** Strip a GTP-U tunnel (UPF uplink); returns the TEID.
+    @raise Invalid_argument when the outer headers are not a GTP-U tunnel. *)
+val decapsulate_gtpu : t -> int32
+
+module Pool : sig
+  (** A DPDK-mempool-like ring of packet buffers in simulated memory;
+      buffers recycle round-robin like an RX descriptor ring. *)
+  type pool
+
+  val create : Memsim.Layout.t -> count:int -> pool
+
+  (** Assign the next ring buffer's simulated address to the packet. *)
+  val assign : pool -> t -> unit
+
+  val count : pool -> int
+end

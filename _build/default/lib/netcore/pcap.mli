@@ -1,0 +1,26 @@
+(** Libpcap-format trace export/import (classic 2.4 little-endian format,
+    LINKTYPE_ETHERNET). Packets carry their real header bytes; the virtual
+    payload shows as original length with a truncated capture. *)
+
+val magic : int
+val linktype_ethernet : int
+val default_snaplen : int
+
+type writer
+
+val create_writer : ?snaplen:int -> unit -> writer
+
+(** Append one packet at [ts_us] microseconds (simulated time is fine). *)
+val add_packet : writer -> ts_us:int -> Packet.t -> unit
+
+val contents : writer -> string
+val write_file : writer -> string -> unit
+
+type record = { ts_us : int; data : Bytes.t; orig_len : int }
+
+exception Bad_capture of string
+
+(** @raise Bad_capture on malformed input. *)
+val parse : string -> record list
+
+val read_file : string -> record list

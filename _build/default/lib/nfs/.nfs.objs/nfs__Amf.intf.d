@@ -1,0 +1,1 @@
+lib/nfs/amf.mli: Classifier Compiler Gunfu Lazy Memsim Nf_unit Program Spec Structures Traffic

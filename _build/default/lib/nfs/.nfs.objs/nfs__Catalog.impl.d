@@ -1,0 +1,1 @@
+lib/nfs/catalog.ml: Array Compiler Filename Firewall Fmt Fun Gunfu Hashtbl Lb List Monitor Nat Netcore Nf_unit Option Program Spec String Sys

@@ -1,0 +1,1 @@
+lib/nfs/catalog.mli: Compiler Gunfu Memsim Netcore Program Spec

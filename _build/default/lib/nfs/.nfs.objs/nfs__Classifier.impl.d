@@ -1,0 +1,1 @@
+lib/nfs/classifier.ml: Action Compiler Cuckoo Event Exec_ctx Gunfu Int64 Lazy List Netcore Nf_common Nftask Prefetch Printf Spec Sref Structures

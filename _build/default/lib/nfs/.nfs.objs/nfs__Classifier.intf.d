@@ -1,0 +1,1 @@
+lib/nfs/classifier.mli: Compiler Gunfu Lazy Memsim Nftask Spec Structures

@@ -1,0 +1,1 @@
+lib/nfs/firewall.ml: Action Array Classifier Compiler Event Gunfu Int32 Lazy List Netcore Nf_common Nf_unit Prefetch Spec State_arena Structures

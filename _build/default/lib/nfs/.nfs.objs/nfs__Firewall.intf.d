@@ -1,0 +1,1 @@
+lib/nfs/firewall.mli: Classifier Compiler Gunfu Lazy Memsim Netcore Nf_unit Program Spec Structures

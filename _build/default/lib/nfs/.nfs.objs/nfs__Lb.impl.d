@@ -1,0 +1,1 @@
+lib/nfs/lb.ml: Action Array Classifier Compiler Event Gunfu Int32 Lazy Maglev Netcore Nf_common Nf_unit Nftask Prefetch Spec State_arena Structures

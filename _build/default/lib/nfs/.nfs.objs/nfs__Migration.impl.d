@@ -1,0 +1,1 @@
+lib/nfs/migration.ml: Array Buffer Char Classifier Hashtbl Int32 Int64 List Monitor Nat Netcore Option String Structures

@@ -1,0 +1,1 @@
+lib/nfs/migration.mli: Monitor Nat Netcore

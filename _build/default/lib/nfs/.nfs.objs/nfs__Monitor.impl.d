@@ -1,0 +1,1 @@
+lib/nfs/monitor.ml: Action Array Classifier Compiler Event Gunfu Lazy Netcore Nf_common Nf_unit Nftask Prefetch Spec State_arena Structures

@@ -1,0 +1,1 @@
+lib/nfs/nat.ml: Action Array Classifier Compiler Event Exec_ctx Gunfu Int32 Int64 Lazy Memsim Netcore Nf_common Nf_unit Nfc Nftask Prefetch Spec Sref State_arena Structures

@@ -1,0 +1,1 @@
+lib/nfs/nat.mli: Classifier Compiler Gunfu Lazy Memsim Netcore Nf_unit Nfc Program Spec Sref Structures

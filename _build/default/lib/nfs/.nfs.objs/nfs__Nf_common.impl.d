@@ -1,0 +1,1 @@
+lib/nfs/nf_common.ml: Exec_ctx Gunfu Netcore Nftask Sref State_arena Structures

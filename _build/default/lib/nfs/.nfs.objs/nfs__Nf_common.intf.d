@@ -1,0 +1,1 @@
+lib/nfs/nf_common.mli: Exec_ctx Gunfu Nftask Structures

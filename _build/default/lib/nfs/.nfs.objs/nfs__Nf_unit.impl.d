@@ -1,0 +1,1 @@
+lib/nfs/nf_unit.ml: Compiler Gunfu List Spec

@@ -1,0 +1,1 @@
+lib/nfs/nf_unit.mli: Compiler Gunfu Program Spec

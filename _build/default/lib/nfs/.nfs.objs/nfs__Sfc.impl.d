@@ -1,0 +1,1 @@
+lib/nfs/sfc.ml: Compiler Firewall Gunfu Lb List Monitor Nat Netcore Nf_unit Option Printf State_arena Structures

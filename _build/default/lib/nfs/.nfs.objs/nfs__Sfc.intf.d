@@ -1,0 +1,1 @@
+lib/nfs/sfc.mli: Compiler Firewall Gunfu Lb Memsim Monitor Nat Netcore Nf_unit Program

@@ -1,0 +1,1 @@
+lib/nfs/smf.ml: Int32 Int64 List Netcore Traffic Upf

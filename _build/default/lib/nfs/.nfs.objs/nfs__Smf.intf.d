@@ -1,0 +1,1 @@
+lib/nfs/smf.mli: Netcore Upf

@@ -1,0 +1,1 @@
+lib/nfs/upf.ml: Action Array Classifier Compiler Event Exec_ctx Gunfu Hashtbl Int32 Int64 Lazy List Mdi_tree Netcore Nf_common Nf_unit Nftask Prefetch Spec Sref State_arena Structures Traffic

@@ -1,0 +1,1 @@
+lib/nfs/upf.mli: Classifier Compiler Gunfu Hashtbl Lazy Memsim Netcore Nf_unit Program Spec Structures Traffic

@@ -1,0 +1,133 @@
+(* The NF catalog: builds runnable network functions directly from on-disk
+   specifications (the Fig 4 workflow — architects write YAML, the director
+   compiles it against the NFAction implementation library).
+
+   Instances follow the shipped naming convention: "<prefix>_<role>" where
+   the role suffix picks the implementation family —
+
+     cls -> flow classifier     map -> NAT mapper     lrn -> NAT learner
+     fwd -> LB forwarder        flt -> firewall       acc -> monitor
+
+   Each prefix becomes one NF object; the module specs supplied (typically
+   parsed from specs/*.yaml) replace the built-in ones, so the file's FSM
+   genuinely drives execution. *)
+
+open Gunfu
+
+exception Catalog_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Catalog_error s)) fmt
+
+type built = {
+  program : Program.t;
+  populate : Netcore.Flow.t array -> unit;
+  nf_names : string list;  (* prefixes, in chain order *)
+}
+
+let prefix_of inst =
+  match String.rindex_opt inst '_' with
+  | Some i -> (String.sub inst 0 i, String.sub inst (i + 1) (String.length inst - i - 1))
+  | None -> fail "instance %s does not follow the <prefix>_<role> convention" inst
+
+(* Which NF family a prefix's role set denotes. *)
+type family = Nat_f | Lb_f | Fw_f | Nm_f
+
+let family_of_roles prefix roles =
+  let has r = List.mem r roles in
+  if not (has "cls") then fail "NF %s has no classifier instance" prefix
+  else if has "map" then Nat_f
+  else if has "fwd" then Lb_f
+  else if has "flt" then Fw_f
+  else if has "acc" then Nm_f
+  else fail "cannot infer the NF family of %s from roles %s" prefix (String.concat "," roles)
+
+let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
+    ?(opts = Compiler.default_opts) () =
+  (* Group instances by prefix, preserving chain order. *)
+  let order = ref [] in
+  let roles : (string, (string * string) list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (inst, mtype) ->
+      let prefix, role = prefix_of inst in
+      if not (Hashtbl.mem roles prefix) then order := prefix :: !order;
+      Hashtbl.replace roles prefix
+        ((role, mtype) :: Option.value ~default:[] (Hashtbl.find_opt roles prefix)))
+    nf.Spec.n_modules;
+  let order = List.rev !order in
+  (* One NF object per prefix; collect its compiler instances + populate. *)
+  let populates = ref [] in
+  let instances =
+    List.concat_map
+      (fun prefix ->
+        let role_list = Hashtbl.find roles prefix in
+        let role_names = List.map fst role_list in
+        let has_learner = List.mem "lrn" role_names in
+        match family_of_roles prefix role_names with
+        | Nat_f ->
+            let nat = Nat.create layout ~name:prefix ~n_flows () in
+            populates := Nat.populate nat :: !populates;
+            let u = if has_learner then Nat.dynamic_unit nat else Nat.unit nat in
+            u.Nf_unit.instances
+        | Lb_f ->
+            let lb = Lb.create layout ~name:prefix ~n_flows () in
+            populates := Lb.populate lb :: !populates;
+            (Lb.unit lb).Nf_unit.instances
+        | Fw_f ->
+            let fw = Firewall.create layout ~name:prefix ~n_flows () in
+            populates := Firewall.populate fw :: !populates;
+            (Firewall.unit fw).Nf_unit.instances
+        | Nm_f ->
+            let nm = Monitor.create layout ~name:prefix ~n_flows () in
+            populates := Monitor.populate nm :: !populates;
+            (Monitor.unit nm).Nf_unit.instances)
+      order
+  in
+  (* Use the on-disk module specs: the file's FSM drives execution. *)
+  let instances =
+    List.map
+      (fun (inst : Compiler.instance) ->
+        match List.assoc_opt inst.Compiler.i_spec.Spec.m_name modules with
+        | Some on_disk -> { inst with Compiler.i_spec = on_disk }
+        | None ->
+            fail "NF %s needs module type %s but no spec was supplied" nf.Spec.n_name
+              inst.Compiler.i_spec.Spec.m_name)
+      instances
+  in
+  (* Every instance the composition names must exist, with matching type. *)
+  List.iter
+    (fun (inst_name, mtype) ->
+      match List.find_opt (fun i -> i.Compiler.i_name = inst_name) instances with
+      | None -> fail "composition names instance %s which the catalog did not build" inst_name
+      | Some i ->
+          if i.Compiler.i_spec.Spec.m_name <> mtype then
+            fail "instance %s is a %s, composition says %s" inst_name
+              i.Compiler.i_spec.Spec.m_name mtype)
+    nf.Spec.n_modules;
+  let program = Compiler.compile ~opts ~name:nf.Spec.n_name instances nf in
+  let populates = List.rev !populates in
+  {
+    program;
+    populate = (fun flows -> List.iter (fun p -> p flows) populates);
+    nf_names = order;
+  }
+
+(* Convenience: read and build from files. *)
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_modules dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".yaml")
+  |> List.filter_map (fun f ->
+         match Spec.module_spec_of_string (read_file (Filename.concat dir f)) with
+         | m -> Some (m.Spec.m_name, m)
+         | exception Spec.Spec_error _ -> None (* NF compositions live here too *))
+
+let build_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =
+  let nf = Spec.nf_spec_of_string (read_file nf_file) in
+  let modules = load_modules specs_dir in
+  Spec.validate_nf nf ~known_modules:(List.map fst modules);
+  build layout ~nf ~modules ~n_flows ?opts ()

@@ -1,0 +1,31 @@
+(** NF catalog: build runnable network functions directly from on-disk
+    specifications (the Fig 4 workflow), matching instance names of the
+    form [<prefix>_<role>] to the shipped implementation families
+    (cls/map/lrn/fwd/flt/acc). Supplied module specs replace the built-in
+    ones, so the file's FSM genuinely drives execution. *)
+
+open Gunfu
+
+exception Catalog_error of string
+
+type built = {
+  program : Program.t;
+  populate : Netcore.Flow.t array -> unit;  (** install all per-flow state *)
+  nf_names : string list;  (** NF prefixes in chain order *)
+}
+
+(** @raise Catalog_error on unknown roles, missing specs or mismatched
+    compositions; @raise Gunfu.Compiler.Compile_error downstream. *)
+val build :
+  Memsim.Layout.t -> nf:Spec.nf_spec -> modules:(string * Spec.module_spec) list ->
+  n_flows:int -> ?opts:Compiler.opts -> unit -> built
+
+val read_file : string -> string
+
+(** All module specs parseable from [dir]'s [.yaml] files. *)
+val load_modules : string -> (string * Spec.module_spec) list
+
+(** Parse [nf_file], load module specs from [specs_dir], validate, build. *)
+val build_from_files :
+  Memsim.Layout.t -> nf_file:string -> specs_dir:string -> n_flows:int ->
+  ?opts:Compiler.opts -> unit -> built

@@ -1,0 +1,41 @@
+(** The stateful flow classifier module (Listing 1, Fig 6(b)): a
+    cuckoo-hash match module decomposed into
+    get_key / hash_1 / bucket_check_1 / key_check_1 / hash_2 /
+    bucket_check_2 / key_check_2 NFActions — each bucket probe is two
+    dependent cache-line reads, each its own action whose line address is
+    resolved (and hence prefetchable) one step ahead. *)
+
+open Gunfu
+
+(** The Listing-1 module specification (parsed once). *)
+val spec : Spec.module_spec Lazy.t
+
+val spec_text : string
+
+type t = {
+  name : string;
+  table : Structures.Cuckoo.t;
+  key_kind : string;  (** what the key identifies; drives match removal *)
+  key_fn : Nftask.t -> int64;
+  header_bytes : int;
+}
+
+(** Canonical 5-tuple key (rewrites do not change a flow's identity — what
+    makes redundant-matching removal sound). *)
+val five_tuple_key : Nftask.t -> int64
+
+(** Destination-IP key (the UPF downlink session lookup). *)
+val dst_ip_key : Nftask.t -> int64
+
+val create :
+  Memsim.Layout.t -> name:string -> key_kind:string -> key_fn:(Nftask.t -> int64) ->
+  capacity:int -> unit -> t
+
+val table : t -> Structures.Cuckoo.t
+
+(** Insert [key -> per-flow index] pairs.
+    @raise Failure on table overflow (a sizing bug). *)
+val populate : t -> (int64 * int) list -> unit
+
+(** The compiler-ready instance (actions + prefetch bindings). *)
+val instance : t -> Compiler.instance

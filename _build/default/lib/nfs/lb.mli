@@ -1,0 +1,32 @@
+(** Stateful L4 load balancer: Maglev consistent hashing assigns each new
+    flow a backend; the per-flow state pins it there, and the data action
+    rewrites the destination address. *)
+
+open Gunfu
+
+val spec : Spec.module_spec Lazy.t
+
+type t = {
+  name : string;
+  classifier : Classifier.t;
+  arena : Structures.State_arena.t;
+  backends : Netcore.Ipv4.addr array;
+  maglev : Structures.Maglev.t;
+  assignment : int array;  (** flow index -> backend index *)
+}
+
+val state_bytes : int
+val default_backends : Netcore.Ipv4.addr array
+
+val create :
+  Memsim.Layout.t -> name:string -> ?arena:Structures.State_arena.t ->
+  ?backends:Netcore.Ipv4.addr array -> n_flows:int -> unit -> t
+
+val populate : t -> Netcore.Flow.t array -> unit
+
+(** Backend address a flow index is pinned to. *)
+val backend_of : t -> int -> Netcore.Ipv4.addr
+
+val forwarder_instance : t -> Compiler.instance
+val unit : t -> Nf_unit.t
+val program : ?opts:Compiler.opts -> t -> Program.t

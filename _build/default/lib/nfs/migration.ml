@@ -1,0 +1,154 @@
+(* Elastic scaling of stateful NFs (§VIII "Separation of Data and Code"):
+   per-flow state is decoupled from code, so flows can be exported from one
+   instance and imported into another (scale-out, or failover from a state
+   snapshot) without breaking connections — for a NAT that means the
+   external (ip, port) mapping must survive the move.
+
+   Snapshots use an explicit little-endian wire format (not OCaml
+   marshalling): a real system would ship these across machines. *)
+
+exception Bad_snapshot of string
+
+let nat_magic = "GNAT1"
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let put_u32 buf (v : int32) =
+  let v = Int32.to_int v land 0xFFFFFFFF in
+  put_u16 buf (v land 0xFFFF);
+  put_u16 buf (v lsr 16)
+
+let put_u64 buf (v : int64) =
+  put_u32 buf (Int64.to_int32 v);
+  put_u32 buf (Int64.to_int32 (Int64.shift_right_logical v 32))
+
+let get_u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let get_u32 s off : int32 =
+  Int32.logor
+    (Int32.of_int (get_u16 s off))
+    (Int32.shift_left (Int32.of_int (get_u16 s (off + 2))) 16)
+
+let get_u64 s off : int64 =
+  Int64.logor
+    (Int64.logand (Int64.of_int32 (get_u32 s off)) 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int32 (get_u32 s (off + 4))) 32)
+
+(* One NAT mapping on the wire: flow key (the lookup identity) plus the
+   external endpoint that must be preserved. *)
+type nat_entry = { key : int64; ext_ip : Netcore.Ipv4.addr; ext_port : int }
+
+(* Export the mappings of the given flows from a NAT. Flows without an
+   installed mapping are skipped. *)
+let export_nat (nat : Nat.t) flows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf nat_magic;
+  let entries =
+    List.filter_map
+      (fun flow ->
+        let key = Netcore.Flow.key64 flow in
+        Option.map
+          (fun idx -> { key; ext_ip = nat.Nat.map_ip.(idx); ext_port = nat.Nat.map_port.(idx) })
+          (Structures.Cuckoo.lookup (Classifier.table nat.Nat.classifier) key))
+      flows
+  in
+  put_u32 buf (Int32.of_int (List.length entries));
+  List.iter
+    (fun e ->
+      put_u64 buf e.key;
+      put_u32 buf e.ext_ip;
+      put_u16 buf e.ext_port)
+    entries;
+  Buffer.contents buf
+
+let parse_nat snapshot =
+  let n = String.length snapshot in
+  if n < 9 || String.sub snapshot 0 5 <> nat_magic then
+    raise (Bad_snapshot "bad magic");
+  let count = Int32.to_int (get_u32 snapshot 5) in
+  if count < 0 || 9 + (count * 14) > n then raise (Bad_snapshot "truncated");
+  List.init count (fun i ->
+      let off = 9 + (i * 14) in
+      {
+        key = get_u64 snapshot off;
+        ext_ip = get_u32 snapshot (off + 8);
+        ext_port = get_u16 snapshot (off + 12);
+      })
+
+(* Remove the flows from the source NAT (after export): subsequent packets
+   of these flows MATCH_FAIL there. Freed mapping slots are not recycled —
+   the arena allocator is an upward bump, like the paper's pre-allocated
+   datablocks. *)
+let evict_nat (nat : Nat.t) flows =
+  List.iter
+    (fun flow ->
+      ignore (Structures.Cuckoo.delete (Classifier.table nat.Nat.classifier)
+                (Netcore.Flow.key64 flow)))
+    flows
+
+(* Install a snapshot into a target NAT, preserving external mappings.
+   Returns the number of entries imported.
+   @raise Bad_snapshot on malformed input or when the target is full. *)
+let import_nat (nat : Nat.t) snapshot =
+  let entries = parse_nat snapshot in
+  List.iter
+    (fun e ->
+      if nat.Nat.next_free >= Array.length nat.Nat.map_ip then
+        raise (Bad_snapshot "target NAT mapping table full");
+      let idx = nat.Nat.next_free in
+      nat.Nat.next_free <- idx + 1;
+      nat.Nat.map_ip.(idx) <- e.ext_ip;
+      nat.Nat.map_port.(idx) <- e.ext_port;
+      if not (Structures.Cuckoo.insert (Classifier.table nat.Nat.classifier) ~key:e.key ~value:idx)
+      then raise (Bad_snapshot "target NAT match table full"))
+    entries;
+  List.length entries
+
+(* ----- monitor counters (accounting survives scale events) ----- *)
+
+let nm_magic = "GNMC1"
+
+let export_monitor (nm : Monitor.t) flows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf nm_magic;
+  let entries =
+    List.filter_map
+      (fun flow ->
+        let key = Netcore.Flow.key64 flow in
+        Option.map
+          (fun idx -> (key, nm.Monitor.pkt_count.(idx), nm.Monitor.byte_count.(idx)))
+          (Structures.Cuckoo.lookup (Classifier.table nm.Monitor.classifier) key))
+      flows
+  in
+  put_u32 buf (Int32.of_int (List.length entries));
+  List.iter
+    (fun (key, pkts, bytes) ->
+      put_u64 buf key;
+      put_u64 buf (Int64.of_int pkts);
+      put_u64 buf (Int64.of_int bytes))
+    entries;
+  Buffer.contents buf
+
+let import_monitor (nm : Monitor.t) ~flows snapshot =
+  let n = String.length snapshot in
+  if n < 9 || String.sub snapshot 0 5 <> nm_magic then raise (Bad_snapshot "bad magic");
+  let count = Int32.to_int (get_u32 snapshot 5) in
+  if count < 0 || 9 + (count * 24) > n then raise (Bad_snapshot "truncated");
+  let by_key = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace by_key (Netcore.Flow.key64 f) i) flows;
+  let imported = ref 0 in
+  for i = 0 to count - 1 do
+    let off = 9 + (i * 24) in
+    let key = get_u64 snapshot off in
+    match Hashtbl.find_opt by_key key with
+    | None -> ()
+    | Some idx ->
+        nm.Monitor.pkt_count.(idx) <-
+          nm.Monitor.pkt_count.(idx) + Int64.to_int (get_u64 snapshot (off + 8));
+        nm.Monitor.byte_count.(idx) <-
+          nm.Monitor.byte_count.(idx) + Int64.to_int (get_u64 snapshot (off + 16));
+        incr imported
+  done;
+  !imported

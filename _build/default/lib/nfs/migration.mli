@@ -1,0 +1,29 @@
+(** Elastic scaling of stateful NFs (related work, §VIII "Separation of
+    Data and Code"): per-flow state decoupled from code can be exported
+    from one instance and imported into another (scale-out / failover)
+    without breaking connections. Snapshots use an explicit little-endian
+    wire format. *)
+
+exception Bad_snapshot of string
+
+type nat_entry = { key : int64; ext_ip : Netcore.Ipv4.addr; ext_port : int }
+
+(** Export the NAT mappings of the given flows (flows without a mapping are
+    skipped). *)
+val export_nat : Nat.t -> Netcore.Flow.t list -> string
+
+(** @raise Bad_snapshot on malformed input. *)
+val parse_nat : string -> nat_entry list
+
+(** Remove the flows from the source NAT (post-export). *)
+val evict_nat : Nat.t -> Netcore.Flow.t list -> unit
+
+(** Install a snapshot, preserving external mappings; returns entries
+    imported. @raise Bad_snapshot on malformed input or a full target. *)
+val import_nat : Nat.t -> string -> int
+
+(** Monitor accounting export/import (added into the target's counters for
+    flows present in [flows]). *)
+val export_monitor : Monitor.t -> Netcore.Flow.t list -> string
+
+val import_monitor : Monitor.t -> flows:Netcore.Flow.t array -> string -> int

@@ -1,0 +1,83 @@
+(* Service function chains (§VII-B): LB -> NAT -> NM -> FW [-> FW' -> FW'']
+   compositions of length 2-6, following the paper's setup ("for lengths
+   greater than 4, we add FW to the SFC with different firewall policies").
+
+   With [packed = true] the per-flow states of all chained NFs for one flow
+   are co-located in a single packed arena entry (data packing, §VI-B);
+   redundant-matching removal is a compile option ({!Gunfu.Compiler.opts}). *)
+
+open Gunfu
+open Structures
+
+(* The third policy variant for position 6. *)
+let egress_policy =
+  {
+    Firewall.rules =
+      [
+        {
+          Firewall.src_ip_mask = (0l, 0l);
+          dst_port_range = (6000, 6063);
+          proto = Some Netcore.Ipv4.proto_udp;
+          rule_verdict = Firewall.Deny;
+        };
+      ];
+    default = Firewall.Accept;
+  }
+
+type t = {
+  length : int;
+  packed : bool;
+  lb : Lb.t;
+  nat : Nat.t;
+  nm : Monitor.t option;
+  fws : Firewall.t list;
+}
+
+let member_sizes length =
+  let base = [ ("lb", Lb.state_bytes); ("nat", Nat.state_bytes) ] in
+  let base = if length >= 3 then base @ [ ("nm", Monitor.state_bytes) ] else base in
+  let fw_names = [ "fw1"; "fw2"; "fw3" ] in
+  let n_fw = max 0 (length - 3) in
+  base @ List.filteri (fun i _ -> i < n_fw) (List.map (fun n -> (n, Firewall.state_bytes)) fw_names)
+
+let create layout ~length ~packed ~n_flows () =
+  if length < 2 || length > 6 then invalid_arg "Sfc.create: length must be in 2..6";
+  let group =
+    if packed then
+      Some
+        (State_arena.create_group layout ~label:"sfc.per_flow"
+           ~members:(member_sizes length) ~count:n_flows ())
+    else None
+  in
+  let arena_for member =
+    Option.map (fun g -> State_arena.view g ~member) group
+  in
+  let lb = Lb.create layout ~name:"lb" ?arena:(arena_for "lb") ~n_flows () in
+  let nat = Nat.create layout ~name:"nat" ?arena:(arena_for "nat") ~n_flows () in
+  let nm =
+    if length >= 3 then Some (Monitor.create layout ~name:"nm" ?arena:(arena_for "nm") ~n_flows ())
+    else None
+  in
+  let n_fw = max 0 (length - 3) in
+  let fw_policies = [ Firewall.default_policy; Firewall.strict_policy; egress_policy ] in
+  let fws =
+    List.filteri (fun i _ -> i < n_fw) fw_policies
+    |> List.mapi (fun i policy ->
+           let name = Printf.sprintf "fw%d" (i + 1) in
+           Firewall.create layout ~name ?arena:(arena_for name) ~policy ~n_flows ())
+  in
+  { length; packed; lb; nat; nm; fws }
+
+let populate t flows =
+  Lb.populate t.lb flows;
+  Nat.populate t.nat flows;
+  Option.iter (fun nm -> Monitor.populate nm flows) t.nm;
+  List.iter (fun fw -> Firewall.populate fw flows) t.fws
+
+let units t =
+  [ Lb.unit t.lb; Nat.unit t.nat ]
+  @ (match t.nm with Some nm -> [ Monitor.unit nm ] | None -> [])
+  @ List.map Firewall.unit t.fws
+
+let program ?(opts = Compiler.default_opts) t =
+  Nf_unit.compile ~opts ~name:(Printf.sprintf "sfc%d" t.length) (units t)

@@ -1,0 +1,22 @@
+(** Service function chains (§VII-B): LB -> NAT -> NM -> FW [-> FW' -> FW'']
+    compositions of length 2-6. With [packed], the per-flow states of all
+    chained NFs share one packed arena entry (data packing); redundant-
+    matching removal is a {!Gunfu.Compiler.opts} choice at compile time. *)
+
+open Gunfu
+
+type t = {
+  length : int;
+  packed : bool;
+  lb : Lb.t;
+  nat : Nat.t;
+  nm : Monitor.t option;  (** present from length 3 *)
+  fws : Firewall.t list;  (** 0-3 firewalls with distinct policies *)
+}
+
+(** @raise Invalid_argument unless [2 <= length <= 6]. *)
+val create : Memsim.Layout.t -> length:int -> packed:bool -> n_flows:int -> unit -> t
+
+val populate : t -> Netcore.Flow.t array -> unit
+val units : t -> Nf_unit.t list
+val program : ?opts:Compiler.opts -> t -> Program.t

@@ -1,0 +1,1 @@
+lib/structures/cuckoo.ml: Array Int64 Memsim

@@ -1,0 +1,1 @@
+lib/structures/maglev.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/structures/mdi_tree.ml: Array List Memsim

@@ -1,0 +1,1 @@
+lib/structures/mdi_tree.mli: Memsim

@@ -1,0 +1,1 @@
+lib/structures/packing.ml: Int List Option Set

@@ -1,0 +1,1 @@
+lib/structures/state_arena.ml: Array List Memsim String

@@ -1,0 +1,1 @@
+lib/structures/state_arena.mli: Memsim

@@ -1,0 +1,1 @@
+lib/structures/token_bucket.ml:

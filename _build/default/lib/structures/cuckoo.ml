@@ -1,0 +1,197 @@
+(* Cuckoo hash table over simulated memory — the paper's match-state
+   structure (Fig 6(b), Listing 1).
+
+   Geometry mirrors CuckooSwitch-style tables: two candidate buckets per
+   key, four slots per bucket, and one bucket occupies exactly one cache
+   line (4 x (8-byte key + 8-byte value) = 64 bytes). The table logic
+   (lookup, displacement insert) is real; the cache behaviour comes from
+   callers charging reads of {!bucket_addr} to the memory hierarchy, one
+   action per bucket probe, exactly as the granular decomposition splits
+   them (get_key / hash_1 / check_1 / hash_2 / check_2). *)
+
+let slots_per_bucket = 4
+let bucket_bytes = 64
+let max_kicks = 500
+
+type t = {
+  mask : int;  (* nbuckets - 1 *)
+  keys : int64 array;  (* nbuckets * slots; slot empty when vals.(i) < 0 *)
+  vals : int array;
+  base_addr : int;  (* bucket array: fingerprints + value indices *)
+  key_base : int;  (* out-of-line full-key store, one line per bucket *)
+  seed1 : int64;
+  seed2 : int64;
+  rng : Memsim.Rng.t;
+  mutable population : int;
+}
+
+let next_pow2 n =
+  let rec go v = if v >= n then v else go (v * 2) in
+  go 1
+
+let create layout ~label ~capacity () =
+  if capacity <= 0 then invalid_arg "Cuckoo.create: capacity must be positive";
+  (* Size for ~80% max load factor. *)
+  let nbuckets = next_pow2 ((capacity * 5 / 4 / slots_per_bucket) + 1) in
+  let nslots = nbuckets * slots_per_bucket in
+  let base_addr =
+    Memsim.Layout.alloc_array layout ~align:64 ~label ~stride:bucket_bytes
+      ~count:nbuckets ()
+  in
+  let key_base =
+    Memsim.Layout.alloc_array layout ~align:64 ~label:(label ^ ".keys")
+      ~stride:bucket_bytes ~count:nbuckets ()
+  in
+  {
+    mask = nbuckets - 1;
+    keys = Array.make nslots 0L;
+    vals = Array.make nslots (-1);
+    base_addr;
+    key_base;
+    seed1 = 0x9E3779B97F4A7C15L;
+    seed2 = 0xC2B2AE3D27D4EB4FL;
+    rng = Memsim.Rng.create 97;
+    population = 0;
+  }
+
+let nbuckets t = t.mask + 1
+let population t = t.population
+
+let mix64 seed k =
+  let open Int64 in
+  let z = mul (logxor k seed) 0xFF51AFD7ED558CCDL in
+  let z = logxor z (shift_right_logical z 33) in
+  let z = mul z 0xC4CEB9FE1A85EC53L in
+  logxor z (shift_right_logical z 33)
+
+let hash1 t key = Int64.to_int (mix64 t.seed1 key) land t.mask
+
+(* Partial-key style alternate bucket: derived from the key so that it can
+   be recomputed from either bucket. *)
+let hash2 t key = Int64.to_int (mix64 t.seed2 key) land t.mask
+
+let bucket_addr t bucket = t.base_addr + (bucket * bucket_bytes)
+
+(* Address of the bucket's out-of-line full-key line (CuckooSwitch-style:
+   the bucket line carries fingerprints and value indices; full keys live in
+   a second line that is only read when a fingerprint matches — the
+   key_check_1/key_check_2 steps of Listing 1). *)
+let key_addr t bucket = t.key_base + (bucket * bucket_bytes)
+
+(* 16-bit fingerprint derived from the key. *)
+let fingerprint key =
+  let open Int64 in
+  to_int (shift_right_logical (mul key 0x2545F4914F6CDD1DL) 48) land 0xFFFF
+
+let slot_base bucket = bucket * slots_per_bucket
+
+(* Slots of [bucket] whose stored fingerprint matches [key]'s — what the
+   bucket_check action can decide from the bucket line alone. *)
+let candidates t ~bucket ~key =
+  let fp = fingerprint key in
+  let b = slot_base bucket in
+  let rec go i acc =
+    if i < 0 then acc
+    else if t.vals.(b + i) >= 0 && fingerprint t.keys.(b + i) = fp then go (i - 1) (i :: acc)
+    else go (i - 1) acc
+  in
+  go (slots_per_bucket - 1) []
+
+(* Search one bucket for [key]; pure table logic, no memory charging. *)
+let find_in_bucket t ~bucket ~key =
+  let b = slot_base bucket in
+  let rec go i =
+    if i = slots_per_bucket then None
+    else if t.vals.(b + i) >= 0 && Int64.equal t.keys.(b + i) key then
+      Some t.vals.(b + i)
+    else go (i + 1)
+  in
+  go 0
+
+let lookup t key =
+  match find_in_bucket t ~bucket:(hash1 t key) ~key with
+  | Some _ as r -> r
+  | None -> find_in_bucket t ~bucket:(hash2 t key) ~key
+
+let empty_slot_in t bucket =
+  let b = slot_base bucket in
+  let rec go i =
+    if i = slots_per_bucket then None
+    else if t.vals.(b + i) < 0 then Some (b + i)
+    else go (i + 1)
+  in
+  go 0
+
+let try_place t ~key ~value bucket =
+  match empty_slot_in t bucket with
+  | Some slot ->
+      t.keys.(slot) <- key;
+      t.vals.(slot) <- value;
+      true
+  | None -> false
+
+let update_existing t ~key ~value =
+  let set bucket =
+    let b = slot_base bucket in
+    let rec go i =
+      if i = slots_per_bucket then false
+      else if t.vals.(b + i) >= 0 && Int64.equal t.keys.(b + i) key then begin
+        t.vals.(b + i) <- value;
+        true
+      end
+      else go (i + 1)
+    in
+    go 0
+  in
+  set (hash1 t key) || set (hash2 t key)
+
+(* Random-walk cuckoo insert. Returns [false] when the walk exceeds
+   [max_kicks] (table effectively full); the displaced element is always
+   re-housed before giving up, so no entry is ever lost. *)
+let insert t ~key ~value =
+  if update_existing t ~key ~value then true
+  else
+    let rec walk ~key ~value ~bucket kicks =
+      if try_place t ~key ~value bucket then true
+      else if kicks >= max_kicks then false
+      else begin
+        (* Evict a random resident of this bucket and re-insert it into its
+           alternate bucket. *)
+        let victim = slot_base bucket + Memsim.Rng.int t.rng slots_per_bucket in
+        let vkey = t.keys.(victim) and vval = t.vals.(victim) in
+        t.keys.(victim) <- key;
+        t.vals.(victim) <- value;
+        let alt =
+          let h1 = hash1 t vkey in
+          if h1 = bucket then hash2 t vkey else h1
+        in
+        walk ~key:vkey ~value:vval ~bucket:alt (kicks + 1)
+      end
+    in
+    let placed =
+      try_place t ~key ~value (hash1 t key)
+      || try_place t ~key ~value (hash2 t key)
+      || walk ~key ~value ~bucket:(hash1 t key) 0
+    in
+    if placed then t.population <- t.population + 1;
+    placed
+
+let delete t key =
+  let del bucket =
+    let b = slot_base bucket in
+    let rec go i =
+      if i = slots_per_bucket then false
+      else if t.vals.(b + i) >= 0 && Int64.equal t.keys.(b + i) key then begin
+        t.vals.(b + i) <- -1;
+        true
+      end
+      else go (i + 1)
+    in
+    go 0
+  in
+  let removed = del (hash1 t key) || del (hash2 t key) in
+  if removed then t.population <- t.population - 1;
+  removed
+
+let load_factor t =
+  float_of_int t.population /. float_of_int (nbuckets t * slots_per_bucket)

@@ -1,0 +1,54 @@
+(** Cuckoo hash table over simulated memory — the match-state structure of
+    the flow classifier (Fig 6(b), Listing 1).
+
+    CuckooSwitch-style geometry: two candidate buckets per key, four slots
+    per bucket, one bucket per cache line (fingerprints + value indices),
+    with full keys in a separate key-store line per bucket. The table logic
+    is real; cache behaviour comes from callers charging reads of
+    {!bucket_addr} / {!key_addr} to the memory hierarchy, one action per
+    probe step. *)
+
+type t
+
+val slots_per_bucket : int
+val bucket_bytes : int
+
+(** Max displacement-walk length before an insert reports the table full. *)
+val max_kicks : int
+
+(** Sized for ~80% max load factor over [capacity] entries.
+    @raise Invalid_argument when [capacity <= 0]. *)
+val create : Memsim.Layout.t -> label:string -> capacity:int -> unit -> t
+
+val nbuckets : t -> int
+val population : t -> int
+val load_factor : t -> float
+
+(** Primary / alternate bucket of a key. *)
+val hash1 : t -> int64 -> int
+
+val hash2 : t -> int64 -> int
+
+(** Simulated address of a bucket's line / of its out-of-line key store. *)
+val bucket_addr : t -> int -> int
+
+val key_addr : t -> int -> int
+
+(** 16-bit key fingerprint as stored in bucket lines. *)
+val fingerprint : int64 -> int
+
+(** Slots of [bucket] whose fingerprint matches — decidable from the bucket
+    line alone (the bucket_check action). *)
+val candidates : t -> bucket:int -> key:int64 -> int list
+
+(** Full-key comparison within one bucket (the key_check action). *)
+val find_in_bucket : t -> bucket:int -> key:int64 -> int option
+
+(** Two-bucket lookup (pure table logic; RTC and tests). *)
+val lookup : t -> int64 -> int option
+
+(** Insert or update; random-walk displacement on conflicts. [false] means
+    the walk exceeded {!max_kicks} (no entry is lost). *)
+val insert : t -> key:int64 -> value:int -> bool
+
+val delete : t -> int64 -> bool

@@ -1,0 +1,49 @@
+(* Token-bucket rate limiter over the simulated clock — the mechanism
+   behind the UPF's QoS enforcement rules (QERs). Tokens are bytes; the
+   bucket refills at [rate_bytes_per_cycle] up to [burst_bytes]. *)
+
+type t = {
+  rate_num : int;  (* bytes per cycle = rate_num / rate_den *)
+  rate_den : int;
+  burst_bytes : int;
+  mutable tokens : int;  (* scaled by rate_den to avoid float drift *)
+  mutable last_refill : int;
+}
+
+(* [create ~rate_bytes_per_sec ~burst_bytes ~freq_ghz] expresses the rate
+   against the simulated clock. *)
+let create ~rate_bytes_per_sec ~burst_bytes ~freq_ghz () =
+  if rate_bytes_per_sec <= 0 || burst_bytes <= 0 then
+    invalid_arg "Token_bucket.create: rate and burst must be positive";
+  let cycles_per_sec = int_of_float (freq_ghz *. 1e9) in
+  {
+    rate_num = rate_bytes_per_sec;
+    rate_den = cycles_per_sec;
+    burst_bytes;
+    tokens = burst_bytes * cycles_per_sec;
+    last_refill = 0;
+  }
+
+let refill t ~now =
+  if now > t.last_refill then begin
+    (* Cap the refill window at what fills the bucket, so the
+       elapsed * rate product cannot overflow after long idle gaps. *)
+    let full_window = (t.burst_bytes * t.rate_den / t.rate_num) + 1 in
+    let elapsed = min (now - t.last_refill) full_window in
+    t.tokens <- min (t.burst_bytes * t.rate_den) (t.tokens + (elapsed * t.rate_num));
+    t.last_refill <- now
+  end
+
+(* [admit t ~now ~bytes]: consume if conformant; [false] = exceeds rate. *)
+let admit t ~now ~bytes =
+  refill t ~now;
+  let need = bytes * t.rate_den in
+  if t.tokens >= need then begin
+    t.tokens <- t.tokens - need;
+    true
+  end
+  else false
+
+let available_bytes t ~now =
+  refill t ~now;
+  t.tokens / t.rate_den

@@ -1,0 +1,15 @@
+(** Token-bucket rate limiter over the simulated cycle clock — the
+    mechanism behind the UPF's QoS enforcement rules (QERs). Tokens are
+    bytes. *)
+
+type t
+
+(** @raise Invalid_argument on non-positive rate or burst. *)
+val create : rate_bytes_per_sec:int -> burst_bytes:int -> freq_ghz:float -> unit -> t
+
+(** [admit t ~now ~bytes]: refill to [now], then consume if conformant;
+    [false] means the packet exceeds the configured rate. *)
+val admit : t -> now:int -> bytes:int -> bool
+
+(** Bytes currently available after refilling to [now]. *)
+val available_bytes : t -> now:int -> int

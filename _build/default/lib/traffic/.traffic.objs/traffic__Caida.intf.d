@@ -1,0 +1,1 @@
+lib/traffic/caida.mli: Flowgen

@@ -1,0 +1,1 @@
+lib/traffic/flowgen.ml: Array Flow Int32 Ipv4 List Memsim Netcore Packet Zipf

@@ -1,0 +1,1 @@
+lib/traffic/flowgen.mli: Netcore

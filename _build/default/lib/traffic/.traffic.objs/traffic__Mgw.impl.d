@@ -1,0 +1,1 @@
+lib/traffic/mgw.ml: Array Flow Flowgen Int32 Ipv4 Memsim Netcore Packet Zipf

@@ -1,0 +1,1 @@
+lib/traffic/mgw.mli: Flowgen Netcore

@@ -1,0 +1,20 @@
+(* CAIDA-like synthetic traces.
+
+   Substitution (see DESIGN.md): we cannot ship real CAIDA captures, so we
+   reproduce the two properties of them that the paper's experiments depend
+   on — heavy-tailed flow popularity (few elephant flows, many mice) and a
+   realistic packet-size mix. Parameters follow published characterisations
+   of CAIDA equinix backbone traces: Zipf exponent ~1.1 over flows, size mix
+   dominated by small ACK-sized and MTU-sized packets. *)
+
+let zipf_exponent = 1.1
+
+(* Approximate backbone packet-size mix (weights sum to 20): mean ~717B. *)
+let size_model =
+  Flowgen.Mix [ (64, 6); (350, 2); (576, 2); (1024, 2); (1500, 8) ]
+
+let create ?(seed = 7) ~n_flows () =
+  Flowgen.create ~seed ~popularity:(Flowgen.Zipf zipf_exponent) ~size_model
+    ~n_flows ()
+
+let mean_wire_bytes = Flowgen.mean_size size_model

@@ -1,0 +1,35 @@
+(** Synthetic flow universes and packet streams: a fixed population of
+    distinct 5-tuples; packets sample a flow (uniform or Zipf) and a wire
+    size, then materialise real header bytes. *)
+
+type size_model =
+  | Fixed of int
+  | Mix of (int * int) list  (** (wire_bytes, weight) *)
+
+(** The classic simple IMIX: 7:4:1 of 64/576/1500-byte frames. *)
+val imix : size_model
+
+val mean_size : size_model -> float
+
+type popularity = Uniform | Zipf of float
+
+type t
+
+(** @raise Invalid_argument when [n_flows <= 0]. Deterministic per seed. *)
+val create :
+  ?seed:int -> ?popularity:popularity -> ?size_model:size_model -> n_flows:int ->
+  unit -> t
+
+val n_flows : t -> int
+val flows : t -> Netcore.Flow.t array
+val flow : t -> int -> Netcore.Flow.t
+
+(** Fresh packet for a sampled flow, with the flow's universe index. *)
+val next_with_idx : t -> int * Netcore.Packet.t
+
+val next : t -> Netcore.Packet.t
+
+(** Pre-generate an RX burst. *)
+val batch : t -> int -> Netcore.Packet.t array
+
+val mean_wire_bytes : t -> float

@@ -1,0 +1,189 @@
+(* Mobile-gateway workloads, after the Telco Pipeline Benchmarking System
+   (Lévai et al.) MGW use cases the paper extends:
+
+   - UPF downlink: a population of PFCP sessions (one per UE, keyed by UE
+     IP, carrying a GTP-U TEID towards the RAN), each with [n_pdrs] Packet
+     Detection Rules that partition the remote source-port space. Generated
+     packets are N6-side downlink IP packets whose 5-tuple selects exactly
+     one (session, PDR) pair.
+
+   - AMF initial registration: per-UE NGAP/NAS message sequences; each
+     message type touches a different slice of the (large) UE context. *)
+
+open Netcore
+
+type session = { ue_ip : Ipv4.addr; teid : int32; n_pdrs : int }
+
+type t = {
+  sessions : session array;
+  rng : Memsim.Rng.t;
+  zipf : Zipf.t option;
+  wire_len : int;
+}
+
+let ue_ip_of_index i = Int32.of_int (0x64000000 lor (i land 0xFFFFFF)) (* 100.x.y.z *)
+let teid_of_index i = Int32.of_int (0x1000 + i)
+
+(* PDR [j] of a session matches remote source ports in [port_lo, port_hi]. *)
+let pdr_port_range ~n_pdrs ~pdr =
+  if pdr < 0 || pdr >= n_pdrs then invalid_arg "Mgw.pdr_port_range";
+  let span = 49152 / n_pdrs in
+  let lo = 1024 + (pdr * span) in
+  (lo, lo + span - 1)
+
+let create ?(seed = 11) ?(popularity = Flowgen.Uniform) ?(wire_len = 128)
+    ~n_sessions ~n_pdrs () =
+  if n_sessions <= 0 || n_pdrs <= 0 then invalid_arg "Mgw.create";
+  let sessions =
+    Array.init n_sessions (fun i ->
+        { ue_ip = ue_ip_of_index i; teid = teid_of_index i; n_pdrs })
+  in
+  let zipf =
+    match popularity with
+    | Flowgen.Uniform -> None
+    | Flowgen.Zipf s -> Some (Zipf.create ~n:n_sessions ~s)
+  in
+  { sessions; rng = Memsim.Rng.create seed; zipf; wire_len }
+
+let n_sessions t = Array.length t.sessions
+let sessions t = t.sessions
+let session t i = t.sessions.(i)
+
+let sample_session_idx t =
+  match t.zipf with
+  | None -> Memsim.Rng.int t.rng (Array.length t.sessions)
+  | Some z -> Zipf.sample z t.rng
+
+(* A downlink packet towards a sampled UE, hitting a sampled PDR. *)
+let next_downlink t =
+  let si = sample_session_idx t in
+  let s = t.sessions.(si) in
+  let pdr = Memsim.Rng.int t.rng s.n_pdrs in
+  let lo, hi = pdr_port_range ~n_pdrs:s.n_pdrs ~pdr in
+  let src_port = Memsim.Rng.int_in_range t.rng ~lo ~hi in
+  let flow =
+    Flow.make
+      ~src_ip:(Int32.of_int (0x08080000 lor (si mod 512)))
+      ~dst_ip:s.ue_ip ~src_port ~dst_port:(10000 + (si mod 1000))
+      ~proto:Ipv4.proto_udp
+  in
+  (si, pdr, Packet.make ~flow ~wire_len:t.wire_len ())
+
+(* An uplink packet: UE -> data network, GTP-U encapsulated by the RAN
+   towards the UPF's N3 address. *)
+let next_uplink t ~ran_ip ~upf_ip =
+  let si = sample_session_idx t in
+  let s = t.sessions.(si) in
+  let flow =
+    Flow.make ~src_ip:s.ue_ip
+      ~dst_ip:(Int32.of_int (0x08080000 lor (si mod 512)))
+      ~src_port:(10000 + (si mod 1000))
+      ~dst_port:(Memsim.Rng.int_in_range t.rng ~lo:1024 ~hi:50175)
+      ~proto:Ipv4.proto_udp
+  in
+  let pkt = Packet.make ~flow ~wire_len:t.wire_len () in
+  Packet.encapsulate_gtpu pkt ~outer_src:ran_ip ~outer_dst:upf_ip ~teid:s.teid;
+  (si, pkt)
+
+(* ----- AMF initial-registration call flow ----- *)
+
+(* The state-access-heavy messages of the Free5GC initial registration test
+   cases the paper ports to DPDK (§II-B, EXP B), plus the steady-state
+   lifecycle messages (service request, periodic update, AN release,
+   deregistration) that make the workload genuinely heterogeneous — the
+   "different user behaviors, hence different state lookup methods,
+   application logic executed and states accessed" of §II-C. *)
+type amf_msg =
+  | Registration_request
+  | Authentication_response
+  | Security_mode_complete
+  | Registration_complete
+  | Pdu_session_request
+  | Service_request  (* idle UE resumes *)
+  | Periodic_update  (* periodic registration update *)
+  | Context_release  (* AN release: connected -> idle *)
+  | Deregistration_request
+
+let registration_sequence =
+  [|
+    Registration_request;
+    Authentication_response;
+    Security_mode_complete;
+    Registration_complete;
+    Pdu_session_request;
+  |]
+
+let amf_msg_name = function
+  | Registration_request -> "RegistrationRequest"
+  | Authentication_response -> "AuthenticationResponse"
+  | Security_mode_complete -> "SecurityModeComplete"
+  | Registration_complete -> "RegistrationComplete"
+  | Pdu_session_request -> "PDUSessionRequest"
+  | Service_request -> "ServiceRequest"
+  | Periodic_update -> "PeriodicRegistrationUpdate"
+  | Context_release -> "UEContextRelease"
+  | Deregistration_request -> "DeregistrationRequest"
+
+let all_amf_msgs =
+  Array.to_list registration_sequence
+  @ [ Service_request; Periodic_update; Context_release; Deregistration_request ]
+
+(* Per-UE lifecycle phase, mirrored by the AMF implementation:
+   0..4 = position in the registration sequence, 5 = CM-CONNECTED,
+   6 = CM-IDLE. *)
+let phase_connected = 5
+let phase_idle = 6
+
+type amf_gen = {
+  progress : int array;  (* per-UE lifecycle phase *)
+  amf_rng : Memsim.Rng.t;
+  amf_zipf : Zipf.t option;
+}
+
+let amf_create ?(seed = 23) ?(popularity = Flowgen.Uniform) ~n_ues () =
+  if n_ues <= 0 then invalid_arg "Mgw.amf_create";
+  let amf_zipf =
+    match popularity with
+    | Flowgen.Uniform -> None
+    | Flowgen.Zipf s -> Some (Zipf.create ~n:n_ues ~s)
+  in
+  { progress = Array.make n_ues 0; amf_rng = Memsim.Rng.create seed; amf_zipf }
+
+let amf_n_ues g = Array.length g.progress
+
+(* Next (ue, message). Fresh UEs walk the 5-message registration sequence;
+   registered UEs then live a connected/idle lifecycle with occasional
+   deregistration (after which they register anew). Always emits a message
+   that is valid for the UE's current phase. *)
+let amf_next g =
+  let ue =
+    match g.amf_zipf with
+    | None -> Memsim.Rng.int g.amf_rng (Array.length g.progress)
+    | Some z -> Zipf.sample z g.amf_rng
+  in
+  let phase = g.progress.(ue) in
+  let msg =
+    if phase < Array.length registration_sequence then begin
+      g.progress.(ue) <-
+        (if phase + 1 = Array.length registration_sequence then phase_connected
+         else phase + 1);
+      registration_sequence.(phase)
+    end
+    else if phase = phase_idle then begin
+      g.progress.(ue) <- phase_connected;
+      Service_request
+    end
+    else
+      (* CM-CONNECTED *)
+      match Memsim.Rng.int g.amf_rng 10 with
+      | 0 | 1 | 2 | 3 -> Pdu_session_request
+      | 4 | 5 -> Periodic_update
+      | 6 | 7 ->
+          g.progress.(ue) <- phase_idle;
+          Context_release
+      | 8 ->
+          g.progress.(ue) <- 0;
+          Deregistration_request
+      | _ -> Periodic_update
+  in
+  (ue, msg)

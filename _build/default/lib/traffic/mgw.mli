@@ -1,0 +1,68 @@
+(** Mobile-gateway workloads (after the Telco Pipeline Benchmarking System
+    MGW use cases): PFCP session / PDR populations with downlink and uplink
+    packet streams, and AMF initial-registration message sequences. *)
+
+type session = { ue_ip : Netcore.Ipv4.addr; teid : int32; n_pdrs : int }
+
+type t
+
+val ue_ip_of_index : int -> Netcore.Ipv4.addr
+val teid_of_index : int -> int32
+
+(** Source-port interval PDR [pdr] of a session with [n_pdrs] rules
+    matches; the intervals partition [1024, 50175].
+    @raise Invalid_argument when [pdr] is out of range. *)
+val pdr_port_range : n_pdrs:int -> pdr:int -> int * int
+
+(** @raise Invalid_argument on non-positive sizes. *)
+val create :
+  ?seed:int -> ?popularity:Flowgen.popularity -> ?wire_len:int -> n_sessions:int ->
+  n_pdrs:int -> unit -> t
+
+val n_sessions : t -> int
+val sessions : t -> session array
+val session : t -> int -> session
+
+(** Downlink (N6 -> UE) packet hitting a sampled (session, PDR):
+    [(session_idx, pdr_idx, packet)]. *)
+val next_downlink : t -> int * int * Netcore.Packet.t
+
+(** Uplink (UE -> N6) packet, GTP-U encapsulated by the RAN towards the
+    UPF: [(session_idx, packet)]. *)
+val next_uplink :
+  t -> ran_ip:Netcore.Ipv4.addr -> upf_ip:Netcore.Ipv4.addr -> int * Netcore.Packet.t
+
+(** {2 AMF initial-registration call flow} *)
+
+type amf_msg =
+  | Registration_request
+  | Authentication_response
+  | Security_mode_complete
+  | Registration_complete
+  | Pdu_session_request
+  | Service_request  (** idle UE resumes *)
+  | Periodic_update  (** periodic registration update *)
+  | Context_release  (** AN release: connected -> idle *)
+  | Deregistration_request
+
+val registration_sequence : amf_msg array
+val amf_msg_name : amf_msg -> string
+
+(** Registration sequence plus the lifecycle messages. *)
+val all_amf_msgs : amf_msg list
+
+(** Lifecycle phases, mirrored by the AMF implementation: 0..4 =
+    registration-sequence position, then: *)
+val phase_connected : int
+
+val phase_idle : int
+
+type amf_gen
+
+val amf_create : ?seed:int -> ?popularity:Flowgen.popularity -> n_ues:int -> unit -> amf_gen
+val amf_n_ues : amf_gen -> int
+
+(** Next [(ue, message)], always valid for the UE's current phase: fresh
+    UEs walk the registration sequence; registered UEs live a
+    connected/idle lifecycle with occasional deregistration. *)
+val amf_next : amf_gen -> int * amf_msg

@@ -1,0 +1,1 @@
+test/helpers.ml: Compiler Gunfu Netcore Nfs Program Rtc Traffic Worker Workload

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Gen List Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Exec_ctx Gunfu Helpers List Metrics Rtc Scheduler Worker

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Compiler Event Fmt Gunfu Helpers List Metrics Nfs Option Prefetch Program Rtc Scheduler Spec String Traffic Worker Workload

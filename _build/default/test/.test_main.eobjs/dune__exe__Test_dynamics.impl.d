@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Array Exec_ctx Filename Fun Gunfu Helpers Int32 List Memsim Metrics Netcore Nfc Nfs Pipeline QCheck QCheck_alcotest Scheduler String Sys Traffic Worker Workload

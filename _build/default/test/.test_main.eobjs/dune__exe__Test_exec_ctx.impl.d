@@ -1,0 +1,1 @@
+test/test_exec_ctx.ml: Action Alcotest Event Exec_ctx Gunfu Memsim Nftask Sref

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Batch_rtc Gunfu Helpers Int32 Int64 List Maglev Memsim Metrics Netcore Nfs QCheck QCheck_alcotest Rtc Scheduler Structures Traffic Worker Workload

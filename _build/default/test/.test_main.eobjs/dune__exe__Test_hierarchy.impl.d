@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Cache Hierarchy List Memsim Memstats QCheck QCheck_alcotest

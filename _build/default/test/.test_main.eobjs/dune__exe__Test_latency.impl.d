@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Array Batch_rtc Gunfu Helpers List Memsim Metrics Rtc Scheduler

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Gen Layout List Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Event Exec_ctx Fsm Gunfu Lazy List Memsim Metrics Nftask Prefetch Structures

@@ -1,0 +1,1 @@
+test/test_nas.ml: Alcotest Array Bytes Gunfu List Netcore Nfs Option Rtc Traffic Worker Workload

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Array Bytes Checksum Ethernet Flow Gen Gtpu Int32 Int64 Ipv4 L4 List Memsim Netcore Packet QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nfc.ml: Action Alcotest Event Gunfu Hashtbl Lazy List Nfc Nftask Option QCheck QCheck_alcotest String Worker

@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Array Gunfu Helpers Int32 List Memsim Metrics Netcore Nfs Option Printf Rtc Scheduler Structures Traffic Worker Workload

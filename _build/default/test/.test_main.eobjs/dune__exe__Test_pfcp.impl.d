@@ -1,0 +1,1 @@
+test/test_pfcp.ml: Alcotest Bytes Char Gunfu Helpers Int32 Int64 List Metrics Netcore Nfs QCheck QCheck_alcotest String Traffic Worker

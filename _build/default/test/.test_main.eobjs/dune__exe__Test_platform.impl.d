@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Director Exec_ctx Fmt Gunfu Lazy List Memsim Metrics Netcore Nfs Platform Spec String Traffic Worker Workload

@@ -1,0 +1,1 @@
+test/test_qos.ml: Alcotest Array Gunfu List Memsim Metrics Netcore Nfs Option Rtc Structures Traffic Worker Workload

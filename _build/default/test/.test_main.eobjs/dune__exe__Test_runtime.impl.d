@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Batch_rtc Gunfu Helpers Int32 List Memsim Metrics Netcore Nfs QCheck QCheck_alcotest Rtc Scheduler Sref Traffic Worker Workload

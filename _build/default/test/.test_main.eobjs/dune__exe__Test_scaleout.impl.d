@@ -1,0 +1,1 @@
+test/test_scaleout.ml: Alcotest Array Event Filename Gunfu Helpers List Memsim Metrics Netcore Nfs Option Printf Program Scheduler Spec Traffic Worker Workload

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Gunfu Lazy List Nfs Option Printf Spec String Yaml_lite

@@ -1,0 +1,1 @@
+test/test_spec_files.ml: Alcotest Filename Fun Gunfu Lazy List Memsim Nfs Spec

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Cuckoo Gen Hashtbl Int64 List Mdi_tree Memsim Option Packing Printf QCheck QCheck_alcotest State_arena Structures

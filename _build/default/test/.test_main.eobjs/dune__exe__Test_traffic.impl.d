@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Caida Flowgen Hashtbl Int32 List Memsim Mgw Netcore Option Printf QCheck QCheck_alcotest Traffic Zipf

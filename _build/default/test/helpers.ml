@@ -1,0 +1,73 @@
+(* Shared builders for the integration tests: small NF deployments on a
+   fresh worker. *)
+
+open Gunfu
+
+type nat_setup = {
+  worker : Worker.t;
+  gen : Traffic.Flowgen.t;
+  pool : Netcore.Packet.Pool.pool;
+  nat : Nfs.Nat.t;
+  program : Program.t;
+}
+
+let nat_setup ?(n_flows = 4096) ?(opts = Compiler.default_opts) ?(seed = 1) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen =
+    Traffic.Flowgen.create ~seed ~n_flows ~size_model:(Traffic.Flowgen.Fixed 128) ()
+  in
+  let pool = Netcore.Packet.Pool.create layout ~count:256 in
+  let nat = Nfs.Nat.create layout ~name:"nat" ~n_flows () in
+  Nfs.Nat.populate nat (Traffic.Flowgen.flows gen);
+  let program = Nfs.Nat.program ~opts nat in
+  { worker; gen; pool; nat; program }
+
+let nat_source s ~count = Workload.of_flowgen s.gen ~pool:s.pool ~count
+
+type sfc_setup = {
+  s_worker : Worker.t;
+  s_gen : Traffic.Flowgen.t;
+  s_pool : Netcore.Packet.Pool.pool;
+  s_sfc : Nfs.Sfc.t;
+  s_program : Program.t;
+}
+
+let sfc_setup ?(n_flows = 4096) ?(length = 4) ?(packed = false)
+    ?(opts = Compiler.default_opts) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen =
+    Traffic.Flowgen.create ~seed:2 ~n_flows ~size_model:(Traffic.Flowgen.Fixed 128) ()
+  in
+  let pool = Netcore.Packet.Pool.create layout ~count:256 in
+  let sfc = Nfs.Sfc.create layout ~length ~packed ~n_flows () in
+  Nfs.Sfc.populate sfc (Traffic.Flowgen.flows gen);
+  let program = Nfs.Sfc.program ~opts sfc in
+  { s_worker = worker; s_gen = gen; s_pool = pool; s_sfc = sfc; s_program = program }
+
+let upf_setup ?(n_sessions = 1024) ?(n_pdrs = 8) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let mgw = Traffic.Mgw.create ~n_sessions ~n_pdrs () in
+  let pool = Netcore.Packet.Pool.create layout ~count:256 in
+  let upf =
+    Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs ()
+  in
+  Nfs.Upf.populate upf;
+  (worker, mgw, pool, upf, Nfs.Upf.program upf)
+
+let amf_setup ?(n_ues = 1024) ?(packed = false) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen = Traffic.Mgw.amf_create ~n_ues () in
+  let pool = Netcore.Packet.Pool.create layout ~count:256 in
+  let amf = Nfs.Amf.create layout ~name:"amf" ~packed ~n_ues () in
+  Nfs.Amf.populate amf;
+  (worker, gen, pool, amf, Nfs.Amf.program amf)
+
+(* Run one specific packet through a program under RTC on a fresh task and
+   return the run. *)
+let run_one worker program ?(aux = 0) ?(flow_hint = -1) packet =
+  Rtc.run worker program
+    (Workload.total_items [ { Workload.packet = Some packet; aux; flow_hint } ])

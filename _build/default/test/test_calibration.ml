@@ -1,0 +1,104 @@
+(* Cost-model calibration guards: invariants of the simulator that the
+   paper's argument depends on. If a change to the cost model breaks one of
+   these, the figures stop being meaningful. *)
+
+open Gunfu
+
+let nat_run ~n_flows model =
+  let s = Helpers.nat_setup ~n_flows () in
+  let count = 10_000 in
+  match model with
+  | `Rtc ->
+      (* warm: run the working set once so residency reflects steady state *)
+      ignore (Rtc.run s.Helpers.worker s.Helpers.program (Helpers.nat_source s ~count:2000));
+      Rtc.run s.Helpers.worker s.Helpers.program (Helpers.nat_source s ~count)
+  | `Il n ->
+      ignore
+        (Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:n
+           (Helpers.nat_source s ~count:2000));
+      Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:n
+        (Helpers.nat_source s ~count)
+
+(* The crossover invariant: interleaving only pays off when there are
+   misses to hide. With a cache-resident working set (few flows), the
+   scheduler's switch/fetch overhead must make it SLOWER than RTC. *)
+let test_hot_set_interleaving_loses () =
+  let rtc = nat_run ~n_flows:64 `Rtc in
+  let il = nat_run ~n_flows:64 (`Il 16) in
+  Alcotest.(check bool) "hot set: RTC wins" true (Metrics.mpps rtc > Metrics.mpps il)
+
+let test_cold_set_interleaving_wins () =
+  let rtc = nat_run ~n_flows:131072 `Rtc in
+  let il = nat_run ~n_flows:131072 (`Il 16) in
+  Alcotest.(check bool) "cold set: interleaving wins" true
+    (Metrics.mpps il > 1.5 *. Metrics.mpps rtc)
+
+(* Hot-path cycle accounting: with everything in L1, RTC per-packet cost is
+   the sum of the known components — rx/tx (40) + per-action dispatch (3)
+   + action base costs + L1 hits (4 each). The NAT path executes 5 actions
+   (get_key, hash_1, bucket_check_1, key_check_1, mapper) on the fast path;
+   a loose envelope catches accounting regressions without over-fitting. *)
+let test_hot_rtc_cycle_envelope () =
+  let rtc = nat_run ~n_flows:64 `Rtc in
+  let cpp = Metrics.cycles_per_packet rtc in
+  Alcotest.(check bool) "lower bound" true (cpp > 120.0);
+  Alcotest.(check bool) "upper bound" true (cpp < 350.0)
+
+(* With a hot working set there must be (almost) no DRAM traffic. *)
+let test_hot_set_no_dram () =
+  let rtc = nat_run ~n_flows:64 `Rtc in
+  Alcotest.(check bool) "hot set stays out of DRAM" true
+    (Metrics.llc_misses_per_packet rtc < 0.01)
+
+(* Instruction accounting: IPC must stay in a plausible envelope — above 0
+   and no higher than ~2 even for the fully-hit interleaved runs (we model
+   a scalar-ish pipeline: one instr/cycle plus memory time). *)
+let test_ipc_envelope () =
+  List.iter
+    (fun r ->
+      let ipc = Metrics.ipc r in
+      Alcotest.(check bool) "ipc positive" true (ipc > 0.0);
+      Alcotest.(check bool) "ipc bounded" true (ipc <= 1.2))
+    [ nat_run ~n_flows:64 `Rtc; nat_run ~n_flows:131072 (`Il 16) ]
+
+(* Throughput identity: mpps * cycles_per_packet = frequency. *)
+let test_throughput_identity () =
+  let r = nat_run ~n_flows:4096 `Rtc in
+  Alcotest.(check (float 0.01)) "mpps x cyc/pkt = GHz x 1000" 2700.0
+    (Metrics.mpps r *. Metrics.cycles_per_packet r)
+
+(* Latency lower bound: no packet can complete faster than its RTC hot-path
+   cost; and mean latency x throughput >= 1 task's worth of work. *)
+let test_latency_sanity () =
+  let r = nat_run ~n_flows:4096 (`Il 8) in
+  match r.Metrics.latency with
+  | None -> Alcotest.fail "latency expected"
+  | Some l ->
+      Alcotest.(check bool) "min plausible latency" true (l.Metrics.l_p50 > 100);
+      Alcotest.(check bool) "mean below max" true
+        (l.Metrics.l_mean <= float_of_int l.Metrics.l_max)
+
+(* Simulated time advances monotonically across consecutive runs on one
+   worker (the clock is global to the core). *)
+let test_clock_monotonic () =
+  let s = Helpers.nat_setup () in
+  let before = (Worker.ctx s.Helpers.worker).Exec_ctx.clock in
+  ignore (Rtc.run s.Helpers.worker s.Helpers.program (Helpers.nat_source s ~count:100));
+  let mid = (Worker.ctx s.Helpers.worker).Exec_ctx.clock in
+  ignore
+    (Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:4
+       (Helpers.nat_source s ~count:100));
+  let after = (Worker.ctx s.Helpers.worker).Exec_ctx.clock in
+  Alcotest.(check bool) "clock advances" true (before < mid && mid < after)
+
+let suite =
+  [
+    Alcotest.test_case "hot set: interleaving loses" `Slow test_hot_set_interleaving_loses;
+    Alcotest.test_case "cold set: interleaving wins" `Slow test_cold_set_interleaving_wins;
+    Alcotest.test_case "hot RTC cycle envelope" `Slow test_hot_rtc_cycle_envelope;
+    Alcotest.test_case "hot set no DRAM" `Slow test_hot_set_no_dram;
+    Alcotest.test_case "ipc envelope" `Slow test_ipc_envelope;
+    Alcotest.test_case "throughput identity" `Slow test_throughput_identity;
+    Alcotest.test_case "latency sanity" `Slow test_latency_sanity;
+    Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+  ]

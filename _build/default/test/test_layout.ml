@@ -1,0 +1,81 @@
+(* Simulated address-space allocator. *)
+
+open Memsim
+
+let test_alignment () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~align:64 ~label:"x" ~bytes:10 () in
+  Alcotest.(check int) "aligned to 64" 0 (a mod 64);
+  let b = Layout.alloc l ~align:8 ~label:"y" ~bytes:8 () in
+  Alcotest.(check int) "aligned to 8" 0 (b mod 8);
+  Alcotest.(check bool) "above base" true (a >= Layout.base_addr)
+
+let test_disjoint () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~label:"a" ~bytes:100 () in
+  let b = Layout.alloc l ~label:"b" ~bytes:100 () in
+  Alcotest.(check bool) "non-overlapping" true (b >= a + 100)
+
+let test_region_of () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~label:"match" ~bytes:128 () in
+  let b = Layout.alloc l ~label:"flow" ~bytes:64 () in
+  Alcotest.(check (option string)) "inside first" (Some "match") (Layout.region_of l (a + 10));
+  Alcotest.(check (option string)) "inside second" (Some "flow") (Layout.region_of l b);
+  Alcotest.(check (option string)) "unmapped low" None (Layout.region_of l 0);
+  Alcotest.(check (option string)) "unmapped high" None (Layout.region_of l (b + 64))
+
+let test_label_merge () =
+  let l = Layout.create () in
+  let _ = Layout.alloc l ~label:"same" ~bytes:10 () in
+  let b = Layout.alloc l ~label:"same" ~bytes:10 () in
+  Alcotest.(check (option string)) "consecutive same-label merged" (Some "same")
+    (Layout.region_of l b);
+  Alcotest.(check int) "single region recorded" 1 (List.length (Layout.regions l))
+
+let test_alloc_array () =
+  let l = Layout.create () in
+  let base = Layout.alloc_array l ~align:64 ~label:"arr" ~stride:96 ~count:10 () in
+  Alcotest.(check int) "base aligned" 0 (base mod 64);
+  Alcotest.(check (option string)) "last element mapped" (Some "arr")
+    (Layout.region_of l (base + (9 * 96)));
+  Alcotest.(check (option string)) "past the end unmapped" None
+    (Layout.region_of l (base + (10 * 96)))
+
+let test_used_bytes () =
+  let l = Layout.create () in
+  ignore (Layout.alloc l ~align:1 ~label:"a" ~bytes:100 ());
+  Alcotest.(check bool) "usage tracked" true (Layout.used_bytes l >= 100)
+
+let test_invalid () =
+  let l = Layout.create () in
+  Alcotest.check_raises "negative size" (Invalid_argument "Layout.alloc: negative size")
+    (fun () -> ignore (Layout.alloc l ~label:"x" ~bytes:(-1) ()));
+  Alcotest.check_raises "bad stride" (Invalid_argument "Layout.alloc_array") (fun () ->
+      ignore (Layout.alloc_array l ~label:"x" ~stride:0 ~count:1 ()))
+
+let qcheck_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 30) (int_range 1 500))
+    (fun sizes ->
+      let l = Layout.create () in
+      let spans =
+        List.map (fun bytes -> (Layout.alloc l ~align:8 ~label:"q" ~bytes (), bytes)) sizes
+      in
+      let rec check = function
+        | (a, sa) :: ((b, _) :: _ as rest) -> a + sa <= b && check rest
+        | _ -> true
+      in
+      check spans)
+
+let suite =
+  [
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "disjointness" `Quick test_disjoint;
+    Alcotest.test_case "region_of" `Quick test_region_of;
+    Alcotest.test_case "same-label merge" `Quick test_label_merge;
+    Alcotest.test_case "alloc_array" `Quick test_alloc_array;
+    Alcotest.test_case "used bytes" `Quick test_used_bytes;
+    Alcotest.test_case "invalid input" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest qcheck_no_overlap;
+  ]

@@ -1,0 +1,242 @@
+(* PFCP wire codec, the UPF's N4 agent, and the SMF driving it. *)
+
+open Gunfu
+
+let ran_ip = Netcore.Ipv4.addr_of_string "10.200.1.1"
+
+(* ----- codec ----- *)
+
+let sample_establishment () =
+  let pdrs, fars = Nfs.Smf.rules ~n_pdrs:4 ~teid:0x1234l ~ran_ip in
+  {
+    Netcore.Pfcp.seid = 0L;
+    seq = 7;
+    payload =
+      Netcore.Pfcp.Establishment_request
+        {
+          cp_seid = 42L;
+          cp_addr = Netcore.Ipv4.addr_of_string "10.250.1.1";
+          ue_ip = Netcore.Ipv4.addr_of_string "100.64.0.5";
+          pdrs;
+          fars;
+        };
+  }
+
+let test_codec_roundtrip_establishment () =
+  let pkt = sample_establishment () in
+  let decoded = Netcore.Pfcp.decode (Netcore.Pfcp.encode pkt) in
+  Alcotest.(check int) "seq" 7 decoded.Netcore.Pfcp.seq;
+  match decoded.Netcore.Pfcp.payload with
+  | Netcore.Pfcp.Establishment_request e ->
+      Alcotest.(check int64) "cp seid" 42L e.Netcore.Pfcp.cp_seid;
+      Alcotest.(check string) "ue ip" "100.64.0.5"
+        (Netcore.Ipv4.addr_to_string e.Netcore.Pfcp.ue_ip);
+      Alcotest.(check int) "pdr count" 4 (List.length e.Netcore.Pfcp.pdrs);
+      Alcotest.(check int) "far count" 1 (List.length e.Netcore.Pfcp.fars);
+      let p0 = List.hd e.Netcore.Pfcp.pdrs in
+      let lo, hi = Traffic.Mgw.pdr_port_range ~n_pdrs:4 ~pdr:0 in
+      Alcotest.(check (pair int int)) "pdi range"
+        (lo, hi)
+        (p0.Netcore.Pfcp.pdi.Netcore.Pfcp.src_port_lo,
+         p0.Netcore.Pfcp.pdi.Netcore.Pfcp.src_port_hi);
+      let f0 = List.hd e.Netcore.Pfcp.fars in
+      Alcotest.(check int32) "far teid" 0x1234l f0.Netcore.Pfcp.outer_teid;
+      Alcotest.(check bool) "forward bit" true f0.Netcore.Pfcp.forward
+  | _ -> Alcotest.fail "wrong payload"
+
+let test_codec_roundtrip_responses () =
+  let resp =
+    {
+      Netcore.Pfcp.seid = 42L;
+      seq = 8;
+      payload =
+        Netcore.Pfcp.Establishment_response
+          { cause = Netcore.Pfcp.cause_accepted; up_seid = 99L };
+    }
+  in
+  (match Netcore.Pfcp.decode (Netcore.Pfcp.encode resp) with
+  | { Netcore.Pfcp.payload = Netcore.Pfcp.Establishment_response r; seid; _ } ->
+      Alcotest.(check int64) "resp seid" 42L seid;
+      Alcotest.(check int) "cause" Netcore.Pfcp.cause_accepted r.cause;
+      Alcotest.(check int64) "up seid" 99L r.up_seid
+  | _ -> Alcotest.fail "wrong payload");
+  let del = { Netcore.Pfcp.seid = 99L; seq = 9; payload = Netcore.Pfcp.Deletion_request } in
+  match Netcore.Pfcp.decode (Netcore.Pfcp.encode del) with
+  | { Netcore.Pfcp.payload = Netcore.Pfcp.Deletion_request; seid = 99L; _ } -> ()
+  | _ -> Alcotest.fail "deletion roundtrip failed"
+
+let test_codec_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Netcore.Pfcp.decode s with
+      | exception Netcore.Pfcp.Malformed _ -> ()
+      | _ -> Alcotest.fail "malformed PFCP accepted")
+    [
+      "";
+      "\x21";
+      (* bad version *)
+      "\x11\x32\x00\x0c\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+      (* length mismatch *)
+      "\x21\x32\x00\xff\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+    ]
+
+let test_codec_truncated_ie () =
+  let pkt = Netcore.Pfcp.encode (sample_establishment ()) in
+  let cut = String.sub pkt 0 (String.length pkt - 3) in
+  (* Fix up the length field so only the IE is truncated. *)
+  let b = Bytes.of_string cut in
+  Bytes.set b 2 (Char.chr ((String.length cut - 4) lsr 8));
+  Bytes.set b 3 (Char.chr ((String.length cut - 4) land 0xFF));
+  match Netcore.Pfcp.decode (Bytes.to_string b) with
+  | exception Netcore.Pfcp.Malformed _ -> ()
+  | _ -> Alcotest.fail "truncated IE accepted"
+
+(* ----- UPF N4 agent + SMF ----- *)
+
+let empty_upf ?(capacity = 128) ?(n_pdrs = 4) () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let upf = Nfs.Upf.create_empty layout ~name:"upf" ~capacity ~n_pdrs () in
+  (worker, layout, upf)
+
+let ue i = Int32.of_int (0x64000000 lor i)
+
+let test_smf_establishes_sessions () =
+  let _, _, upf = empty_upf () in
+  let smf = Nfs.Smf.create () in
+  for i = 1 to 100 do
+    match Nfs.Smf.establish smf upf ~ue_ip:(ue i) ~teid:(Int32.of_int (0x5000 + i)) ~ran_ip with
+    | Ok _ -> ()
+    | Error c -> Alcotest.failf "establishment %d rejected with cause %d" i c
+  done;
+  Alcotest.(check int) "SMF tracks sessions" 100 (Nfs.Smf.n_established smf);
+  Alcotest.(check int) "UPF installed sessions" 100 upf.Nfs.Upf.n_active
+
+let test_duplicate_ue_rejected () =
+  let _, _, upf = empty_upf () in
+  let smf = Nfs.Smf.create () in
+  ignore (Nfs.Smf.establish smf upf ~ue_ip:(ue 1) ~teid:0x5001l ~ran_ip);
+  match Nfs.Smf.establish smf upf ~ue_ip:(ue 1) ~teid:0x5002l ~ran_ip with
+  | Error c ->
+      Alcotest.(check int) "rejected" Netcore.Pfcp.cause_request_rejected c
+  | Ok _ -> Alcotest.fail "duplicate UE IP accepted"
+
+let test_capacity_exhaustion () =
+  let _, _, upf = empty_upf ~capacity:3 () in
+  let smf = Nfs.Smf.create () in
+  for i = 1 to 3 do
+    ignore (Nfs.Smf.establish smf upf ~ue_ip:(ue i) ~teid:(Int32.of_int i) ~ran_ip)
+  done;
+  match Nfs.Smf.establish smf upf ~ue_ip:(ue 9) ~teid:9l ~ran_ip with
+  | Error c -> Alcotest.(check int) "no resources" Netcore.Pfcp.cause_no_resources c
+  | Ok _ -> Alcotest.fail "over-capacity establishment accepted"
+
+let test_wrong_pdr_shape_rejected () =
+  let _, _, upf = empty_upf ~n_pdrs:4 () in
+  let smf = Nfs.Smf.create () in
+  (* Request with 2 PDRs against a 4-PDR UPF shape. *)
+  let request = Nfs.Smf.establishment_request smf ~ue_ip:(ue 1) ~teid:1l ~n_pdrs:2 ~ran_ip in
+  match Netcore.Pfcp.decode (Nfs.Upf.handle_pfcp upf request) with
+  | { Netcore.Pfcp.payload = Netcore.Pfcp.Establishment_response r; _ } ->
+      Alcotest.(check int) "shape mismatch rejected" Netcore.Pfcp.cause_request_rejected
+        r.cause
+  | _ -> Alcotest.fail "unexpected response"
+
+let test_traffic_after_establishment () =
+  let worker, layout, upf = empty_upf () in
+  let smf = Nfs.Smf.create () in
+  let teid = 0xABCDl in
+  (match Nfs.Smf.establish smf upf ~ue_ip:(ue 7) ~teid ~ran_ip with
+  | Ok _ -> ()
+  | Error c -> Alcotest.failf "rejected: %d" c);
+  let program = Nfs.Upf.program upf in
+  let pool = Netcore.Packet.Pool.create layout ~count:16 in
+  (* A downlink packet towards the established UE. *)
+  let lo, _ = Traffic.Mgw.pdr_port_range ~n_pdrs:4 ~pdr:2 in
+  let flow =
+    Netcore.Flow.make ~src_ip:0x08080808l ~dst_ip:(ue 7) ~src_port:lo ~dst_port:10007
+      ~proto:Netcore.Ipv4.proto_udp
+  in
+  let pkt = Netcore.Packet.make ~flow ~wire_len:128 () in
+  Netcore.Packet.Pool.assign pool pkt;
+  let r = Helpers.run_one worker program pkt in
+  Alcotest.(check int) "forwarded through the PFCP-installed session" 0 r.Metrics.drops;
+  Alcotest.(check int32) "tunnel teid from the FAR" teid (Netcore.Packet.decapsulate_gtpu pkt)
+
+let test_deletion_stops_traffic () =
+  let worker, layout, upf = empty_upf () in
+  let smf = Nfs.Smf.create () in
+  let up_seid =
+    match Nfs.Smf.establish smf upf ~ue_ip:(ue 7) ~teid:1l ~ran_ip with
+    | Ok s -> s
+    | Error c -> Alcotest.failf "rejected: %d" c
+  in
+  Alcotest.(check int) "deletion accepted" Netcore.Pfcp.cause_accepted
+    (Nfs.Smf.delete smf upf ~up_seid);
+  Alcotest.(check int) "SMF forgets the session" 0 (Nfs.Smf.n_established smf);
+  (* Traffic for the deleted session now drops. *)
+  let program = Nfs.Upf.program upf in
+  let pool = Netcore.Packet.Pool.create layout ~count:16 in
+  let flow =
+    Netcore.Flow.make ~src_ip:1l ~dst_ip:(ue 7) ~src_port:2000 ~dst_port:1
+      ~proto:Netcore.Ipv4.proto_udp
+  in
+  let pkt = Netcore.Packet.make ~flow ~wire_len:64 () in
+  Netcore.Packet.Pool.assign pool pkt;
+  let r = Helpers.run_one worker program pkt in
+  Alcotest.(check int) "dropped after deletion" 1 r.Metrics.drops;
+  (* Deleting again: session not found. *)
+  Alcotest.(check int) "second deletion fails" Netcore.Pfcp.cause_session_not_found
+    (Nfs.Smf.delete smf upf ~up_seid)
+
+let test_agent_survives_garbage () =
+  let _, _, upf = empty_upf () in
+  let response = Nfs.Upf.handle_pfcp upf "not pfcp at all" in
+  match Netcore.Pfcp.decode response with
+  | { Netcore.Pfcp.payload = Netcore.Pfcp.Establishment_response r; _ } ->
+      Alcotest.(check int) "garbage rejected gracefully"
+        Netcore.Pfcp.cause_request_rejected r.cause
+  | _ -> Alcotest.fail "expected a rejection response"
+
+let qcheck_codec_roundtrip =
+  QCheck.Test.make ~name:"PFCP establishment roundtrips for any shape" ~count:100
+    QCheck.(triple (int_range 1 32) (int_range 0 0xFFFF) small_int)
+    (fun (n_pdrs, teid, ue_i) ->
+      let pdrs, fars = Nfs.Smf.rules ~n_pdrs ~teid:(Int32.of_int teid) ~ran_ip in
+      let pkt =
+        {
+          Netcore.Pfcp.seid = 0L;
+          seq = 1;
+          payload =
+            Netcore.Pfcp.Establishment_request
+              {
+                cp_seid = Int64.of_int ue_i;
+                cp_addr = 1l;
+                ue_ip = Int32.of_int ue_i;
+                pdrs;
+                fars;
+              };
+        }
+      in
+      match Netcore.Pfcp.decode (Netcore.Pfcp.encode pkt) with
+      | { Netcore.Pfcp.payload = Netcore.Pfcp.Establishment_request e; _ } ->
+          List.length e.Netcore.Pfcp.pdrs = n_pdrs
+          && (List.hd e.Netcore.Pfcp.fars).Netcore.Pfcp.outer_teid = Int32.of_int teid
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "codec: establishment roundtrip" `Quick
+      test_codec_roundtrip_establishment;
+    Alcotest.test_case "codec: response roundtrips" `Quick test_codec_roundtrip_responses;
+    Alcotest.test_case "codec: malformed rejected" `Quick test_codec_rejects_malformed;
+    Alcotest.test_case "codec: truncated IE" `Quick test_codec_truncated_ie;
+    Alcotest.test_case "smf establishes 100 sessions" `Quick test_smf_establishes_sessions;
+    Alcotest.test_case "duplicate UE rejected" `Quick test_duplicate_ue_rejected;
+    Alcotest.test_case "capacity exhaustion" `Quick test_capacity_exhaustion;
+    Alcotest.test_case "wrong PDR shape rejected" `Quick test_wrong_pdr_shape_rejected;
+    Alcotest.test_case "traffic after establishment" `Quick test_traffic_after_establishment;
+    Alcotest.test_case "deletion stops traffic" `Quick test_deletion_stops_traffic;
+    Alcotest.test_case "agent survives garbage" `Quick test_agent_survives_garbage;
+    QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+  ]

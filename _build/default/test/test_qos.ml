@@ -1,0 +1,170 @@
+(* Token-bucket QoS enforcement (QER) and pcap trace replay. *)
+
+open Gunfu
+
+(* ----- token bucket ----- *)
+
+let test_bucket_burst_then_police () =
+  let b =
+    Structures.Token_bucket.create ~rate_bytes_per_sec:1_000_000 ~burst_bytes:3000
+      ~freq_ghz:2.7 ()
+  in
+  (* Full burst admits 3000 bytes at t=0... *)
+  Alcotest.(check bool) "first" true (Structures.Token_bucket.admit b ~now:0 ~bytes:1500);
+  Alcotest.(check bool) "second" true (Structures.Token_bucket.admit b ~now:0 ~bytes:1500);
+  (* ...then polices. *)
+  Alcotest.(check bool) "exhausted" false (Structures.Token_bucket.admit b ~now:0 ~bytes:100)
+
+let test_bucket_refills () =
+  let b =
+    Structures.Token_bucket.create ~rate_bytes_per_sec:2_700_000 ~burst_bytes:1000
+      ~freq_ghz:2.7 ()
+  in
+  ignore (Structures.Token_bucket.admit b ~now:0 ~bytes:1000);
+  Alcotest.(check bool) "empty" false (Structures.Token_bucket.admit b ~now:0 ~bytes:500);
+  (* 2.7 MB/s at 2.7 GHz = 1 byte per 1000 cycles: 500k cycles = 500B. *)
+  Alcotest.(check bool) "refilled" true
+    (Structures.Token_bucket.admit b ~now:500_000 ~bytes:500);
+  Alcotest.(check int) "drained again" 0
+    (Structures.Token_bucket.available_bytes b ~now:500_000)
+
+let test_bucket_caps_at_burst () =
+  let b =
+    Structures.Token_bucket.create ~rate_bytes_per_sec:1_000_000 ~burst_bytes:1000
+      ~freq_ghz:2.7 ()
+  in
+  (* An eternity of idling never exceeds the burst size. *)
+  Alcotest.(check int) "capped" 1000
+    (Structures.Token_bucket.available_bytes b ~now:10_000_000_000)
+
+let test_bucket_validation () =
+  match
+    Structures.Token_bucket.create ~rate_bytes_per_sec:0 ~burst_bytes:1 ~freq_ghz:2.7 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero rate accepted"
+
+(* ----- UPF with QER ----- *)
+
+let qos_upf ~rate_bytes_per_sec () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let mgw = Traffic.Mgw.create ~n_sessions:8 ~n_pdrs:2 ~wire_len:1000 () in
+  let upf =
+    Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs:2 ()
+  in
+  Nfs.Upf.populate upf;
+  let qos =
+    Nfs.Upf.create_qos layout upf ~rate_bytes_per_sec ~burst_bytes:2000 ~freq_ghz:2.7
+  in
+  let program = Nfs.Upf.program_with_qos upf qos in
+  let pool = Netcore.Packet.Pool.create layout ~count:64 in
+  (worker, mgw, pool, upf, qos, program)
+
+let burst_to_session (worker, mgw, pool, _upf, _qos, program) ~si ~packets =
+  let items =
+    List.init packets (fun _ ->
+        let s = Traffic.Mgw.session mgw si in
+        let lo, _ = Traffic.Mgw.pdr_port_range ~n_pdrs:2 ~pdr:0 in
+        let flow =
+          Netcore.Flow.make ~src_ip:1l ~dst_ip:s.Traffic.Mgw.ue_ip ~src_port:lo
+            ~dst_port:10000 ~proto:Netcore.Ipv4.proto_udp
+        in
+        let pkt = Netcore.Packet.make ~flow ~wire_len:1000 () in
+        Netcore.Packet.Pool.assign pool pkt;
+        { Workload.packet = Some pkt; aux = 0; flow_hint = si })
+  in
+  Rtc.run worker program (Workload.total_items items)
+
+let test_qer_polices_a_burst () =
+  (* Tiny rate: the 2000B burst admits 2 x 1000B packets, rest policed. *)
+  let env = qos_upf ~rate_bytes_per_sec:1000 () in
+  let r = burst_to_session env ~si:3 ~packets:10 in
+  let _, _, _, upf, qos, _ = env in
+  Alcotest.(check int) "conformant packets" 2 qos.Nfs.Upf.conformant;
+  Alcotest.(check int) "policed packets" 8 qos.Nfs.Upf.policed;
+  Alcotest.(check int) "drops reported" 8 r.Metrics.drops;
+  Alcotest.(check int) "only conformant packets encapsulated" 2 upf.Nfs.Upf.encapsulated
+
+let test_qer_per_session_isolation () =
+  (* Session 1 exhausts its bucket; session 2's is untouched. *)
+  let env = qos_upf ~rate_bytes_per_sec:1000 () in
+  ignore (burst_to_session env ~si:1 ~packets:5);
+  let r2 = burst_to_session env ~si:2 ~packets:2 in
+  Alcotest.(check int) "other session unaffected" 0 r2.Metrics.drops
+
+let test_qer_generous_rate_passes_everything () =
+  (* The RTC pace offers ~1000 B / ~1800 cycles = ~1.5 GB/s; a 10 GB/s AMBR
+     must police nothing. *)
+  let env = qos_upf ~rate_bytes_per_sec:10_000_000_000 () in
+  let r = burst_to_session env ~si:0 ~packets:20 in
+  Alcotest.(check int) "no policing above the offered rate" 0 r.Metrics.drops
+
+(* ----- pcap replay ----- *)
+
+let test_pcap_replay_roundtrip () =
+  (* Generate traffic, capture it, replay the capture through a NAT: the
+     replayed flows must be the generated ones, in order. *)
+  let gen =
+    Traffic.Flowgen.create ~seed:31 ~n_flows:32 ~size_model:(Traffic.Flowgen.Fixed 200) ()
+  in
+  let pkts = Array.to_list (Traffic.Flowgen.batch gen 20) in
+  let w = Netcore.Pcap.create_writer () in
+  List.iteri (fun i p -> Netcore.Pcap.add_packet w ~ts_us:i p) pkts;
+  let records = Netcore.Pcap.parse (Netcore.Pcap.contents w) in
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let pool = Netcore.Packet.Pool.create layout ~count:32 in
+  let source = Workload.of_pcap records ~pool in
+  let replayed = ref [] in
+  let tap () =
+    match source () with
+    | None -> None
+    | Some item ->
+        (match item.Workload.packet with
+        | Some p -> replayed := p.Netcore.Packet.flow :: !replayed
+        | None -> ());
+        Some item
+  in
+  let nat = Nfs.Nat.create layout ~name:"nat" ~n_flows:64 () in
+  Nfs.Nat.populate nat (Traffic.Flowgen.flows gen);
+  let r = Rtc.run worker (Nfs.Nat.program nat) tap in
+  Alcotest.(check int) "all replayed packets processed" 20 r.Metrics.packets;
+  Alcotest.(check int) "replayed flows match capture" 0
+    (List.compare_lengths (List.rev !replayed) pkts);
+  List.iter2
+    (fun replayed_flow original ->
+      Alcotest.(check bool) "flow identity survives capture+replay" true
+        (Netcore.Flow.equal replayed_flow original.Netcore.Packet.flow))
+    (List.rev !replayed) pkts;
+  Alcotest.(check int) "NAT translated the replayed traffic (no drops)" 0 r.Metrics.drops
+
+let test_pcap_replay_orders_by_timestamp () =
+  let gen = Traffic.Flowgen.create ~seed:32 ~n_flows:4 () in
+  let p1 = Traffic.Flowgen.next gen and p2 = Traffic.Flowgen.next gen in
+  let w = Netcore.Pcap.create_writer () in
+  Netcore.Pcap.add_packet w ~ts_us:500 p1;
+  Netcore.Pcap.add_packet w ~ts_us:100 p2;
+  let records = Netcore.Pcap.parse (Netcore.Pcap.contents w) in
+  let layout = Memsim.Layout.create () in
+  let pool = Netcore.Packet.Pool.create layout ~count:8 in
+  let source = Workload.of_pcap records ~pool in
+  let first = Option.get (source ()) in
+  Alcotest.(check bool) "earliest timestamp first" true
+    (Netcore.Flow.equal
+       (Option.get first.Workload.packet).Netcore.Packet.flow
+       p2.Netcore.Packet.flow)
+
+let suite =
+  [
+    Alcotest.test_case "bucket burst then police" `Quick test_bucket_burst_then_police;
+    Alcotest.test_case "bucket refills" `Quick test_bucket_refills;
+    Alcotest.test_case "bucket caps at burst" `Quick test_bucket_caps_at_burst;
+    Alcotest.test_case "bucket validation" `Quick test_bucket_validation;
+    Alcotest.test_case "qer polices a burst" `Quick test_qer_polices_a_burst;
+    Alcotest.test_case "qer per-session isolation" `Quick test_qer_per_session_isolation;
+    Alcotest.test_case "qer generous rate" `Quick test_qer_generous_rate_passes_everything;
+    Alcotest.test_case "pcap replay roundtrip" `Quick test_pcap_replay_roundtrip;
+    Alcotest.test_case "pcap replay timestamp order" `Quick
+      test_pcap_replay_orders_by_timestamp;
+  ]

@@ -1,0 +1,230 @@
+(* Executors: RTC baseline vs the interleaved scheduler — functional
+   equivalence, accounting, and the performance relationships the paper's
+   execution model predicts. *)
+
+open Gunfu
+
+let test_rtc_processes_all () =
+  let s = Helpers.nat_setup () in
+  let r = Rtc.run s.Helpers.worker s.Helpers.program (Helpers.nat_source s ~count:500) in
+  Alcotest.(check int) "all packets completed" 500 r.Metrics.packets;
+  Alcotest.(check int) "no drops" 0 r.Metrics.drops;
+  Alcotest.(check bool) "cycles advanced" true (r.Metrics.cycles > 0);
+  Alcotest.(check int) "wire bytes accounted" (500 * 128) r.Metrics.wire_bytes
+
+let test_scheduler_processes_all () =
+  let s = Helpers.nat_setup () in
+  let r =
+    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:16
+      (Helpers.nat_source s ~count:500)
+  in
+  Alcotest.(check int) "all packets completed" 500 r.Metrics.packets;
+  Alcotest.(check int) "no drops" 0 r.Metrics.drops;
+  Alcotest.(check bool) "switches recorded" true (r.Metrics.switches > 500)
+
+let test_scheduler_single_task () =
+  let s = Helpers.nat_setup () in
+  let r =
+    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:1
+      (Helpers.nat_source s ~count:100)
+  in
+  Alcotest.(check int) "single task completes everything" 100 r.Metrics.packets
+
+let test_scheduler_more_tasks_than_packets () =
+  let s = Helpers.nat_setup () in
+  let r =
+    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:64
+      (Helpers.nat_source s ~count:10)
+  in
+  Alcotest.(check int) "completes with idle tasks" 10 r.Metrics.packets
+
+let test_scheduler_empty_source () =
+  let s = Helpers.nat_setup () in
+  let r =
+    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:8
+      (Helpers.nat_source s ~count:0)
+  in
+  Alcotest.(check int) "empty source" 0 r.Metrics.packets
+
+let test_invalid_n_tasks () =
+  let s = Helpers.nat_setup () in
+  match
+    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:0
+      (Helpers.nat_source s ~count:1)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n_tasks = 0 must be rejected"
+
+(* Functional equivalence: both executors perform the same rewrites. *)
+let test_models_equivalent_effects () =
+  let run exec =
+    let s = Helpers.nat_setup ~seed:7 () in
+    let packets = ref [] in
+    let base = Helpers.nat_source s ~count:200 in
+    let tap () =
+      match base () with
+      | None -> None
+      | Some item ->
+          (match item.Workload.packet with Some p -> packets := p :: !packets | None -> ());
+          Some item
+    in
+    let _ = exec s.Helpers.worker s.Helpers.program tap in
+    List.rev_map Netcore.Packet.flow_of_headers !packets
+  in
+  let rtc_flows = run (fun w p src -> Rtc.run w p src) in
+  let il_flows = run (fun w p src -> Scheduler.run w p ~n_tasks:16 src) in
+  Alcotest.(check int) "same count" (List.length rtc_flows) (List.length il_flows);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "identical header rewrites" true (Netcore.Flow.equal a b))
+    rtc_flows il_flows
+
+let test_nat_rewrite_applied () =
+  let s = Helpers.nat_setup () in
+  let flow = Traffic.Flowgen.flow s.Helpers.gen 5 in
+  let pkt = Netcore.Packet.make ~flow ~wire_len:128 () in
+  Netcore.Packet.Pool.assign s.Helpers.pool pkt;
+  let r = Helpers.run_one s.Helpers.worker s.Helpers.program pkt in
+  Alcotest.(check int) "one packet" 1 r.Metrics.packets;
+  let out = Netcore.Packet.flow_of_headers pkt in
+  Alcotest.(check string) "source translated"
+    (Netcore.Ipv4.addr_to_string s.Helpers.nat.Nfs.Nat.map_ip.(5))
+    (Netcore.Ipv4.addr_to_string out.Netcore.Flow.src_ip);
+  Alcotest.(check int) "port translated" s.Helpers.nat.Nfs.Nat.map_port.(5)
+    out.Netcore.Flow.src_port;
+  Alcotest.(check bool) "destination untouched" true
+    (Int32.equal out.Netcore.Flow.dst_ip flow.Netcore.Flow.dst_ip);
+  Alcotest.(check bool) "ip checksum remains valid" true
+    (Netcore.Ipv4.header_valid pkt.Netcore.Packet.buf ~off:pkt.Netcore.Packet.l3_off)
+
+let test_unknown_flow_dropped () =
+  let s = Helpers.nat_setup () in
+  (* A flow outside the populated universe: MATCH_FAIL -> drop. *)
+  let stranger =
+    Netcore.Flow.make ~src_ip:(Netcore.Ipv4.addr_of_string "172.16.99.99")
+      ~dst_ip:(Netcore.Ipv4.addr_of_string "172.16.0.1") ~src_port:4999 ~dst_port:4999
+      ~proto:17
+  in
+  let pkt = Netcore.Packet.make ~flow:stranger ~wire_len:64 () in
+  Netcore.Packet.Pool.assign s.Helpers.pool pkt;
+  let r = Helpers.run_one s.Helpers.worker s.Helpers.program pkt in
+  Alcotest.(check int) "completed" 1 r.Metrics.packets;
+  Alcotest.(check int) "dropped" 1 r.Metrics.drops;
+  Alcotest.(check int) "dropped bytes not counted" 0 r.Metrics.wire_bytes
+
+(* ----- the execution-model relationships (§VII-A) ----- *)
+
+let measured ~n_tasks =
+  let s = Helpers.nat_setup ~n_flows:65536 () in
+  let count = 20_000 in
+  if n_tasks = 0 then
+    Rtc.run s.Helpers.worker s.Helpers.program (Helpers.nat_source s ~count)
+  else
+    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks
+      (Helpers.nat_source s ~count)
+
+let test_interleaving_beats_rtc () =
+  let rtc = measured ~n_tasks:0 in
+  let il = measured ~n_tasks:16 in
+  Alcotest.(check bool) "16 NFTasks at least 1.5x RTC" true
+    (Metrics.mpps il > 1.5 *. Metrics.mpps rtc)
+
+let test_single_task_overhead () =
+  (* Fig 11: one NFTask is worse than RTC — scheduler overhead without
+     overlap. *)
+  let rtc = measured ~n_tasks:0 in
+  let il1 = measured ~n_tasks:1 in
+  Alcotest.(check bool) "1 NFTask slower than RTC" true
+    (Metrics.mpps il1 < Metrics.mpps rtc)
+
+let test_interleaving_reduces_misses () =
+  let rtc = measured ~n_tasks:0 in
+  let il = measured ~n_tasks:16 in
+  Alcotest.(check bool) "fewer L1 misses per packet" true
+    (Metrics.l1_misses_per_packet il < Metrics.l1_misses_per_packet rtc);
+  Alcotest.(check bool) "LLC misses nearly eliminated" true
+    (Metrics.llc_misses_per_packet il < 0.2 *. Metrics.llc_misses_per_packet rtc)
+
+let test_interleaving_raises_ipc () =
+  let rtc = measured ~n_tasks:0 in
+  let il = measured ~n_tasks:16 in
+  Alcotest.(check bool) "IPC improves" true (Metrics.ipc il > Metrics.ipc rtc)
+
+let test_prefetches_issued_only_when_interleaving () =
+  let rtc = measured ~n_tasks:0 in
+  let il = measured ~n_tasks:16 in
+  Alcotest.(check int) "RTC never prefetches" 0 rtc.Metrics.mem.Memsim.Memstats.prefetch_issued;
+  Alcotest.(check bool) "scheduler prefetches" true
+    (il.Metrics.mem.Memsim.Memstats.prefetch_issued > 0)
+
+let test_ready_first_policy () =
+  (* Same packets processed, same effects, and never slower at low task
+     counts. *)
+  let run policy =
+    let s = Helpers.nat_setup ~n_flows:16384 ~seed:6 () in
+    Scheduler.run ~policy s.Helpers.worker s.Helpers.program ~n_tasks:4
+      (Helpers.nat_source s ~count:5000)
+  in
+  let rr = run Scheduler.Round_robin in
+  let rf = run Scheduler.Ready_first in
+  Alcotest.(check int) "same packet count" rr.Metrics.packets rf.Metrics.packets;
+  Alcotest.(check int) "same drops" rr.Metrics.drops rf.Metrics.drops;
+  Alcotest.(check bool) "ready-first not slower at 4 tasks" true
+    (Metrics.mpps rf >= Metrics.mpps rr *. 0.98)
+
+let test_state_access_share_drops () =
+  let rtc = measured ~n_tasks:0 in
+  let il = measured ~n_tasks:16 in
+  let share r = Metrics.state_access_share r [ Sref.Match_state; Sref.Per_flow ] in
+  Alcotest.(check bool) "state-access share shrinks under interleaving" true
+    (share il < share rtc)
+
+(* Property: for any traffic seed, every execution model produces the same
+   observable per-flow effects (monitor accounting) — the execution model
+   changes performance, never semantics. *)
+let qcheck_models_semantically_equal =
+  QCheck.Test.make ~name:"all execution models produce identical effects" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let run exec =
+        let worker = Worker.create ~id:0 () in
+        let layout = Worker.layout worker in
+        let gen =
+          Traffic.Flowgen.create ~seed ~n_flows:512
+            ~size_model:(Traffic.Flowgen.Fixed 128) ()
+        in
+        let pool = Netcore.Packet.Pool.create layout ~count:64 in
+        let nm = Nfs.Monitor.create layout ~name:"nm" ~n_flows:512 () in
+        Nfs.Monitor.populate nm (Traffic.Flowgen.flows gen);
+        let program = Nfs.Monitor.program nm in
+        let _ = exec worker program (Workload.of_flowgen gen ~pool ~count:800) in
+        Array.copy nm.Nfs.Monitor.pkt_count
+      in
+      let rtc = run (fun w p s -> Rtc.run w p s) in
+      let il = run (fun w p s -> Scheduler.run w p ~n_tasks:16 s) in
+      let batch = run (fun w p s -> Batch_rtc.run w p s) in
+      let rf =
+        run (fun w p s -> Scheduler.run ~policy:Scheduler.Ready_first w p ~n_tasks:16 s)
+      in
+      rtc = il && il = batch && batch = rf)
+
+let suite =
+  [
+    Alcotest.test_case "rtc processes all" `Quick test_rtc_processes_all;
+    QCheck_alcotest.to_alcotest qcheck_models_semantically_equal;
+    Alcotest.test_case "scheduler processes all" `Quick test_scheduler_processes_all;
+    Alcotest.test_case "scheduler single task" `Quick test_scheduler_single_task;
+    Alcotest.test_case "more tasks than packets" `Quick test_scheduler_more_tasks_than_packets;
+    Alcotest.test_case "empty source" `Quick test_scheduler_empty_source;
+    Alcotest.test_case "invalid n_tasks" `Quick test_invalid_n_tasks;
+    Alcotest.test_case "models equivalent effects" `Quick test_models_equivalent_effects;
+    Alcotest.test_case "nat rewrite applied" `Quick test_nat_rewrite_applied;
+    Alcotest.test_case "unknown flow dropped" `Quick test_unknown_flow_dropped;
+    Alcotest.test_case "interleaving beats RTC" `Slow test_interleaving_beats_rtc;
+    Alcotest.test_case "single task overhead" `Slow test_single_task_overhead;
+    Alcotest.test_case "interleaving reduces misses" `Slow test_interleaving_reduces_misses;
+    Alcotest.test_case "interleaving raises IPC" `Slow test_interleaving_raises_ipc;
+    Alcotest.test_case "prefetch accounting" `Slow test_prefetches_issued_only_when_interleaving;
+    Alcotest.test_case "ready-first policy" `Slow test_ready_first_policy;
+    Alcotest.test_case "state-access share drops" `Slow test_state_access_share_drops;
+  ]

@@ -1,0 +1,198 @@
+(* YAML-subset parser and the specification layer. *)
+
+open Gunfu
+
+(* ----- yaml ----- *)
+
+let test_yaml_scalar_map () =
+  let y = Yaml_lite.of_string "module: nat\ncategory: StatefulNF\n" in
+  Alcotest.(check (option string)) "scalar" (Some "nat")
+    (Option.bind (Yaml_lite.find "module" y) Yaml_lite.scalar);
+  Alcotest.(check (option string)) "second key" (Some "StatefulNF")
+    (Option.bind (Yaml_lite.find "category" y) Yaml_lite.scalar)
+
+let test_yaml_list () =
+  let y = Yaml_lite.of_string "items:\n- a\n- b\n- c\n" in
+  Alcotest.(check (option (list string))) "list items" (Some [ "a"; "b"; "c" ])
+    (Option.bind (Yaml_lite.find "items" y) Yaml_lite.scalar_list)
+
+let test_yaml_nested_map () =
+  let y = Yaml_lite.of_string "fetching:\n  hash_1:\n  - header\n  check_1:\n  - bucket\n" in
+  match Yaml_lite.find "fetching" y with
+  | Some (Yaml_lite.Map kvs) ->
+      Alcotest.(check (list string)) "nested keys" [ "hash_1"; "check_1" ] (List.map fst kvs);
+      Alcotest.(check (option (list string))) "nested list" (Some [ "bucket" ])
+        (Yaml_lite.scalar_list (List.assoc "check_1" kvs))
+  | _ -> Alcotest.fail "expected nested map"
+
+let test_yaml_comments_and_blanks () =
+  let y = Yaml_lite.of_string "# leading comment\n\nkey: value # trailing\n\n" in
+  Alcotest.(check (option string)) "comments stripped" (Some "value")
+    (Option.bind (Yaml_lite.find "key" y) Yaml_lite.scalar)
+
+let test_yaml_indented_block () =
+  let y = Yaml_lite.of_string "states:\n  bucket: match\n  header: packet\n" in
+  match Yaml_lite.find "states" y with
+  | Some (Yaml_lite.Map kvs) ->
+      Alcotest.(check (option string)) "inner scalar" (Some "match")
+        (Yaml_lite.scalar (List.assoc "bucket" kvs))
+  | _ -> Alcotest.fail "expected map"
+
+let test_yaml_tab_rejected () =
+  match Yaml_lite.of_string "key:\n\tvalue: x\n" with
+  | exception Yaml_lite.Parse_error (2, _) -> ()
+  | _ -> Alcotest.fail "tabs must be rejected"
+
+let test_yaml_empty_list_item_rejected () =
+  match Yaml_lite.of_string "items:\n- \n" with
+  | exception Yaml_lite.Parse_error (_, _) -> ()
+  | _ -> Alcotest.fail "empty list item must be rejected"
+
+(* ----- spec ----- *)
+
+let test_module_spec_parses () =
+  let m = Lazy.force Nfs.Classifier.spec in
+  Alcotest.(check string) "name" "flow_classifier" m.Spec.m_name;
+  Alcotest.(check string) "category" "StatefulClassifier" m.Spec.m_category;
+  Alcotest.(check bool) "parameters include capacity" true
+    (List.mem "capacity" m.Spec.m_parameters);
+  Alcotest.(check bool) "has Start transition" true
+    (List.exists (fun t -> t.Spec.src = "Start" && t.Spec.event = "packet") m.Spec.m_transitions);
+  Alcotest.(check (option string)) "bucket is match state" (Some "match")
+    (List.assoc_opt "bucket" m.Spec.m_states);
+  Alcotest.(check bool) "fetching for bucket_check_1" true
+    (List.mem_assoc "bucket_check_1" m.Spec.m_fetching)
+
+let test_transition_parsing () =
+  let t = Spec.parse_transition "check_1, MATCH_SUCCESS -> End" in
+  Alcotest.(check string) "src" "check_1" t.Spec.src;
+  Alcotest.(check string) "event" "MATCH_SUCCESS" t.Spec.event;
+  Alcotest.(check string) "dst" "End" t.Spec.dst
+
+let test_transition_malformed () =
+  List.iter
+    (fun s ->
+      match Spec.parse_transition s with
+      | exception Spec.Spec_error _ -> ()
+      | _ -> Alcotest.fail ("accepted malformed transition " ^ s))
+    [ "no_comma->x"; "a,b"; "a,->c"; ",ev->c" ]
+
+let minimal_module extra =
+  Printf.sprintf
+    "module: m\ncategory: StatefulNF\ntransitions:\n- Start,packet->work\n- work,packet->End\n%s"
+    extra
+
+let test_validate_ok () =
+  Spec.validate_module (Spec.module_spec_of_string (minimal_module ""))
+
+let test_validate_no_end () =
+  let m =
+    Spec.module_spec_of_string
+      "module: m\ncategory: X\ntransitions:\n- Start,packet->work\n- work,go->work\n"
+  in
+  match Spec.validate_module m with
+  | exception Spec.Spec_error msg ->
+      Alcotest.(check bool) "mentions End" true
+        (String.length msg > 0 && String.sub msg 0 8 = "module m")
+  | () -> Alcotest.fail "missing End must fail validation"
+
+let test_validate_nondeterministic () =
+  let m =
+    Spec.module_spec_of_string
+      "module: m\ncategory: X\ntransitions:\n- Start,packet->a\n- a,go->End\n- a,go->b\n- b,go->End\n"
+  in
+  match Spec.validate_module m with
+  | exception Spec.Spec_error _ -> ()
+  | () -> Alcotest.fail "non-deterministic delta must fail"
+
+let test_validate_unreachable () =
+  let m =
+    Spec.module_spec_of_string
+      "module: m\ncategory: X\ntransitions:\n- Start,packet->a\n- a,go->End\n- zombie,go->End\n"
+  in
+  match Spec.validate_module m with
+  | exception Spec.Spec_error _ -> ()
+  | () -> Alcotest.fail "unreachable state must fail"
+
+let test_validate_fetching_unknown_cs () =
+  let m =
+    Spec.module_spec_of_string
+      (minimal_module "fetching:\n  nonexistent:\n  - foo\nstates:\n  foo: per_flow\n")
+  in
+  match Spec.validate_module m with
+  | exception Spec.Spec_error _ -> ()
+  | () -> Alcotest.fail "fetching for unknown control state must fail"
+
+let test_validate_fetching_undeclared_state () =
+  let m =
+    Spec.module_spec_of_string
+      (minimal_module "fetching:\n  work:\n  - mystery\nstates:\n  known: per_flow\n")
+  in
+  match Spec.validate_module m with
+  | exception Spec.Spec_error _ -> ()
+  | () -> Alcotest.fail "undeclared state in fetching must fail"
+
+let test_nf_spec_parses () =
+  let nf =
+    Spec.nf_spec_of_string
+      "nf: nat\nmodules:\n  cls: flow_classifier\n  map: flow_mapper\ntransitions:\n- cls,MATCH_SUCCESS->map\n- map,packet->End\n"
+  in
+  Alcotest.(check string) "name" "nat" nf.Spec.n_name;
+  Alcotest.(check int) "two modules" 2 (List.length nf.Spec.n_modules);
+  Spec.validate_nf nf ~known_modules:[ "flow_classifier"; "flow_mapper" ]
+
+let test_nf_spec_unknown_module () =
+  let nf =
+    Spec.nf_spec_of_string "nf: x\nmodules:\n  a: mystery\ntransitions:\n- a,packet->End\n"
+  in
+  match Spec.validate_nf nf ~known_modules:[ "flow_classifier" ] with
+  | exception Spec.Spec_error _ -> ()
+  | () -> Alcotest.fail "unknown module type must fail"
+
+let test_nf_spec_unknown_instance_transition () =
+  let nf =
+    Spec.nf_spec_of_string
+      "nf: x\nmodules:\n  a: flow_classifier\ntransitions:\n- ghost,packet->End\n"
+  in
+  match Spec.validate_nf nf ~known_modules:[ "flow_classifier" ] with
+  | exception Spec.Spec_error _ -> ()
+  | () -> Alcotest.fail "transition from unknown instance must fail"
+
+let test_all_shipped_specs_validate () =
+  List.iter Spec.validate_module
+    [
+      Lazy.force Nfs.Classifier.spec;
+      Lazy.force Nfs.Nat.mapper_spec;
+      Lazy.force Nfs.Lb.spec;
+      Lazy.force Nfs.Firewall.spec;
+      Lazy.force Nfs.Monitor.spec;
+      Lazy.force Nfs.Upf.pdr_spec;
+      Lazy.force Nfs.Upf.encap_spec;
+      Lazy.force Nfs.Amf.spec;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "yaml scalar map" `Quick test_yaml_scalar_map;
+    Alcotest.test_case "yaml list" `Quick test_yaml_list;
+    Alcotest.test_case "yaml nested map" `Quick test_yaml_nested_map;
+    Alcotest.test_case "yaml comments/blanks" `Quick test_yaml_comments_and_blanks;
+    Alcotest.test_case "yaml indented block" `Quick test_yaml_indented_block;
+    Alcotest.test_case "yaml tab rejected" `Quick test_yaml_tab_rejected;
+    Alcotest.test_case "yaml empty item rejected" `Quick test_yaml_empty_list_item_rejected;
+    Alcotest.test_case "listing-1 module spec parses" `Quick test_module_spec_parses;
+    Alcotest.test_case "transition parsing" `Quick test_transition_parsing;
+    Alcotest.test_case "malformed transitions" `Quick test_transition_malformed;
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate missing End" `Quick test_validate_no_end;
+    Alcotest.test_case "validate nondeterministic" `Quick test_validate_nondeterministic;
+    Alcotest.test_case "validate unreachable" `Quick test_validate_unreachable;
+    Alcotest.test_case "validate fetching unknown cs" `Quick test_validate_fetching_unknown_cs;
+    Alcotest.test_case "validate fetching undeclared state" `Quick
+      test_validate_fetching_undeclared_state;
+    Alcotest.test_case "nf spec parses" `Quick test_nf_spec_parses;
+    Alcotest.test_case "nf spec unknown module" `Quick test_nf_spec_unknown_module;
+    Alcotest.test_case "nf spec unknown instance" `Quick
+      test_nf_spec_unknown_instance_transition;
+    Alcotest.test_case "all shipped specs validate" `Quick test_all_shipped_specs_validate;
+  ]

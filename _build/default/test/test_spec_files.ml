@@ -1,0 +1,76 @@
+(* The standalone specification files under specs/ (the artifacts
+   architects hand to the director, Fig 4): every file must parse,
+   validate, and agree with the corresponding built-in spec. *)
+
+open Gunfu
+
+let specs_dir = "../specs"
+
+let read path =
+  let ic = open_in (Filename.concat specs_dir path) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let module_files =
+  [
+    ("flow_classifier.yaml", Nfs.Classifier.spec);
+    ("flow_mapper.yaml", Nfs.Nat.mapper_spec);
+    ("nat_learner.yaml", Nfs.Nat.learner_spec);
+    ("lb_forwarder.yaml", Nfs.Lb.spec);
+    ("fw_filter.yaml", Nfs.Firewall.spec);
+    ("nm_counter.yaml", Nfs.Monitor.spec);
+    ("pdr_matcher.yaml", Nfs.Upf.pdr_spec);
+    ("upf_encap.yaml", Nfs.Upf.encap_spec);
+    ("upf_decap.yaml", Nfs.Upf.decap_spec);
+  ]
+
+let test_module_files_parse_and_validate () =
+  List.iter
+    (fun (file, _) ->
+      let m = Spec.module_spec_of_string (read file) in
+      Spec.validate_module m)
+    module_files
+
+let test_module_files_match_builtins () =
+  List.iter
+    (fun (file, builtin) ->
+      let on_disk = Spec.module_spec_of_string (read file) in
+      let built_in = Lazy.force builtin in
+      Alcotest.(check string) (file ^ ": name") built_in.Spec.m_name on_disk.Spec.m_name;
+      Alcotest.(check bool) (file ^ ": transitions") true
+        (on_disk.Spec.m_transitions = built_in.Spec.m_transitions);
+      Alcotest.(check bool) (file ^ ": fetching") true
+        (on_disk.Spec.m_fetching = built_in.Spec.m_fetching);
+      Alcotest.(check bool) (file ^ ": states") true
+        (on_disk.Spec.m_states = built_in.Spec.m_states))
+    module_files
+
+let test_nf_files_parse_and_validate () =
+  let known = List.map (fun (_, b) -> (Lazy.force b).Spec.m_name) module_files in
+  List.iter
+    (fun file ->
+      let nf = Spec.nf_spec_of_string (read file) in
+      Spec.validate_nf nf ~known_modules:known)
+    [ "nat.yaml"; "upf_downlink.yaml"; "sfc4.yaml" ]
+
+let test_sfc4_file_matches_builder () =
+  (* The on-disk sfc4 composition must produce the same module wiring as
+     the Sfc builder. *)
+  let on_disk = Spec.nf_spec_of_string (read "sfc4.yaml") in
+  let layout = Memsim.Layout.create () in
+  let sfc = Nfs.Sfc.create layout ~length:4 ~packed:false ~n_flows:16 () in
+  let built, _ = Nfs.Nf_unit.chain ~name:"sfc4" (Nfs.Sfc.units sfc) in
+  Alcotest.(check (list (pair string string))) "same instances" built.Spec.n_modules
+    on_disk.Spec.n_modules;
+  let norm t = List.sort compare (List.map (fun tr -> (tr.Spec.src, tr.Spec.event, tr.Spec.dst)) t) in
+  Alcotest.(check (list (triple string string string))) "same wiring"
+    (norm built.Spec.n_transitions) (norm on_disk.Spec.n_transitions)
+
+let suite =
+  [
+    Alcotest.test_case "module files parse+validate" `Quick test_module_files_parse_and_validate;
+    Alcotest.test_case "module files match builtins" `Quick test_module_files_match_builtins;
+    Alcotest.test_case "nf files parse+validate" `Quick test_nf_files_parse_and_validate;
+    Alcotest.test_case "sfc4 file matches builder" `Quick test_sfc4_file_matches_builder;
+  ]
