@@ -234,6 +234,70 @@ let compose_cmd nf_file specs_dir model flows packets =
   | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
   | Sys_error msg -> `Error (false, msg)
 
+(* ----- check command: the differential execution oracle ----- *)
+
+let check_cmd programs seed packets profile spec specs_dir no_minimize =
+  try
+    let cases =
+      match spec with
+      | Some "all" -> Check.Progen.spec_cases ~specs_dir ~seed ~packets
+      | Some name -> (
+          try [ Check.Progen.spec_case ~specs_dir ~name ~seed ~packets ]
+          with Invalid_argument m -> raise (Gunfu.Spec.Spec_error m))
+      | None -> (
+          match profile with
+          | Some p when not (List.mem p Check.Progen.profiles) ->
+              invalid_arg
+                (Printf.sprintf "unknown profile %s (expected one of: %s)" p
+                   (String.concat ", " Check.Progen.profiles))
+          | Some p ->
+              List.init programs (fun i ->
+                  Check.Progen.case ~seed:(seed + i) ~profile:p ~packets)
+          | None -> Check.Progen.cases ~seed ~count:programs ~packets)
+    in
+    let divergences = ref 0 in
+    let violations = ref 0 in
+    List.iter
+      (fun (case : Check.Oracle.case) ->
+        let diverged =
+          match Check.Oracle.check_case ~minimized:(not no_minimize) case with
+          | Some d ->
+              incr divergences;
+              Fmt.pr "%a@." Check.Oracle.pp_divergence d;
+              true
+          | None -> false
+        in
+        let viols = Check.Invariants.check_case case in
+        List.iter
+          (fun (exec, viol) ->
+            incr violations;
+            Fmt.pr "INVARIANT VIOLATION in case %s under %s: %a@,replay: %s@."
+              case.Check.Oracle.c_name exec Check.Invariants.pp_violation viol
+              (case.Check.Oracle.c_repro ~packets:case.Check.Oracle.c_packets))
+          viols;
+        if (not diverged) && viols = [] then
+          Fmt.pr "case %-18s seed %-6d profile %-8s %d packets x %d executors: agree@."
+            case.Check.Oracle.c_name case.Check.Oracle.c_seed
+            case.Check.Oracle.c_profile case.Check.Oracle.c_packets
+            (List.length Check.Oracle.executor_names))
+      cases;
+    if !divergences = 0 && !violations = 0 then begin
+      Fmt.pr "oracle: %d cases, %d executors each, no divergence@." (List.length cases)
+        (List.length Check.Oracle.executor_names);
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "oracle found %d divergence(s), %d invariant violation(s)"
+            !divergences !violations )
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
 let list_cmd () =
   Fmt.pr "network functions: %s@." nf_names;
   Fmt.pr "execution models:  rtc, batch, ilN (e.g. il16)@.";
@@ -282,6 +346,33 @@ let check_spec_t =
         (const check_spec_cmd
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")))
 
+let check_t =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential execution oracle: run generated (or specs/) NF programs \
+          through every executor (rtc, batch, both scheduler policies x task \
+          counts) and report any divergence with a minimized seed-replayable \
+          repro. Exits non-zero on divergence.")
+    Term.(
+      ret
+        (const check_cmd
+        $ Arg.(value & opt int 5 & info [ "programs" ] ~doc:"Generated programs per profile")
+        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed; program i uses seed+i")
+        $ Arg.(value & opt int 96 & info [ "packets" ] ~doc:"Packets per case")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "profile" ]
+                ~doc:"Only this traffic profile (uniform, zipf, burst, mix); default all")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "spec" ]
+                ~doc:"Check a specs/ composition (nat, sfc4, upf_downlink or all) instead of generated programs")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")))
+
 let list_t = Cmd.v (Cmd.info "list" ~doc:"List NFs and execution models") Term.(ret (const list_cmd $ const ()))
 
 let compose_t =
@@ -304,4 +395,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
-          [ run_t; inspect_t; check_spec_t; compose_t; list_t ]))
+          [ run_t; inspect_t; check_spec_t; check_t; compose_t; list_t ]))

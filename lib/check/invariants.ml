@@ -1,0 +1,163 @@
+(* Executor-independent invariants, checked on every oracle observation.
+   Unlike the differential diff (which needs a second run to compare
+   against), these hold for ANY correct executor in isolation:
+
+   - packet conservation: every pulled item completes, exactly once, and
+     the run's packet/drop/byte counters agree with the completion stream;
+   - per-flow order: each flow's packets complete in arrival order;
+   - monotone clock: completion times never run backwards, and fit inside
+     the run's measured cycle window;
+   - memsim accounting: every line access is served by exactly one level
+     (or an in-flight fill), prefetch issue/redundant/dropped books
+     balance, and outstanding fills never exceed the MSHR count. *)
+
+open Gunfu
+
+type violation = { v_rule : string; v_detail : string }
+
+let v rule fmt = Printf.ksprintf (fun s -> { v_rule = rule; v_detail = s }) fmt
+
+let check_conservation (o : Oracle.observation) : violation list =
+  let n_in = List.length o.Oracle.o_inputs in
+  let n_out = List.length o.Oracle.o_emits in
+  let drops = List.length (List.filter (fun e -> e.Oracle.e_dropped) o.Oracle.o_emits) in
+  let wire =
+    List.fold_left
+      (fun acc e -> if e.Oracle.e_dropped then acc else acc + e.Oracle.e_wire)
+      0 o.Oracle.o_emits
+  in
+  let run = o.Oracle.o_run in
+  List.concat
+    [
+      (if n_in <> n_out then
+         [ v "conservation" "%d items pulled but %d completed" n_in n_out ]
+       else []);
+      (if run.Metrics.packets <> n_out then
+         [
+           v "conservation" "run reports %d packets but %d completions observed"
+             run.Metrics.packets n_out;
+         ]
+       else []);
+      (if run.Metrics.drops <> drops then
+         [
+           v "conservation" "run reports %d drops but %d dropped completions observed"
+             run.Metrics.drops drops;
+         ]
+       else []);
+      (if run.Metrics.wire_bytes <> wire then
+         [
+           v "conservation" "run reports %d wire bytes but completions sum to %d"
+             run.Metrics.wire_bytes wire;
+         ]
+       else []);
+    ]
+
+(* Each flow's completions must carry that flow's packet ids in arrival
+   order — the per-flow order-preservation claim. Flow hint -1 marks items
+   the generator declared unordered; they are exempt. *)
+let check_flow_order (o : Oracle.observation) : violation list =
+  let arrivals : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (pid, flow) ->
+      if flow >= 0 then
+        match Hashtbl.find_opt arrivals flow with
+        | Some l -> l := pid :: !l
+        | None -> Hashtbl.add arrivals flow (ref [ pid ]))
+    o.Oracle.o_inputs;
+  let completions : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.Oracle.e_flow >= 0 then
+        match Hashtbl.find_opt completions e.Oracle.e_flow with
+        | Some l -> l := e.Oracle.e_pktid :: !l
+        | None -> Hashtbl.add completions e.Oracle.e_flow (ref [ e.Oracle.e_pktid ]))
+    o.Oracle.o_emits;
+  Hashtbl.fold
+    (fun flow arr acc ->
+      let expect = List.rev !arr in
+      let got =
+        match Hashtbl.find_opt completions flow with
+        | Some l -> List.rev !l
+        | None -> []
+      in
+      if expect <> got then
+        v "flow-order" "flow %d arrived as %s but completed as %s" flow
+          (String.concat "," (List.map string_of_int expect))
+          (String.concat "," (List.map string_of_int got))
+        :: acc
+      else acc)
+    arrivals []
+
+let check_clock (o : Oracle.observation) : violation list =
+  let rec monotone prev = function
+    | [] -> []
+    | e :: rest ->
+        if e.Oracle.e_clock < prev then
+          [
+            v "clock" "completion clock ran backwards: %d after %d" e.Oracle.e_clock
+              prev;
+          ]
+        else monotone e.Oracle.e_clock rest
+  in
+  let backwards = monotone 0 o.Oracle.o_emits in
+  let cycles = o.Oracle.o_run.Metrics.cycles in
+  let negative = if cycles < 0 then [ v "clock" "negative run cycles %d" cycles ] else [] in
+  backwards @ negative
+
+let check_memstats (o : Oracle.observation) : violation list =
+  let m = o.Oracle.o_run.Metrics.mem in
+  let served =
+    m.Memsim.Memstats.l1_hits + m.Memsim.Memstats.l2_hits + m.Memsim.Memstats.llc_hits
+    + m.Memsim.Memstats.dram_fills + m.Memsim.Memstats.mshr_waits
+  in
+  List.concat
+    [
+      (if served <> m.Memsim.Memstats.line_accesses then
+         [
+           v "memsim"
+             "per-level serves (%d) do not sum to line accesses (%d): l1=%d l2=%d llc=%d dram=%d mshr=%d"
+             served m.Memsim.Memstats.line_accesses m.Memsim.Memstats.l1_hits
+             m.Memsim.Memstats.l2_hits m.Memsim.Memstats.llc_hits
+             m.Memsim.Memstats.dram_fills m.Memsim.Memstats.mshr_waits;
+         ]
+       else []);
+      (let fields =
+         [
+           ("line_accesses", m.Memsim.Memstats.line_accesses);
+           ("l1_hits", m.Memsim.Memstats.l1_hits);
+           ("l2_hits", m.Memsim.Memstats.l2_hits);
+           ("llc_hits", m.Memsim.Memstats.llc_hits);
+           ("dram_fills", m.Memsim.Memstats.dram_fills);
+           ("mshr_waits", m.Memsim.Memstats.mshr_waits);
+           ("wait_cycles", m.Memsim.Memstats.wait_cycles);
+           ("prefetch_issued", m.Memsim.Memstats.prefetch_issued);
+           ("prefetch_redundant", m.Memsim.Memstats.prefetch_redundant);
+           ("prefetch_dropped", m.Memsim.Memstats.prefetch_dropped);
+         ]
+       in
+       List.filter_map
+         (fun (name, value) ->
+           if value < 0 then Some (v "memsim" "negative counter %s = %d" name value)
+           else None)
+         fields);
+      (if o.Oracle.o_mshr_pending > o.Oracle.o_mshr_limit then
+         [
+           v "memsim" "%d fills outstanding at end of run, MSHR limit is %d"
+             o.Oracle.o_mshr_pending o.Oracle.o_mshr_limit;
+         ]
+       else []);
+    ]
+
+let check (o : Oracle.observation) : violation list =
+  check_conservation o @ check_flow_order o @ check_clock o @ check_memstats o
+
+(* All invariants over every executor's observation of a case; the
+   returned violations are tagged with the executor label. *)
+let check_case (case : Oracle.case) : (string * violation) list =
+  List.concat_map
+    (fun x ->
+      let obs = Oracle.observe x (case.Oracle.c_build ~packets:case.Oracle.c_packets) in
+      List.map (fun viol -> (x.Oracle.x_name, viol)) (check obs))
+    (Oracle.reference :: Oracle.executors)
+
+let pp_violation ppf { v_rule; v_detail } = Fmt.pf ppf "[%s] %s" v_rule v_detail

@@ -1,0 +1,21 @@
+(** Executor-independent invariants checked on every oracle observation:
+    packet conservation (pulled = emitted + dropped, counters agree),
+    per-flow order preservation, monotone simulated clock, and memory-
+    hierarchy accounting (per-level serves sum to line accesses, counters
+    non-negative, outstanding fills within the MSHR budget). *)
+
+type violation = { v_rule : string; v_detail : string }
+
+val check_conservation : Oracle.observation -> violation list
+val check_flow_order : Oracle.observation -> violation list
+val check_clock : Oracle.observation -> violation list
+val check_memstats : Oracle.observation -> violation list
+
+(** All of the above. *)
+val check : Oracle.observation -> violation list
+
+(** Every executor over a fresh instance of the case; violations tagged
+    with the executor label. *)
+val check_case : Oracle.case -> (string * violation) list
+
+val pp_violation : Format.formatter -> violation -> unit

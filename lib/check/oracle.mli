@@ -1,0 +1,99 @@
+(** Differential execution oracle: run one program + workload through every
+    executor (RTC as the semantic reference; Batch_rtc over several batch
+    sizes; Scheduler over both policies × several task counts) and diff the
+    observable behaviour — emitted packet streams, drop/emit/byte counts,
+    per-flow output order, final NF state. Divergences come with a
+    minimized, seed-replayable repro.
+
+    Executors mutate packets and NF state in place, so a {!case} builds a
+    fresh {!instance} (worker, program, state, workload) per run from its
+    deterministic seed. *)
+
+open Gunfu
+
+type emit = {
+  e_flow : int;  (** workload flow hint; -1 = unordered *)
+  e_aux : int;
+  e_event : string;  (** terminal event key *)
+  e_dropped : bool;
+  e_wire : int;
+  e_pkt : string;  (** fingerprint of the final header bytes; [""] if none *)
+  e_pktid : int;  (** run-local packet id, for order checks *)
+  e_clock : int;  (** simulated completion time *)
+}
+
+type observation = {
+  o_label : string;
+  o_run : Metrics.run;
+  o_emits : emit list;  (** completion order *)
+  o_inputs : (int * int) list;  (** (pktid, flow) in pull order *)
+  o_state : string;  (** final NF-state digest *)
+  o_mshr_pending : int;  (** outstanding fills at end of run *)
+  o_mshr_limit : int;
+}
+
+type instance = {
+  worker : Worker.t;
+  program : Program.t;
+  source : Workload.source;
+  digest : Fingerprint.t -> unit;
+}
+
+type case = {
+  c_name : string;
+  c_seed : int;
+  c_profile : string;
+  c_packets : int;
+  c_build : packets:int -> instance;  (** fresh system under test *)
+  c_repro : packets:int -> string;  (** one-command replay *)
+}
+
+type divergence = {
+  d_case : string;
+  d_seed : int;
+  d_profile : string;
+  d_exec : string;
+  d_packets : int;  (** minimized workload length *)
+  d_detail : string;
+  d_repro : string;
+}
+
+type executor = {
+  x_name : string;
+  x_run :
+    on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t -> Workload.source ->
+    Metrics.run;
+}
+
+val reference : executor
+
+(** Everything compared against {!reference}: batch sizes {1,8,32}, both
+    scheduler policies × n_tasks {1,2,4,8,16}. *)
+val executors : executor list
+
+val executor_names : string list
+val batch_sizes : int list
+val task_counts : int list
+
+val packet_fingerprint : Netcore.Packet.t -> string
+
+(** Run one executor over a fresh instance, recording all observables. *)
+val observe : executor -> instance -> observation
+
+(** First behavioural difference against the reference observation, or
+    [None] when identical. *)
+val diff_observations : reference:observation -> observation -> string option
+
+(** Rebuild + rerun reference and [exec] on a [packets]-long prefix. *)
+val diverges : case -> executor -> packets:int -> string option
+
+(** Smallest prefix length still diverging (binary search; repro aid, not
+    a minimality proof). *)
+val minimize : case -> executor -> packets:int -> int
+
+(** Run the case through every executor; [Some] on the first divergence
+    (minimized unless [~minimized:false]). *)
+val check_case : ?minimized:bool -> case -> divergence option
+
+val check_cases : ?minimized:bool -> case list -> divergence list
+val pp_divergence : Format.formatter -> divergence -> unit

@@ -1,0 +1,471 @@
+(* Deterministic generation of random-but-valid NF programs and
+   adversarial traffic for the differential oracle.
+
+   Two program shapes, both driven by one splitmix seed:
+
+   - catalog chains: 1-3 NFs drawn from the shipped families (static NAT,
+     LB, firewall, monitor), composed through {!Nfs.Catalog.build} with the
+     real module specs and randomized compiler options — the Fig 4 workflow
+     with a generated composition;
+
+   - synthetic modules: a random forward-DAG FSM behind a real cuckoo
+     classifier, with random prefetch bindings and per-state actions whose
+     branching, drops, state writes and packet rewrites are pure functions
+     of (seed, flow, per-flow sequence number) — deterministic for any
+     executor interleaving that preserves per-flow order, which is exactly
+     the property under test.
+
+   Generated programs deliberately avoid cross-flow-order-dependent state
+   (e.g. the dynamic NAT learner's shared allocator): for those, different
+   legal interleavings legitimately produce different final state, so they
+   cannot serve as oracle subjects. *)
+
+open Gunfu
+module Rng = Memsim.Rng
+
+let profiles = [ "uniform"; "zipf"; "burst"; "mix" ]
+let spec_names = [ "nat"; "sfc4"; "upf_downlink" ]
+let wire_len = 128
+
+(* ----- adversarial traffic ----- *)
+
+(* A fresh source over [gen]'s flow universe. Profiles beyond the plain
+   generator draws: single-flow bursts and tightly interleaved flow mixes,
+   the patterns most likely to expose per-flow ordering races. *)
+let make_source ~profile ~seed ~(gen : Traffic.Flowgen.t) ~pool ~packets =
+  let n_flows = Traffic.Flowgen.n_flows gen in
+  let item idx =
+    let pkt = Netcore.Packet.make ~flow:(Traffic.Flowgen.flow gen idx) ~wire_len () in
+    Netcore.Packet.Pool.assign pool pkt;
+    { Workload.packet = Some pkt; aux = 0; flow_hint = idx }
+  in
+  match profile with
+  | "uniform" | "zipf" -> Workload.of_flowgen gen ~pool ~count:packets
+  | "burst" ->
+      (* Runs of 8 consecutive packets from one flow. *)
+      let rng = Rng.create (seed * 2654435761 + 17) in
+      let current = ref 0 in
+      let i = ref 0 in
+      Workload.limited packets (fun () ->
+          if !i mod 8 = 0 then current := Rng.int rng n_flows;
+          incr i;
+          item !current)
+  | "mix" ->
+      (* Two hot flows strictly alternating, with a random third every
+         fourth packet — maximal inter-flow interleave pressure. *)
+      let rng = Rng.create (seed * 1099511627 + 29) in
+      let hot_a = 0 and hot_b = min 1 (n_flows - 1) in
+      let i = ref 0 in
+      Workload.limited packets (fun () ->
+          let n = !i in
+          incr i;
+          if n mod 4 = 3 && n_flows > 2 then item (Rng.int rng n_flows)
+          else item (if n mod 2 = 0 then hot_a else hot_b))
+  | p -> invalid_arg (Printf.sprintf "Progen.make_source: unknown profile %s" p)
+
+let flowgen_for ~profile ~seed ~n_flows =
+  let popularity =
+    match profile with
+    | "zipf" -> Traffic.Flowgen.Zipf 1.2
+    | _ -> Traffic.Flowgen.Uniform
+  in
+  Traffic.Flowgen.create ~seed ~popularity ~size_model:(Traffic.Flowgen.Fixed wire_len)
+    ~n_flows ()
+
+(* Generated cases run on a scaled-down hierarchy: same shape and
+   latencies as the default Xeon model, but without its 33 MB LLC — the
+   sweep builds thousands of fresh workers, and the smaller caches miss
+   more, stressing the overlap machinery harder. Spec cases keep the
+   default config. *)
+let small_mem_cfg =
+  {
+    Memsim.Hierarchy.default_config with
+    Memsim.Hierarchy.l2_size = 256 * 1024;
+    llc_size = 2 * 1024 * 1024;
+    llc_assoc = 16;
+  }
+
+let fresh_worker () =
+  Worker.create ~cfg:{ Worker.default_cfg with Worker.mem_cfg = small_mem_cfg } ~id:0 ()
+
+(* ----- shape A: catalog chains ----- *)
+
+type family = F_nat | F_lb | F_fw | F_nm
+
+let all_families = [| F_nat; F_lb; F_fw; F_nm |]
+
+let family_module = function
+  | F_nat -> ("map", "flow_mapper")
+  | F_lb -> ("fwd", "lb_forwarder")
+  | F_fw -> ("flt", "fw_filter")
+  | F_nm -> ("acc", "nm_counter")
+
+let builtin_modules =
+  lazy
+    [
+      ("flow_classifier", Lazy.force Nfs.Classifier.spec);
+      ("flow_mapper", Lazy.force Nfs.Nat.mapper_spec);
+      ("lb_forwarder", Lazy.force Nfs.Lb.spec);
+      ("fw_filter", Lazy.force Nfs.Firewall.spec);
+      ("nm_counter", Lazy.force Nfs.Monitor.spec);
+    ]
+
+(* Compose a generated chain the way specs/*.yaml compositions do: per NF a
+   classifier wired to its data module on MATCH_SUCCESS, data modules
+   chained on their "packet" exit. *)
+let chain_spec families =
+  let prefixes = List.mapi (fun i _ -> Printf.sprintf "g%d" i) families in
+  let modules =
+    List.concat
+      (List.map2
+         (fun p f ->
+           let role, mtype = family_module f in
+           [ (p ^ "_cls", "flow_classifier"); (p ^ "_" ^ role, mtype) ])
+         prefixes families)
+  in
+  let rec wire = function
+    | [] -> []
+    | (p, f) :: rest ->
+        let role, _ = family_module f in
+        let data = p ^ "_" ^ role in
+        let next =
+          match rest with (q, _) :: _ -> q ^ "_cls" | [] -> Spec.end_state
+        in
+        { Spec.src = p ^ "_cls"; event = "MATCH_SUCCESS"; dst = data }
+        :: { Spec.src = data; event = "packet"; dst = next }
+        :: wire rest
+  in
+  {
+    Spec.n_name = "gen-chain";
+    n_modules = modules;
+    n_transitions = wire (List.combine prefixes families);
+  }
+
+let random_opts rng =
+  {
+    Compiler.match_removal = Rng.bool rng;
+    prefetch_dedup = Rng.bool rng;
+    prefetching = Rng.bool rng;
+  }
+
+let build_chain ~rng ~seed ~profile ~packets =
+  let len = Rng.int_in_range rng ~lo:1 ~hi:3 in
+  let families =
+    List.init len (fun _ -> all_families.(Rng.int rng (Array.length all_families)))
+  in
+  let n_flows = [| 8; 32; 128 |].(Rng.int rng 3) in
+  let opts = random_opts rng in
+  let nf = chain_spec families in
+  fun ~packets:budget ->
+    let worker = fresh_worker () in
+    let layout = Worker.layout worker in
+    let built =
+      Nfs.Catalog.build layout ~nf ~modules:(Lazy.force builtin_modules) ~n_flows ~opts ()
+    in
+    let gen = flowgen_for ~profile ~seed ~n_flows in
+    built.Nfs.Catalog.populate (Traffic.Flowgen.flows gen);
+    let pool = Netcore.Packet.Pool.create layout ~count:256 in
+    {
+      Oracle.worker;
+      program = built.Nfs.Catalog.program;
+      source = make_source ~profile ~seed ~gen ~pool ~packets:(min budget packets);
+      digest = built.Nfs.Catalog.digest;
+    }
+
+(* ----- shape B: synthetic random FSMs ----- *)
+
+(* Mixer for per-action decisions: a pure function of the case seed, the
+   flow, the flow-local sequence number and the control state, so every
+   executor computes identical branches, drops and writes for a given
+   packet as long as per-flow order is preserved. *)
+let mix seed flow seq state =
+  let z = ref (Int64.of_int ((seed * 0x9e3779b9) lxor (flow * 0x85ebca6b) lxor (seq * 0xc2b2ae35) lxor state)) in
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 30)) 0xbf58476d1ce4e5b9L;
+  z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 27)) 0x94d049bb133111ebL;
+  Int64.to_int (Int64.logand (Int64.logxor !z (Int64.shift_right_logical !z 31)) 0x3fffffffffffffffL)
+
+(* Per-state shape of the random DAG. The backbone edge ("lo" to the next
+   state) keeps every state reachable and End always reachable; optional
+   "hi" skip edges and early-DROP exits randomize control flow. *)
+type sstate = { s_hi : int option; s_drop : bool }
+
+let seq_reg = 7 (* NFTask temp register holding the flow-local sequence no. *)
+
+let build_synthetic ~rng ~seed ~profile ~packets =
+  let k = Rng.int_in_range rng ~lo:2 ~hi:5 in
+  let shape =
+    Array.init k (fun i ->
+        if i = k - 1 then { s_hi = None; s_drop = true }
+        else
+          {
+            s_hi =
+              (if i + 1 < k - 1 && Rng.bool rng then
+                 Some (Rng.int_in_range rng ~lo:(i + 1) ~hi:(k - 1))
+               else None);
+            s_drop = Rng.int rng 3 = 0;
+          })
+  in
+  (* Random fetching declaration per state: per-flow scratch, packet
+     header, both, or nothing. *)
+  let fetch_kind = Array.init k (fun _ -> Rng.int rng 4) in
+  let n_flows = [| 8; 32; 128 |].(Rng.int rng 3) in
+  let opts = random_opts rng in
+  let state_name i = Printf.sprintf "s%d" i in
+  let transitions =
+    List.concat
+      (List.init k (fun i ->
+           let s = shape.(i) in
+           let base =
+             if i = k - 1 then
+               [
+                 { Spec.src = state_name i; event = "EMIT"; dst = Spec.end_state };
+                 { Spec.src = state_name i; event = "DROP"; dst = Spec.end_state };
+               ]
+             else
+               [ { Spec.src = state_name i; event = "lo"; dst = state_name (i + 1) } ]
+           in
+           let hi =
+             match s.s_hi with
+             | Some j -> [ { Spec.src = state_name i; event = "hi"; dst = state_name j } ]
+             | None -> []
+           in
+           let drop =
+             if s.s_drop && i < k - 1 then
+               [ { Spec.src = state_name i; event = "DROP"; dst = Spec.end_state } ]
+             else []
+           in
+           base @ hi @ drop))
+  in
+  let fetching =
+    List.filter_map
+      (fun i ->
+        match fetch_kind.(i) with
+        | 0 -> None
+        | 1 -> Some (state_name i, [ "scratch" ])
+        | 2 -> Some (state_name i, [ "pkt" ])
+        | _ -> Some (state_name i, [ "scratch"; "pkt" ]))
+      (List.init k Fun.id)
+  in
+  let mspec =
+    {
+      Spec.m_name = "syn_dag";
+      m_category = "StatefulNF";
+      m_parameters = [];
+      m_transitions =
+        { Spec.src = Spec.start_state; event = "MATCH_SUCCESS"; dst = state_name 0 }
+        :: transitions;
+      m_fetching = fetching;
+      m_states = [ ("scratch", "per_flow"); ("pkt", "packet_state") ];
+    }
+  in
+  Spec.validate_module mspec;
+  fun ~packets:budget ->
+    let worker = fresh_worker () in
+    let layout = Worker.layout worker in
+    let gen = flowgen_for ~profile ~seed ~n_flows in
+    let classifier =
+      Nfs.Classifier.create layout ~name:"syn_cls" ~key_kind:"five_tuple"
+        ~key_fn:Nfs.Classifier.five_tuple_key ~capacity:n_flows ()
+    in
+    Nfs.Classifier.populate classifier
+      (Array.to_list
+         (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) (Traffic.Flowgen.flows gen)));
+    let arena =
+      Structures.State_arena.create layout ~label:"syn.per_flow" ~entry_bytes:16
+        ~count:n_flows ()
+    in
+    let seqs = Array.make n_flows 0 in
+    let scratch = Array.make n_flows 0 in
+    let total = ref 0 in
+    let action i =
+      let s = shape.(i) in
+      Action.make ~base_cycles:10 ~base_instrs:8 ~name:(Printf.sprintf "syn.s%d" i)
+        (fun ctx task ->
+          let flow = Nfs.Nf_common.per_flow_read ctx task arena ~name:"syn" in
+          if i = 0 then begin
+            seqs.(flow) <- seqs.(flow) + 1;
+            task.Nftask.temps.Nftask.regs.(seq_reg) <- seqs.(flow)
+          end;
+          let seq = task.Nftask.temps.Nftask.regs.(seq_reg) in
+          let h = mix seed flow seq i in
+          (* Per-flow state: order-dependent only within its own flow.
+             Global total: addition, commutative across flows. *)
+          scratch.(flow) <- (scratch.(flow) * 31) + (h land 0xffff);
+          total := !total + (h land 0xff);
+          ignore (Nfs.Nf_common.per_flow_write ctx task arena ~name:"syn");
+          Nfs.Nf_common.packet_read ctx task ~bytes:64;
+          (match task.Nftask.packet with
+          | Some p when p.Netcore.Packet.hdr_len > 0 ->
+              Bytes.set p.Netcore.Packet.buf
+                (p.Netcore.Packet.hdr_len - 1)
+                (Char.chr (h land 0xff))
+          | Some _ | None -> ());
+          if i = k - 1 then
+            if h mod 7 = 0 then Event.Drop_packet else Event.Emit_packet
+          else if s.s_drop && h mod 13 = 0 then Event.Drop_packet
+          else
+            match s.s_hi with
+            | Some _ when h mod 3 = 0 -> Event.User "hi"
+            | _ -> Event.User "lo")
+    in
+    let syn_inst =
+      {
+        Compiler.i_name = "syn_dag0";
+        i_spec = mspec;
+        i_actions = List.init k (fun i -> (state_name i, action i));
+        i_bindings =
+          [
+            ("scratch", Prefetch.Per_flow (arena, []));
+            ("pkt", Prefetch.Packet_header 64);
+          ];
+        i_key_kind = None;
+      }
+    in
+    let unit =
+      {
+        Nfs.Nf_unit.instances = [ Nfs.Classifier.instance classifier; syn_inst ];
+        entry = "syn_cls";
+        exits = [ ("syn_dag0", "EMIT"); ("syn_dag0", "DROP") ];
+        internal =
+          [ { Spec.src = "syn_cls"; event = "MATCH_SUCCESS"; dst = "syn_dag0" } ];
+      }
+    in
+    let program = Nfs.Nf_unit.compile ~opts ~name:"gen-syn" [ unit ] in
+    let pool = Netcore.Packet.Pool.create layout ~count:256 in
+    {
+      Oracle.worker;
+      program;
+      source = make_source ~profile ~seed ~gen ~pool ~packets:(min budget packets);
+      digest =
+        (fun fp ->
+          Fingerprint.feed_int_array fp scratch;
+          Fingerprint.feed_int_array fp seqs;
+          Fingerprint.feed_int fp !total);
+    }
+
+(* ----- cases ----- *)
+
+let repro_command ~kind ~seed ~profile ~packets =
+  Printf.sprintf "gunfu_cli check %s--seed %d --programs 1 --profile %s --packets %d"
+    kind seed profile packets
+
+let case ~seed ~profile ~packets : Oracle.case =
+  let rng = Rng.create seed in
+  let synthetic = Rng.bool rng in
+  let build =
+    if synthetic then build_synthetic ~rng ~seed ~profile ~packets
+    else build_chain ~rng ~seed ~profile ~packets
+  in
+  {
+    Oracle.c_name = Printf.sprintf "gen-%s-%d" (if synthetic then "syn" else "chain") seed;
+    c_seed = seed;
+    c_profile = profile;
+    c_packets = packets;
+    c_build = build;
+    c_repro = (fun ~packets -> repro_command ~kind:"" ~seed ~profile ~packets);
+  }
+
+let cases ~seed ~count ~packets : Oracle.case list =
+  List.concat_map
+    (fun i ->
+      List.map (fun profile -> case ~seed:(seed + i) ~profile ~packets) profiles)
+    (List.init count Fun.id)
+
+(* ----- cases built from the on-disk specs/ compositions ----- *)
+
+let catalog_spec_case ~specs_dir ~name ~seed ~packets : Oracle.case =
+  let profile = "zipf" in
+  {
+    Oracle.c_name = "spec-" ^ name;
+    c_seed = seed;
+    c_profile = profile;
+    c_packets = packets;
+    c_build =
+      (fun ~packets:budget ->
+        let worker = Worker.create ~id:0 () in
+        let layout = Worker.layout worker in
+        let built =
+          Nfs.Catalog.build_from_files layout
+            ~nf_file:(Filename.concat specs_dir (name ^ ".yaml"))
+            ~specs_dir ~n_flows:64 ()
+        in
+        let gen = flowgen_for ~profile ~seed ~n_flows:64 in
+        built.Nfs.Catalog.populate (Traffic.Flowgen.flows gen);
+        let pool = Netcore.Packet.Pool.create layout ~count:256 in
+        {
+          Oracle.worker;
+          program = built.Nfs.Catalog.program;
+          source = make_source ~profile ~seed ~gen ~pool ~packets:(min budget packets);
+          digest = built.Nfs.Catalog.digest;
+        });
+    c_repro =
+      (fun ~packets ->
+        Printf.sprintf "gunfu_cli check --spec %s --seed %d --packets %d" name seed
+          packets);
+  }
+
+(* The UPF downlink composition: instances from the shipped UPF, module
+   FSMs substituted from the on-disk specs, wiring from upf_downlink.yaml
+   — so the oracle genuinely executes the files under specs/. *)
+let upf_spec_case ~specs_dir ~seed ~packets : Oracle.case =
+  {
+    Oracle.c_name = "spec-upf_downlink";
+    c_seed = seed;
+    c_profile = "mgw";
+    c_packets = packets;
+    c_build =
+      (fun ~packets:budget ->
+        let worker = Worker.create ~id:0 () in
+        let layout = Worker.layout worker in
+        let mgw = Traffic.Mgw.create ~seed ~n_sessions:64 ~n_pdrs:4 () in
+        let upf =
+          Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw)
+            ~n_pdrs:4 ()
+        in
+        Nfs.Upf.populate upf;
+        let modules = Nfs.Catalog.load_modules specs_dir in
+        let instances =
+          List.map
+            (fun (inst : Compiler.instance) ->
+              match List.assoc_opt inst.Compiler.i_spec.Spec.m_name modules with
+              | Some on_disk -> { inst with Compiler.i_spec = on_disk }
+              | None -> inst)
+            (Nfs.Upf.unit upf).Nfs.Nf_unit.instances
+        in
+        let nf =
+          Spec.nf_spec_of_string
+            (Nfs.Catalog.read_file (Filename.concat specs_dir "upf_downlink.yaml"))
+        in
+        let program = Compiler.compile ~name:nf.Spec.n_name instances nf in
+        let pool = Netcore.Packet.Pool.create layout ~count:256 in
+        {
+          Oracle.worker;
+          program;
+          source = Workload.of_mgw_downlink mgw ~pool ~count:(min budget packets);
+          digest =
+            (fun fp ->
+              Fingerprint.feed_int fp upf.Nfs.Upf.encapsulated;
+              Fingerprint.feed_int fp upf.Nfs.Upf.decapsulated;
+              Fingerprint.feed_int fp upf.Nfs.Upf.n_active);
+        });
+    c_repro =
+      (fun ~packets ->
+        Printf.sprintf "gunfu_cli check --spec upf_downlink --seed %d --packets %d" seed
+          packets);
+  }
+
+(* One oracle case per composition under [specs_dir]; the module specs the
+   compositions reference are all loaded from disk too, so every file in
+   specs/ is exercised. *)
+let spec_cases ~specs_dir ~seed ~packets : Oracle.case list =
+  [
+    catalog_spec_case ~specs_dir ~name:"nat" ~seed ~packets;
+    catalog_spec_case ~specs_dir ~name:"sfc4" ~seed ~packets;
+    upf_spec_case ~specs_dir ~seed ~packets;
+  ]
+
+let spec_case ~specs_dir ~name ~seed ~packets : Oracle.case =
+  match name with
+  | "nat" | "sfc4" -> catalog_spec_case ~specs_dir ~name ~seed ~packets
+  | "upf_downlink" -> upf_spec_case ~specs_dir ~seed ~packets
+  | n -> invalid_arg (Printf.sprintf "Progen.spec_case: unknown composition %s" n)

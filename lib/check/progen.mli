@@ -1,0 +1,37 @@
+(** Deterministic generation of random-but-valid NF programs and
+    adversarial traffic for the differential oracle: catalog chains drawn
+    from the shipped NF families, synthetic random-DAG modules behind a
+    real classifier, and cases built from the compositions under [specs/].
+    Everything is a pure function of its seed, so a reported divergence is
+    replayable from [(seed, profile, packets)] alone.
+
+    Generated programs avoid cross-flow-order-dependent state (e.g. the
+    dynamic NAT learner's shared allocator), whose final state legitimately
+    differs between legal interleavings. *)
+
+(** ["uniform"; "zipf"; "burst"; "mix"]. *)
+val profiles : string list
+
+(** Composition names accepted by {!spec_case}. *)
+val spec_names : string list
+
+(** Workload over [gen]'s flow universe in the given profile; [burst]
+    produces single-flow runs, [mix] tightly interleaved hot flows.
+    @raise Invalid_argument on unknown profiles. *)
+val make_source :
+  profile:string -> seed:int -> gen:Traffic.Flowgen.t ->
+  pool:Netcore.Packet.Pool.pool -> packets:int -> Gunfu.Workload.source
+
+(** A generated oracle case (chain or synthetic, chosen by the seed). *)
+val case : seed:int -> profile:string -> packets:int -> Oracle.case
+
+(** [count] seeds × all {!profiles}. *)
+val cases : seed:int -> count:int -> packets:int -> Oracle.case list
+
+(** One case per composition in [specs_dir] (nat, sfc4, upf_downlink),
+    executing the on-disk module FSMs. *)
+val spec_cases : specs_dir:string -> seed:int -> packets:int -> Oracle.case list
+
+(** @raise Invalid_argument on unknown composition names. *)
+val spec_case :
+  specs_dir:string -> name:string -> seed:int -> packets:int -> Oracle.case

@@ -49,8 +49,8 @@ let prefix_of program =
   let first = Program.step program (Program.start program) Event.Packet_arrival in
   walk first [] 0
 
-let run ?label ?(batch = default_batch) (worker : Worker.t) (program : Program.t)
-    (source : Workload.source) =
+let run ?label ?(batch = default_batch) ?on_complete (worker : Worker.t)
+    (program : Program.t) (source : Workload.source) =
   if batch <= 0 then invalid_arg "Batch_rtc.run: batch must be positive";
   let label =
     Option.value label ~default:(Printf.sprintf "%s/batch-rtc" (Program.name program))
@@ -135,6 +135,7 @@ let run ?label ?(batch = default_batch) (worker : Worker.t) (program : Program.t
         | Some p -> wire_bytes := !wire_bytes + p.Netcore.Packet.wire_len
         | None -> ());
       Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+      (match on_complete with Some f -> f task | None -> ());
       Nftask.retire task
     done
   in

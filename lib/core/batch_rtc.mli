@@ -9,7 +9,9 @@
 
 val default_batch : int
 
-(** @raise Invalid_argument when [batch <= 0]. *)
+(** [on_complete] observes each finished task just before it is retired —
+    the differential oracle's tap.
+    @raise Invalid_argument when [batch <= 0]. *)
 val run :
-  ?label:string -> ?batch:int -> Worker.t -> Program.t -> Workload.source ->
-  Metrics.run
+  ?label:string -> ?batch:int -> ?on_complete:(Nftask.t -> unit) -> Worker.t ->
+  Program.t -> Workload.source -> Metrics.run

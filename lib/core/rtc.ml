@@ -7,7 +7,8 @@
    only the execution model differs — so comparisons isolate exactly the
    paper's variable. Prefetch policies are ignored. *)
 
-let run ?label (worker : Worker.t) (program : Program.t) (source : Workload.source) =
+let run ?label ?on_complete (worker : Worker.t) (program : Program.t)
+    (source : Workload.source) =
   let label =
     Option.value label ~default:(Printf.sprintf "%s/rtc" (Program.name program))
   in
@@ -59,6 +60,7 @@ let run ?label (worker : Worker.t) (program : Program.t) (source : Workload.sour
         in
         step ();
         Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+        (match on_complete with Some f -> f task | None -> ());
         Nftask.retire task;
         drain ()
   in

@@ -5,4 +5,8 @@
     {!Program} (prefetch policies ignored), so comparisons isolate exactly
     the execution model. *)
 
-val run : ?label:string -> Worker.t -> Program.t -> Workload.source -> Metrics.run
+(** [on_complete] observes each finished task (terminal event, packet,
+    flow hint) just before it is retired — the differential oracle's tap. *)
+val run :
+  ?label:string -> ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
+  Workload.source -> Metrics.run

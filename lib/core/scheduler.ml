@@ -19,8 +19,8 @@ type completion = { completed : int; dropped : int; wire_bytes : int }
    immediate execution, trading a (charged) scan for fewer wasted visits. *)
 type policy = Round_robin | Ready_first
 
-let run ?label ?(policy = Round_robin) (worker : Worker.t) (program : Program.t)
-    ~n_tasks (source : Workload.source) =
+let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
+    (program : Program.t) ~n_tasks (source : Workload.source) =
   if n_tasks <= 0 then invalid_arg "Scheduler.run: n_tasks must be positive";
   let label =
     Option.value label
@@ -140,6 +140,7 @@ let run ?label ?(policy = Round_robin) (worker : Worker.t) (program : Program.t)
           wire_bytes = !stats.wire_bytes + wire;
         };
       Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+      (match on_complete with Some f -> f task | None -> ());
       clear_inflight task.Nftask.flow_hint;
       Nftask.retire task;
       (* Re-initialise with fresh work immediately (Algorithm 1 line 13). *)

@@ -13,8 +13,10 @@
     per skipped slot). *)
 type policy = Round_robin | Ready_first
 
-(** Run until the source drains; returns the measured run.
+(** Run until the source drains; returns the measured run. [on_complete]
+    observes each finished task just before it is retired — the
+    differential oracle's tap.
     @raise Invalid_argument when [n_tasks <= 0]. *)
 val run :
-  ?label:string -> ?policy:policy -> Worker.t -> Program.t -> n_tasks:int ->
-  Workload.source -> Metrics.run
+  ?label:string -> ?policy:policy -> ?on_complete:(Nftask.t -> unit) ->
+  Worker.t -> Program.t -> n_tasks:int -> Workload.source -> Metrics.run

@@ -24,6 +24,27 @@ let limited count (produce : unit -> item) : source =
       Some (produce ())
     end
 
+(* Observe every item as it is pulled, without changing the stream. The
+   oracle uses this to record the exact input sequence each executor saw. *)
+let tap f (src : source) : source =
+ fun () ->
+  match src () with
+  | None -> None
+  | Some item ->
+      f item;
+      Some item
+
+(* First [n] items of a source; used by the oracle's divergence minimizer
+   to replay shrinking prefixes of a workload. *)
+let take n (src : source) : source =
+  let left = ref n in
+  fun () ->
+    if !left <= 0 then None
+    else begin
+      decr left;
+      src ()
+    end
+
 let total_items (items : item list) : source =
   let rest = ref items in
   fun () ->

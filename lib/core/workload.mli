@@ -17,6 +17,13 @@ val limited : int -> (unit -> item) -> source
 
 val total_items : item list -> source
 
+(** [tap f src] calls [f] on every item pulled from [src], unchanged —
+    deterministic observation of the input stream for replay cross-checks. *)
+val tap : (item -> unit) -> source -> source
+
+(** [take n src] ends the stream after [n] items (prefix replay). *)
+val take : int -> source -> source
+
 (** Replay a parsed pcap capture in timestamp order; flow identities are
     re-derived by decoding the captured headers. Records too short for an
     Ethernet+IPv4 header end the stream. *)

@@ -144,6 +144,13 @@ let mshr_pending_count t ~now =
     t.mshr_line;
   !count
 
+let mshr_deadlines t ~now =
+  let acc = ref [] in
+  Array.iteri
+    (fun i line -> if line >= 0 && t.mshr_ready.(i) > now then acc := (line, t.mshr_ready.(i)) :: !acc)
+    t.mshr_line;
+  List.rev !acc
+
 (* Pending completion time for [line], if in flight and not yet done. *)
 let mshr_pending t ~now line =
   let i = mshr_find t line in

@@ -71,6 +71,11 @@ val resident : t -> addr:int -> bytes:int -> bool
 (** Number of fills currently outstanding. *)
 val mshr_pending_count : t -> now:int -> int
 
+(** The [(line, ready_at)] pairs of fills still outstanding at [now] —
+    introspection for invariant checks (every [ready_at > now], and at most
+    [mshr_count] entries). *)
+val mshr_deadlines : t -> now:int -> (int * int) list
+
 (** Snapshot of all counters (monotonic; diff two snapshots to measure a
     run). *)
 val counters : t -> Memstats.t

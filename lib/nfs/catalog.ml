@@ -22,7 +22,31 @@ type built = {
   program : Program.t;
   populate : Netcore.Flow.t array -> unit;
   nf_names : string list;  (* prefixes, in chain order *)
+  digest : Fingerprint.t -> unit;
 }
+
+(* Observable state per family, fed in chain order so two runs of the same
+   composition produce equal digests iff their final NF state is equal. *)
+let digest_nat (nat : Nat.t) fp =
+  Fingerprint.feed_string fp nat.Nat.name;
+  Array.iter (fun ip -> Fingerprint.feed_int64 fp (Int64.of_int32 ip)) nat.Nat.map_ip;
+  Fingerprint.feed_int_array fp nat.Nat.map_port;
+  Fingerprint.feed_int fp nat.Nat.next_free;
+  Fingerprint.feed_int fp nat.Nat.learned;
+  Fingerprint.feed_int64_array fp nat.Nat.keys
+
+let digest_lb (lb : Lb.t) fp =
+  Fingerprint.feed_string fp lb.Lb.name;
+  Fingerprint.feed_int_array fp lb.Lb.assignment
+
+let digest_fw (fw : Firewall.t) fp =
+  Fingerprint.feed_string fp fw.Firewall.name;
+  Array.iter (Fingerprint.feed_bool fp) fw.Firewall.verdicts
+
+let digest_nm (nm : Monitor.t) fp =
+  Fingerprint.feed_string fp nm.Monitor.name;
+  Fingerprint.feed_int_array fp nm.Monitor.pkt_count;
+  Fingerprint.feed_int_array fp nm.Monitor.byte_count
 
 let prefix_of inst =
   match String.rindex_opt inst '_' with
@@ -54,8 +78,10 @@ let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
         ((role, mtype) :: Option.value ~default:[] (Hashtbl.find_opt roles prefix)))
     nf.Spec.n_modules;
   let order = List.rev !order in
-  (* One NF object per prefix; collect its compiler instances + populate. *)
+  (* One NF object per prefix; collect its compiler instances + populate +
+     state digest. *)
   let populates = ref [] in
+  let digests = ref [] in
   let instances =
     List.concat_map
       (fun prefix ->
@@ -66,19 +92,23 @@ let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
         | Nat_f ->
             let nat = Nat.create layout ~name:prefix ~n_flows () in
             populates := Nat.populate nat :: !populates;
+            digests := digest_nat nat :: !digests;
             let u = if has_learner then Nat.dynamic_unit nat else Nat.unit nat in
             u.Nf_unit.instances
         | Lb_f ->
             let lb = Lb.create layout ~name:prefix ~n_flows () in
             populates := Lb.populate lb :: !populates;
+            digests := digest_lb lb :: !digests;
             (Lb.unit lb).Nf_unit.instances
         | Fw_f ->
             let fw = Firewall.create layout ~name:prefix ~n_flows () in
             populates := Firewall.populate fw :: !populates;
+            digests := digest_fw fw :: !digests;
             (Firewall.unit fw).Nf_unit.instances
         | Nm_f ->
             let nm = Monitor.create layout ~name:prefix ~n_flows () in
             populates := Monitor.populate nm :: !populates;
+            digests := digest_nm nm :: !digests;
             (Monitor.unit nm).Nf_unit.instances)
       order
   in
@@ -105,10 +135,12 @@ let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
     nf.Spec.n_modules;
   let program = Compiler.compile ~opts ~name:nf.Spec.n_name instances nf in
   let populates = List.rev !populates in
+  let digests = List.rev !digests in
   {
     program;
     populate = (fun flows -> List.iter (fun p -> p flows) populates);
     nf_names = order;
+    digest = (fun fp -> List.iter (fun d -> d fp) digests);
   }
 
 (* Convenience: read and build from files. *)

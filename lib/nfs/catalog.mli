@@ -12,6 +12,9 @@ type built = {
   program : Program.t;
   populate : Netcore.Flow.t array -> unit;  (** install all per-flow state *)
   nf_names : string list;  (** NF prefixes in chain order *)
+  digest : Fingerprint.t -> unit;
+      (** fold the chain's observable NF state (mappings, assignments,
+          verdicts, counters) into a stable fingerprint, in chain order *)
 }
 
 (** @raise Catalog_error on unknown roles, missing specs or mismatched

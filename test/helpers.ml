@@ -3,6 +3,17 @@
 
 open Gunfu
 
+(* Deterministic QCheck wrapper: every property suite takes its seed from
+   QCHECK_SEED when set and a fixed default otherwise, so CI runs are
+   reproducible and a failure's seed is always known. *)
+let qcheck_seed () =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 42
+
+let qcheck test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed () |]) test
+
 type nat_setup = {
   worker : Worker.t;
   gen : Traffic.Flowgen.t;

@@ -142,6 +142,6 @@ let suite =
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "resident lines" `Quick test_resident_lines;
     Alcotest.test_case "contains is stat-free" `Quick test_contains_no_stats;
-    QCheck_alcotest.to_alcotest qcheck_capacity_bound;
-    QCheck_alcotest.to_alcotest qcheck_install_then_contains;
+    Helpers.qcheck qcheck_capacity_bound;
+    Helpers.qcheck qcheck_install_then_contains;
   ]

@@ -323,5 +323,5 @@ let suite =
     Alcotest.test_case "pcap file io" `Quick test_pcap_file_io;
     Alcotest.test_case "pcap bad input" `Quick test_pcap_bad_input;
     Alcotest.test_case "nfc print/parse roundtrip" `Quick test_nfc_print_parse_roundtrip;
-    QCheck_alcotest.to_alcotest qcheck_nfc_roundtrip;
+    Helpers.qcheck qcheck_nfc_roundtrip;
   ]

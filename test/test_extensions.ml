@@ -177,7 +177,7 @@ let suite =
     Alcotest.test_case "maglev minimal disruption" `Quick test_maglev_minimal_disruption;
     Alcotest.test_case "maglev deterministic" `Quick test_maglev_deterministic;
     Alcotest.test_case "maglev validation" `Quick test_maglev_validation;
-    QCheck_alcotest.to_alcotest qcheck_maglev_lookup_in_range;
+    Helpers.qcheck qcheck_maglev_lookup_in_range;
     Alcotest.test_case "batch-rtc processes all" `Quick test_batch_rtc_processes_all;
     Alcotest.test_case "batch-rtc partial batch" `Quick test_batch_rtc_partial_batch;
     Alcotest.test_case "batch-rtc prefetches" `Quick test_batch_rtc_prefetches;

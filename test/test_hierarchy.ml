@@ -206,6 +206,6 @@ let suite =
     Alcotest.test_case "write counts" `Quick test_write_counts;
     Alcotest.test_case "counters diff" `Quick test_counters_diff;
     Alcotest.test_case "memstats derived metrics" `Quick test_memstats_derived;
-    QCheck_alcotest.to_alcotest qcheck_read_latency_bounded;
-    QCheck_alcotest.to_alcotest qcheck_prefetch_makes_ready;
+    Helpers.qcheck qcheck_read_latency_bounded;
+    Helpers.qcheck qcheck_prefetch_makes_ready;
   ]

@@ -77,5 +77,5 @@ let suite =
     Alcotest.test_case "alloc_array" `Quick test_alloc_array;
     Alcotest.test_case "used bytes" `Quick test_used_bytes;
     Alcotest.test_case "invalid input" `Quick test_invalid;
-    QCheck_alcotest.to_alcotest qcheck_no_overlap;
+    Helpers.qcheck qcheck_no_overlap;
   ]

@@ -28,4 +28,6 @@ let () =
       ("nas", Test_nas.suite);
       ("exec-ctx", Test_exec_ctx.suite);
       ("qos", Test_qos.suite);
+      ("oracle", Test_oracle.suite);
+      ("invariants", Test_invariants.suite);
     ]

@@ -39,6 +39,31 @@ let qcheck_incremental_update =
       updated = recomputed || (updated land 0xFFFF) + (recomputed land 0xFFFF) = 0xFFFF
       || abs (updated - recomputed) = 0xFFFF)
 
+(* Stronger than equality-modulo-representation: after any chain of field
+   edits, the incrementally maintained checksum written back into the
+   buffer must still validate the whole range. *)
+let qcheck_incremental_chain =
+  QCheck.Test.make ~name:"chained incremental updates keep the checksum valid"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.return 10) (int_bound 0xFFFF))
+        (small_list (pair (int_bound 9) (int_bound 0xFFFF))))
+    (fun (words, edits) ->
+      (* 10 data words followed by one trailing checksum word. *)
+      let buf = Bytes.make 22 '\000' in
+      List.iteri (fun i w -> Ethernet.put_u16 buf (i * 2) w) words;
+      let csum = ref (Checksum.of_bytes buf ~off:0 ~len:20) in
+      Ethernet.put_u16 buf 20 !csum;
+      List.for_all
+        (fun (pos, new_field) ->
+          let old_field = Ethernet.get_u16 buf (pos * 2) in
+          Ethernet.put_u16 buf (pos * 2) new_field;
+          csum := Checksum.update ~old_csum:!csum ~old_field ~new_field;
+          Ethernet.put_u16 buf 20 !csum;
+          Checksum.valid buf ~off:0 ~len:22)
+        edits)
+
 (* ----- ethernet ----- *)
 
 let test_mac_string_roundtrip () =
@@ -286,7 +311,8 @@ let suite =
     Alcotest.test_case "checksum RFC1071" `Quick test_checksum_rfc1071;
     Alcotest.test_case "checksum odd length" `Quick test_checksum_odd_length;
     Alcotest.test_case "checksum valid()" `Quick test_checksum_valid;
-    QCheck_alcotest.to_alcotest qcheck_incremental_update;
+    Helpers.qcheck qcheck_incremental_update;
+    Helpers.qcheck qcheck_incremental_chain;
     Alcotest.test_case "mac string roundtrip" `Quick test_mac_string_roundtrip;
     Alcotest.test_case "ethernet roundtrip" `Quick test_ethernet_roundtrip;
     Alcotest.test_case "ipv4 addr string" `Quick test_ipv4_addr_string;
@@ -295,7 +321,7 @@ let suite =
     Alcotest.test_case "ipv4 rewrite src" `Quick test_ipv4_rewrite_src_checksum;
     Alcotest.test_case "ipv4 rewrite dst" `Quick test_ipv4_rewrite_dst_checksum;
     Alcotest.test_case "ipv4 ttl decrement" `Quick test_ipv4_ttl_decrement;
-    QCheck_alcotest.to_alcotest qcheck_ipv4_roundtrip;
+    Helpers.qcheck qcheck_ipv4_roundtrip;
     Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
     Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
     Alcotest.test_case "port rewrite" `Quick test_port_rewrite;
@@ -310,5 +336,5 @@ let suite =
     Alcotest.test_case "packet udp flow" `Quick test_packet_udp_flow;
     Alcotest.test_case "gtpu encap/decap" `Quick test_gtpu_encap_decap;
     Alcotest.test_case "pool recycles" `Quick test_pool_recycles;
-    QCheck_alcotest.to_alcotest qcheck_packet_flow_roundtrip;
+    Helpers.qcheck qcheck_packet_flow_roundtrip;
   ]

@@ -224,5 +224,5 @@ let suite =
     Alcotest.test_case "isolation: unbound scope" `Quick test_isolation_unbound_scope;
     Alcotest.test_case "access log" `Quick test_access_log;
     Alcotest.test_case "cost scales with body" `Quick test_cost_scales_with_body;
-    QCheck_alcotest.to_alcotest qcheck_arith_matches_ocaml;
+    Helpers.qcheck qcheck_arith_matches_ocaml;
   ]

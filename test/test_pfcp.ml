@@ -238,5 +238,5 @@ let suite =
     Alcotest.test_case "traffic after establishment" `Quick test_traffic_after_establishment;
     Alcotest.test_case "deletion stops traffic" `Quick test_deletion_stops_traffic;
     Alcotest.test_case "agent survives garbage" `Quick test_agent_survives_garbage;
-    QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+    Helpers.qcheck qcheck_codec_roundtrip;
   ]

@@ -111,6 +111,6 @@ let suite =
     Alcotest.test_case "shuffle changes order" `Quick test_shuffle_changes_order;
     Alcotest.test_case "split independence" `Quick test_split_independent;
     Alcotest.test_case "coarse uniformity" `Quick test_uniformity_coarse;
-    QCheck_alcotest.to_alcotest qcheck_int_bound;
-    QCheck_alcotest.to_alcotest qcheck_bits_nonneg;
+    Helpers.qcheck qcheck_int_bound;
+    Helpers.qcheck qcheck_bits_nonneg;
   ]

@@ -48,12 +48,48 @@ let test_scheduler_empty_source () =
 
 let test_invalid_n_tasks () =
   let s = Helpers.nat_setup () in
-  match
-    Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks:0
-      (Helpers.nat_source s ~count:1)
-  with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "n_tasks = 0 must be rejected"
+  List.iter
+    (fun n_tasks ->
+      match
+        Scheduler.run s.Helpers.worker s.Helpers.program ~n_tasks
+          (Helpers.nat_source s ~count:1)
+      with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "n_tasks = %d must be rejected" n_tasks)
+    [ 0; -1; -16 ]
+
+(* One NFTask degenerates to run-to-completion: the completion stream must
+   match RTC packet-for-packet — same order, same events, same sizes. *)
+let test_single_task_matches_rtc_order () =
+  let completions exec =
+    let s = Helpers.nat_setup ~seed:9 () in
+    let order = ref [] in
+    let on_complete (t : Nftask.t) =
+      let wire =
+        match t.Nftask.packet with
+        | Some p -> p.Netcore.Packet.wire_len
+        | None -> 0
+      in
+      order := (t.Nftask.flow_hint, Event.to_key t.Nftask.event, wire) :: !order
+    in
+    let _ =
+      exec ~on_complete s.Helpers.worker s.Helpers.program
+        (Helpers.nat_source s ~count:300)
+    in
+    List.rev !order
+  in
+  let rtc = completions (fun ~on_complete w p src -> Rtc.run ~on_complete w p src) in
+  let il =
+    completions (fun ~on_complete w p src ->
+        Scheduler.run ~on_complete w p ~n_tasks:1 src)
+  in
+  Alcotest.(check int) "same completion count" (List.length rtc) (List.length il);
+  let i = ref 0 in
+  List.iter2
+    (fun ((rf, re, rw) as a) b ->
+      if a <> b then Alcotest.failf "completion #%d differs: rtc (%d,%s,%d)" !i rf re rw;
+      incr i)
+    rtc il
 
 (* Functional equivalence: both executors perform the same rewrites. *)
 let test_models_equivalent_effects () =
@@ -211,12 +247,14 @@ let qcheck_models_semantically_equal =
 let suite =
   [
     Alcotest.test_case "rtc processes all" `Quick test_rtc_processes_all;
-    QCheck_alcotest.to_alcotest qcheck_models_semantically_equal;
+    Helpers.qcheck qcheck_models_semantically_equal;
     Alcotest.test_case "scheduler processes all" `Quick test_scheduler_processes_all;
     Alcotest.test_case "scheduler single task" `Quick test_scheduler_single_task;
     Alcotest.test_case "more tasks than packets" `Quick test_scheduler_more_tasks_than_packets;
     Alcotest.test_case "empty source" `Quick test_scheduler_empty_source;
     Alcotest.test_case "invalid n_tasks" `Quick test_invalid_n_tasks;
+    Alcotest.test_case "single task matches rtc order" `Quick
+      test_single_task_matches_rtc_order;
     Alcotest.test_case "models equivalent effects" `Quick test_models_equivalent_effects;
     Alcotest.test_case "nat rewrite applied" `Quick test_nat_rewrite_applied;
     Alcotest.test_case "unknown flow dropped" `Quick test_unknown_flow_dropped;

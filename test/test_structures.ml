@@ -101,6 +101,36 @@ let qcheck_cuckoo_model =
         ops;
       Hashtbl.fold (fun k v acc -> acc && Cuckoo.lookup t k = Some v) model true)
 
+(* Stepwise model agreement: after EVERY operation the table answers like
+   the Hashtbl reference — present keys, never-inserted keys (misses),
+   delete's return value, and the population count. *)
+let qcheck_cuckoo_model_stepwise =
+  QCheck.Test.make ~name:"cuckoo agrees with Hashtbl after every op" ~count:40
+    QCheck.(list_of_size (Gen.return 200) (pair (int_range 1 400) (int_bound 1000)))
+    (fun ops ->
+      let t = Cuckoo.create (layout ()) ~label:"c" ~capacity:600 () in
+      let model = Hashtbl.create 64 in
+      List.for_all
+        (fun (k, v) ->
+          let key = Int64.of_int k in
+          let op_ok =
+            if v mod 5 = 0 then begin
+              let in_model = Hashtbl.mem model key in
+              let deleted = Cuckoo.delete t key in
+              Hashtbl.remove model key;
+              deleted = in_model
+            end
+            else begin
+              if Cuckoo.insert t ~key ~value:v then Hashtbl.replace model key v;
+              true
+            end
+          in
+          op_ok
+          && Cuckoo.lookup t key = Hashtbl.find_opt model key
+          && Cuckoo.lookup t (Int64.of_int (k + 1000)) = None
+          && Cuckoo.population t = Hashtbl.length model)
+        ops)
+
 (* ----- MDI tree ----- *)
 
 let mk_rules n =
@@ -352,7 +382,8 @@ let suite =
     Alcotest.test_case "cuckoo address regions" `Quick test_cuckoo_addrs_distinct_regions;
     Alcotest.test_case "cuckoo candidates" `Quick test_cuckoo_candidates_superset;
     Alcotest.test_case "cuckoo full table" `Quick test_cuckoo_full_table;
-    QCheck_alcotest.to_alcotest qcheck_cuckoo_model;
+    Helpers.qcheck qcheck_cuckoo_model;
+    Helpers.qcheck qcheck_cuckoo_model_stepwise;
     Alcotest.test_case "mdi lookup all" `Quick test_mdi_lookup_all;
     Alcotest.test_case "mdi miss" `Quick test_mdi_miss;
     Alcotest.test_case "mdi overlap rejected" `Quick test_mdi_overlap_rejected;
@@ -361,7 +392,7 @@ let suite =
     Alcotest.test_case "mdi step semantics" `Quick test_mdi_step_semantics;
     Alcotest.test_case "mdi empty" `Quick test_mdi_empty;
     Alcotest.test_case "mdi forest members" `Quick test_mdi_forest_distinct_members;
-    QCheck_alcotest.to_alcotest qcheck_mdi_vs_linear_scan;
+    Helpers.qcheck qcheck_mdi_vs_linear_scan;
     Alcotest.test_case "arena addr/stride" `Quick test_arena_addr_stride;
     Alcotest.test_case "arena bounds" `Quick test_arena_bounds;
     Alcotest.test_case "arena record fields" `Quick test_arena_record_fields;
@@ -370,5 +401,5 @@ let suite =
     Alcotest.test_case "sequential layout" `Quick test_sequential_layout;
     Alcotest.test_case "pack reduces lines" `Quick test_pack_reduces_lines;
     Alcotest.test_case "lines_touched" `Quick test_lines_touched;
-    QCheck_alcotest.to_alcotest qcheck_pack_no_overlap;
+    Helpers.qcheck qcheck_pack_no_overlap;
   ]

@@ -259,5 +259,5 @@ let suite =
     Alcotest.test_case "amf generator protocol-valid" `Quick test_amf_generator_is_protocol_valid;
     Alcotest.test_case "amf ue range" `Quick test_amf_ue_range;
     Alcotest.test_case "amf msg names distinct" `Quick test_amf_msg_names_distinct;
-    QCheck_alcotest.to_alcotest qcheck_pdr_range_lookup;
+    Helpers.qcheck qcheck_pdr_range_lookup;
   ]
