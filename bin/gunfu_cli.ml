@@ -125,6 +125,7 @@ let run_cmd nf model flows packets cores packed match_removal no_prefetch =
       Gunfu.Compiler.match_removal;
       prefetch_dedup = true;
       prefetching = not no_prefetch;
+      lint = `Off;
     }
   in
   if cores = 1 then begin
@@ -240,9 +241,9 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize =
   try
     let cases =
       match spec with
-      | Some "all" -> Check.Progen.spec_cases ~specs_dir ~seed ~packets
+      | Some "all" -> Check.Progen.spec_cases ~specs_dir ~seed ~packets ()
       | Some name -> (
-          try [ Check.Progen.spec_case ~specs_dir ~name ~seed ~packets ]
+          try [ Check.Progen.spec_case ~specs_dir ~name ~seed ~packets () ]
           with Invalid_argument m -> raise (Gunfu.Spec.Spec_error m))
       | None -> (
           match profile with
@@ -291,6 +292,73 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize =
         ( false,
           Printf.sprintf "oracle found %d divergence(s), %d invariant violation(s)"
             !divergences !violations )
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* ----- lint command: the static analyzer (nflint) ----- *)
+
+let lint_cmd spec all_specs specs_dir json strict =
+  try
+    let targets =
+      if all_specs then
+        Sys.readdir specs_dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".yaml")
+        |> List.sort compare
+        |> List.map (Filename.concat specs_dir)
+      else
+        match spec with
+        | Some f -> [ f ]
+        | None -> raise (Gunfu.Spec.Spec_error "pass --spec FILE or --all-specs")
+    in
+    (* Module files are analyzed in isolation against their declared
+       fetching; composition files are assembled (the oracle's own build
+       path) and analyzed with concrete prefetch targets and kill sets. *)
+    let lint_file path =
+      let src = Nfs.Catalog.read_file path in
+      let looks_like_nf =
+        List.exists
+          (fun line -> String.length line >= 3 && String.sub line 0 3 = "nf:")
+          (String.split_on_char '\n' src)
+      in
+      if looks_like_nf then
+        let name = Filename.remove_extension (Filename.basename path) in
+        Analysis.Lints.of_build (Check.Progen.spec_lint_input ~specs_dir ~name ())
+      else Analysis.Lints.of_module (Gunfu.Spec.module_spec_of_string src)
+    in
+    let findings = Analysis.Report.sort (List.concat_map lint_file targets) in
+    if json then Fmt.pr "%s@." (Analysis.Report.to_json findings)
+    else
+      List.iter (fun f -> Fmt.pr "%a@." Analysis.Report.pp_finding f) findings;
+    let count sev =
+      List.length (List.filter (fun f -> f.Analysis.Report.severity = sev) findings)
+    in
+    let threshold = if strict then Analysis.Report.Warning else Analysis.Report.Error in
+    let failing =
+      List.filter
+        (fun f ->
+          Analysis.Report.severity_rank f.Analysis.Report.severity
+          >= Analysis.Report.severity_rank threshold)
+        findings
+    in
+    if failing = [] then begin
+      if not json then
+        Fmt.pr "lint: %d file(s), %d finding(s) (%d error, %d warning, %d info)@."
+          (List.length targets) (List.length findings)
+          (count Analysis.Report.Error)
+          (count Analysis.Report.Warning)
+          (count Analysis.Report.Info);
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "lint: %d finding(s) at %s severity or above"
+            (List.length failing)
+            (if strict then "warning" else "error") )
   with
   | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
   | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
@@ -373,6 +441,32 @@ let check_t =
         $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
         $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")))
 
+let lint_t =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis (nflint) of NF programs: state-access vs fetching \
+          declarations (cold accesses), temp-register escapes, control-state \
+          interleaving conflicts, FSM hygiene and prefetch distance. Exits \
+          non-zero on error findings ($(b,--strict): also on warnings).")
+    Term.(
+      ret
+        (const lint_cmd
+        $ Arg.(
+            value
+            & opt (some file) None
+            & info [ "spec" ] ~docv:"FILE"
+                ~doc:"Lint one module or composition spec file")
+        $ Arg.(
+            value & flag
+            & info [ "all-specs" ] ~doc:"Lint every .yaml under --specs-dir")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ Arg.(
+            value
+            & opt (enum [ ("text", false); ("json", true) ]) false
+            & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json")
+        $ Arg.(value & flag & info [ "strict" ] ~doc:"Fail on warnings too")))
+
 let list_t = Cmd.v (Cmd.info "list" ~doc:"List NFs and execution models") Term.(ret (const list_cmd $ const ()))
 
 let compose_t =
@@ -391,8 +485,11 @@ let compose_t =
         $ packets_arg))
 
 let () =
+  (* Belt and braces: Check.Progen's initializer installs the hook too,
+     but any compile with opts.lint on must find the analyzer. *)
+  Analysis.Register.install ();
   let doc = "GuNFu: granular, cache-aware NF platform (simulated reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
-          [ run_t; inspect_t; check_spec_t; check_t; compose_t; list_t ]))
+          [ run_t; inspect_t; check_spec_t; check_t; compose_t; lint_t; list_t ]))

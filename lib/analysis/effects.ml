@@ -1,0 +1,120 @@
+(* Effects analysis of NF-C bodies (the analyzer's per-action summary).
+
+   The walk is a small abstract interpreter over the statement list:
+
+   - accesses / emits are MAY facts — both branches of every [if]
+     contribute, so a field counts as accessed if any path touches it;
+   - temp_written is a MUST fact — the meet (intersection) of the
+     definitely-assigned temp sets over every way the body can finish
+     (each Emit/Drop exit plus the fall-through, if one exists);
+   - temp_exposed is the may-read-before-must-write residue: a temp read
+     only counts as exposed when some path reaches it without a definite
+     local assignment first.
+
+   NFTask temporaries are zeroed when a task is (re)loaded, so "exposed"
+   does not mean undefined behaviour — it means the action observes
+   whatever an earlier control state of the same task left there, which
+   is exactly the cross-state dependency the temp-escape lint reports. *)
+
+open Gunfu
+
+type access = { a_scope : Nfc.scope; a_field : string; a_write : bool }
+
+type t = {
+  accesses : access list;
+  temp_exposed : string list;
+  temp_written : string list;
+  emits : string list;
+  falls_through : bool;
+}
+
+(* Small list-as-set helpers preserving first-seen order. *)
+let add_distinct x xs = if List.mem x xs then xs else xs @ [ x ]
+let union a b = List.fold_left (fun acc x -> add_distinct x acc) a b
+let inter a b = List.filter (fun x -> List.mem x b) a
+let diff a b = List.filter (fun x -> not (List.mem x b)) a
+
+let rec expr_accesses acc = function
+  | Nfc.Int _ -> acc
+  | Nfc.Ref (scope, field) ->
+      add_distinct { a_scope = scope; a_field = field; a_write = false } acc
+  | Nfc.Bin (_, a, b) -> expr_accesses (expr_accesses acc a) b
+
+let rec expr_temp_reads acc = function
+  | Nfc.Int _ -> acc
+  | Nfc.Ref (Nfc.Temp, field) -> add_distinct field acc
+  | Nfc.Ref (_, _) -> acc
+  | Nfc.Bin (_, a, b) -> expr_temp_reads (expr_temp_reads acc a) b
+
+(* Mutable may-state threaded through the walk; the must-state (temps
+   definitely written so far) flows functionally because it differs per
+   path. *)
+type st = {
+  mutable s_accesses : access list;
+  mutable s_exposed : string list;
+  mutable s_emits : string list;
+}
+
+let note_expr st written e =
+  st.s_accesses <- expr_accesses st.s_accesses e;
+  st.s_exposed <- union st.s_exposed (diff (expr_temp_reads [] e) written)
+
+(* Returns the fall-through written-set ([None] when every path ends in
+   Emit/Drop) and the written-sets at each Emit/Drop exit. *)
+let rec walk st written stmts =
+  match stmts with
+  | [] -> (Some written, [])
+  | Nfc.Assign (scope, field, e) :: rest ->
+      note_expr st written e;
+      st.s_accesses <-
+        add_distinct { a_scope = scope; a_field = field; a_write = true } st.s_accesses;
+      let written =
+        if scope = Nfc.Temp then add_distinct field written else written
+      in
+      walk st written rest
+  | Nfc.Emit name :: _ ->
+      st.s_emits <- add_distinct (Event.to_key (Nfc.event_of_name name)) st.s_emits;
+      (None, [ written ])
+  | Nfc.Drop :: _ ->
+      st.s_emits <- add_distinct (Event.to_key Event.Drop_packet) st.s_emits;
+      (None, [ written ])
+  | Nfc.If (cond, then_, else_) :: rest -> (
+      note_expr st written cond;
+      let fall_t, exits_t = walk st written then_ in
+      let fall_e, exits_e = walk st written else_ in
+      let exits = exits_t @ exits_e in
+      match (fall_t, fall_e) with
+      | None, None -> (None, exits)
+      | Some w, None | None, Some w ->
+          let fall, more = walk st w rest in
+          (fall, exits @ more)
+      | Some wt, Some we ->
+          let fall, more = walk st (inter wt we) rest in
+          (fall, exits @ more))
+
+let of_program (p : Nfc.t) =
+  let st = { s_accesses = []; s_exposed = []; s_emits = [] } in
+  let fall, exits = walk st [] p.Nfc.body in
+  let exit_sets = (match fall with Some w -> [ w ] | None -> []) @ exits in
+  let temp_written =
+    match exit_sets with
+    | [] -> []
+    | w :: rest -> List.fold_left inter w rest
+  in
+  {
+    accesses = st.s_accesses;
+    temp_exposed = st.s_exposed;
+    temp_written;
+    emits = st.s_emits;
+    falls_through = fall <> None;
+  }
+
+let of_source src =
+  match Nfc.parse src with
+  | prog -> Ok (of_program prog)
+  | exception Nfc.Nfc_error msg -> Error msg
+
+let touches (t : t) ?(write = false) scope =
+  List.exists
+    (fun a -> a.a_scope = scope && ((not write) || a.a_write))
+    t.accesses

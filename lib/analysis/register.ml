@@ -1,0 +1,40 @@
+(* The compiler-side hook. Info findings stay silent here — they are
+   program-shape notes for the lint subcommand, not something every
+   fuzzing compile should print. *)
+
+open Gunfu
+
+let print_findings findings =
+  List.iter
+    (fun f ->
+      if Report.severity_rank f.Report.severity >= Report.severity_rank Report.Warning
+      then Fmt.epr "nflint: %a@." Report.pp_finding f)
+    (Report.sort findings)
+
+let hook (li : Compiler.lint_input) =
+  match li.Compiler.li_opts.Compiler.lint with
+  | `Off -> ()
+  | `Warn -> print_findings (Lints.of_build li)
+  | `Error -> (
+      let findings = Lints.of_build li in
+      let errors, rest =
+        List.partition (fun f -> f.Report.severity = Report.Error) findings
+      in
+      print_findings rest;
+      match Report.sort errors with
+      | [] -> ()
+      | first :: _ ->
+          raise
+            (Compiler.Compile_error
+               (Fmt.str "nf %s: nflint: %d error finding%s, first: %a"
+                  li.Compiler.li_name (List.length errors)
+                  (if List.length errors = 1 then "" else "s")
+                  Report.pp_finding first)))
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Compiler.set_lint_hook hook
+  end

@@ -1,0 +1,12 @@
+(** Hooks the analyzer into the compiler. {!Gunfu.Compiler} cannot
+    depend on this library (the analysis depends on the compiler), so
+    compiles reach it through {!Gunfu.Compiler.set_lint_hook}; linking
+    the library is not enough — ocamlopt drops unreferenced units from
+    archives, so an executable that wants linted compiles must call
+    {!install} (idempotent) once at startup. *)
+
+(** Install {!Lints.of_build} as the compiler's lint hook. Under
+    [opts.lint = `Warn] findings of warning severity and above are
+    printed to stderr; under [`Error], error-severity findings
+    additionally raise {!Gunfu.Compiler.Compile_error}. *)
+val install : unit -> unit

@@ -1,0 +1,75 @@
+(* Analyzer findings and their renderers. The text form is the stable
+   cross-version format asserted by tests; the JSON form is for tooling
+   (`gunfu_cli lint --format json`) and is hand-rolled so the analyzer
+   stays dependency-free. *)
+
+type severity = Info | Warning | Error
+
+type finding = {
+  rule : string;
+  severity : severity;
+  subject : string;
+  qname : string;
+  detail : string;
+  witness : string list;
+}
+
+let severity_label = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let worst findings =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | Some s when severity_rank s >= severity_rank f.severity -> acc
+      | _ -> Some f.severity)
+    None findings
+
+let sort findings =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank b.severity) (severity_rank a.severity) with
+      | 0 -> compare (a.subject, a.qname, a.rule) (b.subject, b.qname, b.rule)
+      | c -> c)
+    findings
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s: [%s] %s/%s: %s" (severity_label f.severity) f.rule f.subject
+    (if f.qname = "" then "-" else f.qname)
+    f.detail;
+  match f.witness with
+  | [] -> ()
+  | path -> Fmt.pf ppf "@.  path: %a" Fmt.(list ~sep:(any " -> ") string) path
+
+(* Minimal JSON string escaping: quotes, backslashes and control bytes
+   (the only characters findings can contain that need it). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Fmt.str
+    {|{"rule":"%s","severity":"%s","subject":"%s","qname":"%s","detail":"%s","witness":[%s]}|}
+    (json_escape f.rule)
+    (severity_label f.severity)
+    (json_escape f.subject) (json_escape f.qname) (json_escape f.detail)
+    (String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") f.witness))
+
+let to_json findings =
+  match findings with
+  | [] -> "[]"
+  | fs -> "[\n  " ^ String.concat ",\n  " (List.map finding_to_json fs) ^ "\n]"

@@ -1,0 +1,34 @@
+(** Findings produced by the static analyzer (nflint): a rule name, a
+    severity, the subject under analysis (module or NF name), the
+    qualified control state the finding anchors to, and an optional FSM
+    path witnessing how execution reaches it. *)
+
+type severity = Info | Warning | Error
+
+type finding = {
+  rule : string;  (** e.g. ["cold-access"] *)
+  severity : severity;
+  subject : string;  (** module or NF name the finding belongs to *)
+  qname : string;  (** offending control state (["inst.cs"] or ["cs"]) *)
+  detail : string;  (** human-readable explanation *)
+  witness : string list;  (** FSM path from entry to the offender, or [] *)
+}
+
+val severity_label : severity -> string
+
+(** Error > Warning > Info. *)
+val severity_rank : severity -> int
+
+(** Highest severity present, or [None] on an empty list. *)
+val worst : finding list -> severity option
+
+(** Stable order: severity descending, then subject, qname, rule. *)
+val sort : finding list -> finding list
+
+(** One line per finding ([severity: \[rule\] subject/qname: detail]),
+    plus an indented [path:] line when a witness is present. *)
+val pp_finding : Format.formatter -> finding -> unit
+
+(** Render a finding list as a JSON array (stable field order, no
+    external dependency). *)
+val to_json : finding list -> string

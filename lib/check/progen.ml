@@ -141,11 +141,17 @@ let chain_spec families =
     n_transitions = wire (List.combine prefixes families);
   }
 
+(* Generated programs must be lint-clean by construction: every randomized
+   compile runs the analyzer at `Error level (the hook is installed by this
+   module's initializer below). *)
+let () = Analysis.Register.install ()
+
 let random_opts rng =
   {
     Compiler.match_removal = Rng.bool rng;
     prefetch_dedup = Rng.bool rng;
     prefetching = Rng.bool rng;
+    lint = `Error;
   }
 
 let build_chain ~rng ~seed ~profile ~packets =
@@ -256,6 +262,7 @@ let build_synthetic ~rng ~seed ~profile ~packets =
         :: transitions;
       m_fetching = fetching;
       m_states = [ ("scratch", "per_flow"); ("pkt", "packet_state") ];
+      m_nfc = [];
     }
   in
   Spec.validate_module mspec;
@@ -373,7 +380,7 @@ let cases ~seed ~count ~packets : Oracle.case list =
 
 (* ----- cases built from the on-disk specs/ compositions ----- *)
 
-let catalog_spec_case ~specs_dir ~name ~seed ~packets : Oracle.case =
+let catalog_spec_case ?opts ~specs_dir ~name ~seed ~packets () : Oracle.case =
   let profile = "zipf" in
   {
     Oracle.c_name = "spec-" ^ name;
@@ -387,7 +394,7 @@ let catalog_spec_case ~specs_dir ~name ~seed ~packets : Oracle.case =
         let built =
           Nfs.Catalog.build_from_files layout
             ~nf_file:(Filename.concat specs_dir (name ^ ".yaml"))
-            ~specs_dir ~n_flows:64 ()
+            ~specs_dir ~n_flows:64 ?opts ()
         in
         let gen = flowgen_for ~profile ~seed ~n_flows:64 in
         built.Nfs.Catalog.populate (Traffic.Flowgen.flows gen);
@@ -406,8 +413,29 @@ let catalog_spec_case ~specs_dir ~name ~seed ~packets : Oracle.case =
 
 (* The UPF downlink composition: instances from the shipped UPF, module
    FSMs substituted from the on-disk specs, wiring from upf_downlink.yaml
-   — so the oracle genuinely executes the files under specs/. *)
-let upf_spec_case ~specs_dir ~seed ~packets : Oracle.case =
+   — so the oracle (and the lint subcommand) genuinely works on the files
+   under specs/. *)
+let upf_assembly layout ~specs_dir ~mgw =
+  let upf =
+    Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs:4 ()
+  in
+  Nfs.Upf.populate upf;
+  let modules = Nfs.Catalog.load_modules specs_dir in
+  let instances =
+    List.map
+      (fun (inst : Compiler.instance) ->
+        match List.assoc_opt inst.Compiler.i_spec.Spec.m_name modules with
+        | Some on_disk -> { inst with Compiler.i_spec = on_disk }
+        | None -> inst)
+      (Nfs.Upf.unit upf).Nfs.Nf_unit.instances
+  in
+  let nf =
+    Spec.nf_spec_of_string
+      (Nfs.Catalog.read_file (Filename.concat specs_dir "upf_downlink.yaml"))
+  in
+  (upf, instances, nf)
+
+let upf_spec_case ?opts ~specs_dir ~seed ~packets () : Oracle.case =
   {
     Oracle.c_name = "spec-upf_downlink";
     c_seed = seed;
@@ -418,25 +446,8 @@ let upf_spec_case ~specs_dir ~seed ~packets : Oracle.case =
         let worker = Worker.create ~id:0 () in
         let layout = Worker.layout worker in
         let mgw = Traffic.Mgw.create ~seed ~n_sessions:64 ~n_pdrs:4 () in
-        let upf =
-          Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw)
-            ~n_pdrs:4 ()
-        in
-        Nfs.Upf.populate upf;
-        let modules = Nfs.Catalog.load_modules specs_dir in
-        let instances =
-          List.map
-            (fun (inst : Compiler.instance) ->
-              match List.assoc_opt inst.Compiler.i_spec.Spec.m_name modules with
-              | Some on_disk -> { inst with Compiler.i_spec = on_disk }
-              | None -> inst)
-            (Nfs.Upf.unit upf).Nfs.Nf_unit.instances
-        in
-        let nf =
-          Spec.nf_spec_of_string
-            (Nfs.Catalog.read_file (Filename.concat specs_dir "upf_downlink.yaml"))
-        in
-        let program = Compiler.compile ~name:nf.Spec.n_name instances nf in
+        let upf, instances, nf = upf_assembly layout ~specs_dir ~mgw in
+        let program = Compiler.compile ?opts ~name:nf.Spec.n_name instances nf in
         let pool = Netcore.Packet.Pool.create layout ~count:256 in
         {
           Oracle.worker;
@@ -457,15 +468,31 @@ let upf_spec_case ~specs_dir ~seed ~packets : Oracle.case =
 (* One oracle case per composition under [specs_dir]; the module specs the
    compositions reference are all loaded from disk too, so every file in
    specs/ is exercised. *)
-let spec_cases ~specs_dir ~seed ~packets : Oracle.case list =
+let spec_cases ?opts ~specs_dir ~seed ~packets () : Oracle.case list =
   [
-    catalog_spec_case ~specs_dir ~name:"nat" ~seed ~packets;
-    catalog_spec_case ~specs_dir ~name:"sfc4" ~seed ~packets;
-    upf_spec_case ~specs_dir ~seed ~packets;
+    catalog_spec_case ?opts ~specs_dir ~name:"nat" ~seed ~packets ();
+    catalog_spec_case ?opts ~specs_dir ~name:"sfc4" ~seed ~packets ();
+    upf_spec_case ?opts ~specs_dir ~seed ~packets ();
   ]
 
-let spec_case ~specs_dir ~name ~seed ~packets : Oracle.case =
+let spec_case ?opts ~specs_dir ~name ~seed ~packets () : Oracle.case =
   match name with
-  | "nat" | "sfc4" -> catalog_spec_case ~specs_dir ~name ~seed ~packets
-  | "upf_downlink" -> upf_spec_case ~specs_dir ~seed ~packets
+  | "nat" | "sfc4" -> catalog_spec_case ?opts ~specs_dir ~name ~seed ~packets ()
+  | "upf_downlink" -> upf_spec_case ?opts ~specs_dir ~seed ~packets ()
   | n -> invalid_arg (Printf.sprintf "Progen.spec_case: unknown composition %s" n)
+
+(* The lint subcommand's entry point: the same assembly the oracle cases
+   run, stopped at {!Gunfu.Compiler.lint_view}. The seed only feeds
+   session-table sizing, never the FSM shape, so findings are stable. *)
+let spec_lint_input ?opts ~specs_dir ~name () : Compiler.lint_input =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  match name with
+  | "upf_downlink" ->
+      let mgw = Traffic.Mgw.create ~seed:1 ~n_sessions:64 ~n_pdrs:4 () in
+      let _, instances, nf = upf_assembly layout ~specs_dir ~mgw in
+      Compiler.lint_view ?opts ~name:nf.Spec.n_name instances nf
+  | _ ->
+      Nfs.Catalog.lint_input_from_files layout
+        ~nf_file:(Filename.concat specs_dir (name ^ ".yaml"))
+        ~specs_dir ~n_flows:64 ?opts ()

@@ -29,9 +29,21 @@ val case : seed:int -> profile:string -> packets:int -> Oracle.case
 val cases : seed:int -> count:int -> packets:int -> Oracle.case list
 
 (** One case per composition in [specs_dir] (nat, sfc4, upf_downlink),
-    executing the on-disk module FSMs. *)
-val spec_cases : specs_dir:string -> seed:int -> packets:int -> Oracle.case list
+    executing the on-disk module FSMs. [opts] overrides the compiler
+    options (default {!Gunfu.Compiler.default_opts}). *)
+val spec_cases :
+  ?opts:Gunfu.Compiler.opts -> specs_dir:string -> seed:int -> packets:int -> unit ->
+  Oracle.case list
 
 (** @raise Invalid_argument on unknown composition names. *)
 val spec_case :
-  specs_dir:string -> name:string -> seed:int -> packets:int -> Oracle.case
+  ?opts:Gunfu.Compiler.opts -> specs_dir:string -> name:string -> seed:int ->
+  packets:int -> unit -> Oracle.case
+
+(** The static analyzer's view of a composition in [specs_dir] — the
+    same assembly {!spec_case} executes, stopped at
+    {!Gunfu.Compiler.lint_view} instead of compiled. Accepts any
+    catalog-buildable composition plus ["upf_downlink"]. *)
+val spec_lint_input :
+  ?opts:Gunfu.Compiler.opts -> specs_dir:string -> name:string -> unit ->
+  Gunfu.Compiler.lint_input

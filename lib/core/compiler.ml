@@ -22,13 +22,17 @@ type instance = {
   i_key_kind : string option;  (* classifiers: what key they match on *)
 }
 
+type lint_level = [ `Off | `Warn | `Error ]
+
 type opts = {
   match_removal : bool;
   prefetch_dedup : bool;
   prefetching : bool;  (* false: compile with empty prefetch policies *)
+  lint : lint_level;  (* run the static analyzer on every compile *)
 }
 
-let default_opts = { match_removal = false; prefetch_dedup = true; prefetching = true }
+let default_opts =
+  { match_removal = false; prefetch_dedup = true; prefetching = true; lint = `Off }
 
 (* ----- redundant matching removal ----- *)
 
@@ -39,7 +43,11 @@ let default_opts = { match_removal = false; prefetch_dedup = true; prefetching =
    rewired to its MATCH_SUCCESS successor. *)
 let remove_redundant_matching instances (nf : Spec.nf_spec) =
   let order = List.map fst nf.Spec.n_modules in
-  let inst_of name = List.find (fun i -> i.i_name = name) instances in
+  let inst_of name =
+    match List.find_opt (fun i -> i.i_name = name) instances with
+    | Some i -> i
+    | None -> fail "match removal: nf %s references missing instance %s" nf.Spec.n_name name
+  in
   let seen = ref [] in
   let redundant =
     List.filter
@@ -151,14 +159,14 @@ let flatten instances (nf : Spec.nf_spec) =
     (fun inst ->
       List.iter
         (fun (t : Spec.transition) ->
-          if t.src = Spec.start_state then ()
+          if t.Spec.src = Spec.start_state then ()
           else
-            let src = state_id inst t.src in
+            let src = state_id inst t.Spec.src in
             let dst =
-              if t.dst = Spec.end_state then exit_target inst.i_name t.event
-              else state_id inst t.dst
+              if t.Spec.dst = Spec.end_state then exit_target inst.i_name t.Spec.event
+              else state_id inst t.Spec.dst
             in
-            Fsm.Builder.add_edge b ~src ~event:t.event ~dst)
+            Fsm.Builder.add_edge b ~src ~event:t.Spec.event ~dst)
         inst.i_spec.Spec.m_transitions)
     instances;
   (* Program entry: first instance in declaration order. *)
@@ -228,17 +236,17 @@ let build_info instances fsm ~start ~done_cs ~prefetching =
 
 (* ----- redundant prefetch removal ----- *)
 
-(* Forward must-analysis: a target is "available" at a control state when it
-   was prefetched (and not invalidated) on every path from __start. Targets
-   available on entry need not be prefetched again. *)
-let remove_redundant_prefetch (info : Program.cs_info array) fsm ~start =
-  let n = Array.length info in
+(* Forward must-analysis on the shared {!Dataflow} fixpoint: a target is
+   "available" at a control state when it was prefetched (and not
+   invalidated) on every path from __start. Targets available on entry need
+   not be prefetched again. The analyzer's cold-access and short-distance
+   lints reuse the same availability facts. *)
+let prefetch_availability (info : Program.cs_info array) fsm ~start =
+  let eq = Prefetch.equal_target in
   let universe =
     Array.to_list info
     |> List.concat_map (fun ci -> ci.Program.prefetch)
-    |> List.fold_left
-         (fun acc t -> if List.exists (Prefetch.equal_target t) acc then acc else t :: acc)
-         []
+    |> List.fold_left (fun acc t -> Dataflow.Set_ops.union ~equal:eq acc [ t ]) []
   in
   let kill_of ci =
     match ci.Program.action with
@@ -257,56 +265,59 @@ let remove_redundant_prefetch (info : Program.cs_info array) fsm ~start =
            | _ -> false)
          kills)
   in
-  let inter a b = List.filter (fun t -> List.exists (Prefetch.equal_target t) b) a in
-  let union a b =
-    List.fold_left
-      (fun acc t -> if List.exists (Prefetch.equal_target t) acc then acc else t :: acc)
-      a b
+  let transfer i avail_in =
+    List.filter (survives (kill_of info.(i)))
+      (Dataflow.Set_ops.union ~equal:eq avail_in info.(i).Program.prefetch)
   in
-  let avail_out = Array.make n universe in
-  avail_out.(start) <- [];
-  let preds = Array.init n (fun i -> Fsm.predecessors fsm i) in
-  let avail_in i =
-    match preds.(i) with
-    | [] -> []
-    | p :: rest -> List.fold_left (fun acc q -> inter acc avail_out.(q)) avail_out.(p) rest
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for i = 0 to n - 1 do
-      if i <> start then begin
-        let inp = avail_in i in
-        let out =
-          List.filter (survives (kill_of info.(i))) (union inp info.(i).Program.prefetch)
-        in
-        if List.length out <> List.length avail_out.(i) then begin
-          avail_out.(i) <- out;
-          changed := true
-        end
-      end
-    done
-  done;
+  Dataflow.forward fsm ~entry:start ~entry_out:[] ~init:universe ~no_pred:[]
+    ~join:(Dataflow.Set_ops.inter ~equal:eq)
+    ~equal:(Dataflow.Set_ops.set_equal ~equal:eq)
+    ~transfer
+
+let remove_redundant_prefetch (info : Program.cs_info array) fsm ~start =
+  let avail = prefetch_availability info fsm ~start in
   let removed = ref 0 in
-  for i = 0 to n - 1 do
-    let inp = avail_in i in
-    let kept =
-      List.filter
-        (fun t ->
-          if List.exists (Prefetch.equal_target t) inp then begin
-            incr removed;
-            false
-          end
-          else true)
-        info.(i).Program.prefetch
-    in
-    info.(i).Program.prefetch <- kept
-  done;
+  Array.iteri
+    (fun i inp ->
+      let kept =
+        List.filter
+          (fun t ->
+            if List.exists (Prefetch.equal_target t) inp then begin
+              incr removed;
+              false
+            end
+            else true)
+          info.(i).Program.prefetch
+      in
+      info.(i).Program.prefetch <- kept)
+    avail.Dataflow.ins;
   !removed
+
+(* ----- static-analysis hook ----- *)
+
+(* The analyzer lives in its own library (which depends on this one), so
+   the compiler reaches it through a hook the analysis library installs.
+   Requesting lint without the analyzer linked is a hard error, not a
+   silent no-op. *)
+type lint_input = {
+  li_name : string;
+  li_instances : instance list;  (* post match-removal *)
+  li_nf : Spec.nf_spec;  (* post match-removal *)
+  li_fsm : Fsm.t;
+  li_info : Program.cs_info array;  (* pre prefetch-dedup *)
+  li_start : int;
+  li_done : int;
+  li_opts : opts;
+}
+
+let lint_hook : (lint_input -> unit) option ref = ref None
+let set_lint_hook h = lint_hook := Some h
 
 (* ----- top level ----- *)
 
-let compile ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
+(* Everything up to (but excluding) prefetch dedup: what the analyzer
+   inspects — the flattened FSM with the full declared prefetch policy. *)
+let lint_view ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
   List.iter (fun i -> Spec.validate_module i.i_spec) instances;
   Spec.validate_nf nf
     ~known_modules:(List.map (fun i -> i.i_spec.Spec.m_name) instances);
@@ -316,6 +327,33 @@ let compile ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
   in
   let start, done_cs, fsm = flatten instances nf in
   let info = build_info instances fsm ~start ~done_cs ~prefetching:opts.prefetching in
+  {
+    li_name = name;
+    li_instances = instances;
+    li_nf = nf;
+    li_fsm = fsm;
+    li_info = info;
+    li_start = start;
+    li_done = done_cs;
+    li_opts = opts;
+  }
+
+let compile ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
+  let v = lint_view ~opts ~name instances nf in
+  (match opts.lint with
+  | `Off -> ()
+  | `Warn | `Error -> (
+      match !lint_hook with
+      | Some hook -> hook v
+      | None ->
+          fail "nf %s: opts.lint requested but no analyzer is linked (link the analysis library and call Register.install)"
+            name));
   if opts.prefetch_dedup && opts.prefetching then
-    ignore (remove_redundant_prefetch info fsm ~start);
-  { Program.p_name = name; fsm; info; start; done_cs }
+    ignore (remove_redundant_prefetch v.li_info v.li_fsm ~start:v.li_start);
+  {
+    Program.p_name = name;
+    fsm = v.li_fsm;
+    info = v.li_info;
+    start = v.li_start;
+    done_cs = v.li_done;
+  }

@@ -21,22 +21,62 @@ type instance = {
   i_key_kind : string option;
 }
 
+(** Run the static analyzer (the [analysis] library, reached through
+    {!set_lint_hook}) on every compile: [`Warn] prints findings, [`Error]
+    additionally fails compilation on error-severity findings. *)
+type lint_level = [ `Off | `Warn | `Error ]
+
 type opts = {
   match_removal : bool;
   prefetch_dedup : bool;
   prefetching : bool;  (** [false]: compile with empty prefetch policies *)
+  lint : lint_level;
 }
 
-(** prefetching on, dedup on, match removal off. *)
+(** prefetching on, dedup on, match removal off, lint off. *)
 val default_opts : opts
 
+(** What the analyzer sees: the compile pipeline stopped just before
+    prefetch dedup — instances and NF wiring post match-removal, the
+    flattened FSM, and per-state info with the full declared prefetch
+    policy. *)
+type lint_input = {
+  li_name : string;
+  li_instances : instance list;
+  li_nf : Spec.nf_spec;
+  li_fsm : Fsm.t;
+  li_info : Program.cs_info array;
+  li_start : int;
+  li_done : int;
+  li_opts : opts;
+}
+
+(** Install the analyzer. The hook is expected to print warning-severity
+    findings and raise {!Compile_error} on error-severity findings when
+    [li_opts.lint = `Error]. *)
+val set_lint_hook : (lint_input -> unit) -> unit
+
+(** Build a {!lint_input} without running dedup or the hook (the [lint]
+    subcommand's entry point). @raise Compile_error / {!Spec.Spec_error}
+    like {!compile}. *)
+val lint_view :
+  ?opts:opts -> name:string -> instance list -> Spec.nf_spec -> lint_input
+
 (** @raise Compile_error (or {!Spec.Spec_error}) on invalid specs, missing
-    action implementations or missing prefetch bindings. *)
+    action implementations, missing prefetch bindings, or — with
+    [opts.lint = `Error] — analyzer findings. *)
 val compile : ?opts:opts -> name:string -> instance list -> Spec.nf_spec -> Program.t
 
 (** Exposed for tests: the match-removal rewrite on the instance graph. *)
 val remove_redundant_matching :
   instance list -> Spec.nf_spec -> instance list * Spec.nf_spec
+
+(** The forward must-analysis behind redundant-prefetch removal, on the
+    shared {!Dataflow} fixpoint: per-state prefetch targets available on
+    entry ([ins]) / exit ([outs]) along every path from [start]. The
+    analyzer's cold-access and short-distance lints reuse it. *)
+val prefetch_availability :
+  Program.cs_info array -> Fsm.t -> start:int -> Prefetch.target list Dataflow.result
 
 (** Exposed for tests: the prefetch must-analysis; returns removed-target
     count. *)

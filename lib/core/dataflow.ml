@@ -1,0 +1,125 @@
+(* Generic forward dataflow over the control-logic FSM.
+
+   One join-over-paths fixpoint serves both the compiler's
+   redundant-prefetch removal (a must-analysis: meet = intersection,
+   facts initialised to the optimistic universe) and the static analyzer's
+   lints (prefetch availability, temp-state must-writes). The iteration is
+   Gauss-Seidel over the state array, exactly as the original ad-hoc pass
+   in {!Compiler} iterated, so refactored clients converge to the same
+   fixpoint. *)
+
+type 'fact result = { ins : 'fact array; outs : 'fact array }
+
+let forward fsm ~entry ~entry_out ~init ~no_pred ~join ~equal ~transfer =
+  let n = Fsm.n_states fsm in
+  let outs = Array.make n init in
+  outs.(entry) <- entry_out;
+  let preds = Array.init n (Fsm.predecessors fsm) in
+  let in_of i =
+    match preds.(i) with
+    | [] -> no_pred
+    | p :: rest -> List.fold_left (fun acc q -> join acc outs.(q)) outs.(p) rest
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if i <> entry then begin
+        let out = transfer i (in_of i) in
+        if not (equal out outs.(i)) then begin
+          outs.(i) <- out;
+          changed := true
+        end
+      end
+    done
+  done;
+  { ins = Array.init n in_of; outs }
+
+(* ----- reachability helpers (used by the FSM-hygiene lints and for
+   witness paths in findings) ----- *)
+
+let reachable fsm ~entry =
+  let n = Fsm.n_states fsm in
+  let seen = Array.make n false in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | s :: rest ->
+        let nexts =
+          List.filter
+            (fun d ->
+              if seen.(d) then false
+              else begin
+                seen.(d) <- true;
+                true
+              end)
+            (Fsm.successors fsm s)
+        in
+        go (nexts @ rest)
+  in
+  seen.(entry) <- true;
+  go [ entry ];
+  seen
+
+let coreachable fsm ~exit_ =
+  let n = Fsm.n_states fsm in
+  let seen = Array.make n false in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | s :: rest ->
+        let nexts =
+          List.filter
+            (fun p ->
+              if seen.(p) then false
+              else begin
+                seen.(p) <- true;
+                true
+              end)
+            (Fsm.predecessors fsm s)
+        in
+        go (nexts @ rest)
+  in
+  seen.(exit_) <- true;
+  go [ exit_ ];
+  seen
+
+(* Shortest __start-to-target path by BFS; the state-name list is attached
+   to findings as the path witness. *)
+let witness fsm ~entry ~target =
+  let n = Fsm.n_states fsm in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(entry) <- true;
+  let q = Queue.create () in
+  Queue.add entry q;
+  let found = ref (entry = target) in
+  while (not !found) && not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    List.iter
+      (fun d ->
+        if not seen.(d) then begin
+          seen.(d) <- true;
+          parent.(d) <- s;
+          if d = target then found := true else Queue.add d q
+        end)
+      (Fsm.successors fsm s)
+  done;
+  if not !found then None
+  else begin
+    let rec back acc s = if s = entry then entry :: acc else back (s :: acc) parent.(s) in
+    Some (back [] target)
+  end
+
+(* ----- small list-as-set operations shared by the fact lattices ----- *)
+
+module Set_ops = struct
+  let mem ~equal x xs = List.exists (equal x) xs
+  let inter ~equal a b = List.filter (fun x -> mem ~equal x b) a
+
+  let union ~equal a b =
+    List.fold_left (fun acc x -> if mem ~equal x acc then acc else x :: acc) a b
+
+  let subset ~equal a b = List.for_all (fun x -> mem ~equal x b) a
+  let set_equal ~equal a b = subset ~equal a b && subset ~equal b a
+end

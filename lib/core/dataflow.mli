@@ -1,0 +1,45 @@
+(** Generic forward dataflow over {!Fsm.t}: one join-over-paths fixpoint
+    shared by the compiler's redundant-prefetch removal and the static
+    analyzer's lints, plus the reachability helpers the FSM-hygiene rules
+    and path witnesses are built from. *)
+
+type 'fact result = {
+  ins : 'fact array;  (** fact at state entry: join over predecessor outs *)
+  outs : 'fact array;  (** fact after the state's transfer function *)
+}
+
+(** [forward fsm ~entry ~entry_out ~init ~no_pred ~join ~equal ~transfer]
+    iterates [out(i) := transfer i (join over preds' outs)] to a fixpoint.
+    [entry]'s out-fact is pinned to [entry_out]; all other outs start at
+    [init] (the optimistic top for a must-analysis); a state with no
+    predecessors gets [no_pred] as its in-fact. [transfer] must be
+    monotone for termination. *)
+val forward :
+  Fsm.t ->
+  entry:int ->
+  entry_out:'fact ->
+  init:'fact ->
+  no_pred:'fact ->
+  join:('fact -> 'fact -> 'fact) ->
+  equal:('fact -> 'fact -> bool) ->
+  transfer:(int -> 'fact -> 'fact) ->
+  'fact result
+
+(** States reachable from [entry] (including [entry]). *)
+val reachable : Fsm.t -> entry:int -> bool array
+
+(** States from which [exit_] is reachable (including [exit_]). *)
+val coreachable : Fsm.t -> exit_:int -> bool array
+
+(** Shortest [entry]-to-[target] path (state ids, both endpoints
+    included), or [None] when unreachable. *)
+val witness : Fsm.t -> entry:int -> target:int -> int list option
+
+(** Lists as sets under a caller-supplied element equality. *)
+module Set_ops : sig
+  val mem : equal:('a -> 'a -> bool) -> 'a -> 'a list -> bool
+  val inter : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> 'a list
+  val union : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> 'a list
+  val subset : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+  val set_equal : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+end

@@ -69,7 +69,10 @@ let lex src =
       while !i < n && is_digit src.[!i] do
         incr i
       done;
-      toks := Num (int_of_string (String.sub src start (!i - start))) :: !toks
+      let text = String.sub src start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> toks := Num v :: !toks
+      | None -> fail "integer literal %s at character %d does not fit an int" text start
     end
     else begin
       let two =

@@ -28,6 +28,7 @@ let create ?(cfg = Worker.default_cfg) ~cores () =
   { workers = Array.init cores (fun id -> Worker.create ~cfg ~id ()); cfg }
 
 let cores t = Array.length t.workers
+let config t = t.cfg
 let worker t i = t.workers.(i)
 let workers t = t.workers
 

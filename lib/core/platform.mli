@@ -7,6 +7,10 @@ type t
 (** @raise Invalid_argument when [cores <= 0]. *)
 val create : ?cfg:Worker.cfg -> cores:int -> unit -> t
 
+(** The per-core worker configuration actually in effect (LLC share
+    already partitioned across the cores). *)
+val config : t -> Worker.cfg
+
 val cores : t -> int
 val worker : t -> int -> Worker.t
 val workers : t -> Worker.t array

@@ -54,12 +54,12 @@ let arena_blocks arena idx fields =
 let resolve target (task : Nftask.t) =
   match target with
   | Packet_header n -> (
-      match task.packet with
+      match task.Nftask.packet with
       | Some p when p.Netcore.Packet.sim_addr >= 0 -> [ (p.Netcore.Packet.sim_addr, n) ]
       | Some _ | None -> [])
-  | Match_addrs -> task.match_addrs
-  | Per_flow (arena, fields) -> arena_blocks arena task.matched fields
-  | Sub_flow (arena, fields) -> arena_blocks arena task.sub_matched fields
+  | Match_addrs -> task.Nftask.match_addrs
+  | Per_flow (arena, fields) -> arena_blocks arena task.Nftask.matched fields
+  | Sub_flow (arena, fields) -> arena_blocks arena task.Nftask.sub_matched fields
   | Fixed s -> [ (s.Sref.addr, s.Sref.bytes) ]
 
 let resolve_all targets task = List.concat_map (fun t -> resolve t task) targets

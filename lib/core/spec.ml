@@ -19,6 +19,7 @@ type module_spec = {
   m_transitions : transition list;
   m_fetching : (string * string list) list;  (* control state -> state names *)
   m_states : (string * string) list;  (* state name -> class ("match", ...) *)
+  m_nfc : (string * string) list;  (* control state -> NF-C action source *)
 }
 
 type nf_spec = {
@@ -99,7 +100,19 @@ let module_spec_of_yaml y =
           kvs
     | Some _ -> fail "module %s: states must be a map" m_name
   in
-  { m_name; m_category; m_parameters; m_transitions; m_fetching; m_states }
+  let m_nfc =
+    match Yaml_lite.find "nfc" y with
+    | None -> []
+    | Some (Yaml_lite.Map kvs) ->
+        List.map
+          (fun (cs, v) ->
+            match Yaml_lite.scalar v with
+            | Some src -> (cs, src)
+            | None -> fail "module %s: nfc.%s must be a scalar NF-C source" m_name cs)
+          kvs
+    | Some _ -> fail "module %s: nfc must be a map" m_name
+  in
+  { m_name; m_category; m_parameters; m_transitions; m_fetching; m_states; m_nfc }
 
 let nf_spec_of_yaml y =
   let n_name =
@@ -164,6 +177,15 @@ let validate_module m =
             fail "module %s: fetching.%s references undeclared state %s" m.m_name cs n)
         names)
     m.m_fetching;
+  (* Declared NF-C bodies must attach to known control states and parse. *)
+  List.iter
+    (fun (cs, src) ->
+      if not (List.mem cs states) then
+        fail "module %s: nfc for unknown control state %s" m.m_name cs;
+      match Nfc.parse src with
+      | _ -> ()
+      | exception Nfc.Nfc_error msg -> fail "module %s: nfc.%s: %s" m.m_name cs msg)
+    m.m_nfc;
   (* Every non-Start/End state should be reachable from Start. *)
   let rec reach acc frontier =
     match frontier with

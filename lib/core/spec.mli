@@ -15,6 +15,10 @@ type module_spec = {
   m_transitions : transition list;
   m_fetching : (string * string list) list;  (** control state -> state names *)
   m_states : (string * string) list;  (** state name -> class name *)
+  m_nfc : (string * string) list;
+      (** control state -> NF-C action source (single-line); the declared
+          implementation the static analyzer checks against the fetching
+          declaration *)
 }
 
 type nf_spec = {
@@ -38,8 +42,9 @@ val nf_spec_of_string : string -> nf_spec
 val control_states_of : module_spec -> string list
 
 (** Structural validation: Start/End present, deterministic Δ, fetching
-    refers to known control states and declared NFStates, all states
-    reachable. @raise Spec_error on violations. *)
+    refers to known control states and declared NFStates, NF-C bodies
+    attach to known control states and parse, all states reachable.
+    @raise Spec_error on violations. *)
 val validate_module : module_spec -> unit
 
 (** @raise Spec_error on unknown module types or instances. *)

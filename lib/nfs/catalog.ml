@@ -65,8 +65,10 @@ let family_of_roles prefix roles =
   else if has "acc" then Nm_f
   else fail "cannot infer the NF family of %s from roles %s" prefix (String.concat "," roles)
 
-let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
-    ?(opts = Compiler.default_opts) () =
+(* Instantiate the NF objects a composition needs and substitute the
+   supplied module specs — everything [build] does short of compiling, so
+   the lint path can stop at a {!Compiler.lint_view}. *)
+let assemble layout ~(nf : Spec.nf_spec) ~modules ~n_flows =
   (* Group instances by prefix, preserving chain order. *)
   let order = ref [] in
   let roles : (string, (string * string) list) Hashtbl.t = Hashtbl.create 8 in
@@ -133,9 +135,12 @@ let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
             fail "instance %s is a %s, composition says %s" inst_name
               i.Compiler.i_spec.Spec.m_name mtype)
     nf.Spec.n_modules;
+  (instances, List.rev !populates, List.rev !digests, order)
+
+let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
+    ?(opts = Compiler.default_opts) () =
+  let instances, populates, digests, order = assemble layout ~nf ~modules ~n_flows in
   let program = Compiler.compile ~opts ~name:nf.Spec.n_name instances nf in
-  let populates = List.rev !populates in
-  let digests = List.rev !digests in
   {
     program;
     populate = (fun flows -> List.iter (fun p -> p flows) populates);
@@ -163,3 +168,12 @@ let build_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =
   let modules = load_modules specs_dir in
   Spec.validate_nf nf ~known_modules:(List.map fst modules);
   build layout ~nf ~modules ~n_flows ?opts ()
+
+(* The lint path: same assembly as {!build_from_files}, stopping just
+   before prefetch dedup (what the static analyzer wants to see). *)
+let lint_input_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =
+  let nf = Spec.nf_spec_of_string (read_file nf_file) in
+  let modules = load_modules specs_dir in
+  Spec.validate_nf nf ~known_modules:(List.map fst modules);
+  let instances, _, _, _ = assemble layout ~nf ~modules ~n_flows in
+  Compiler.lint_view ?opts ~name:nf.Spec.n_name instances nf

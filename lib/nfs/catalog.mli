@@ -32,3 +32,10 @@ val load_modules : string -> (string * Spec.module_spec) list
 val build_from_files :
   Memsim.Layout.t -> nf_file:string -> specs_dir:string -> n_flows:int ->
   ?opts:Compiler.opts -> unit -> built
+
+(** Same assembly as {!build_from_files}, but stop at
+    {!Gunfu.Compiler.lint_view} — the static analyzer's input — instead
+    of compiling. *)
+val lint_input_from_files :
+  Memsim.Layout.t -> nf_file:string -> specs_dir:string -> n_flows:int ->
+  ?opts:Compiler.opts -> unit -> Compiler.lint_input

@@ -23,6 +23,8 @@ fetching:
 states:
   mapping: per_flow
   header: packet
+nfc:
+  flow_mapper: NFAction(flow_mapper) { Packet.src_ip = PerFlowState.ip; Packet.src_port = PerFlowState.port; Emit(Event_Packet); }
 |}
 
 let mapper_spec = lazy (Spec.module_spec_of_string mapper_spec_text)

@@ -3,7 +3,12 @@
 open Gunfu
 
 let no_opt =
-  { Compiler.match_removal = false; prefetch_dedup = false; prefetching = true }
+  {
+    Compiler.match_removal = false;
+    prefetch_dedup = false;
+    prefetching = true;
+    lint = `Off;
+  }
 
 let test_flatten_structure () =
   let s = Helpers.nat_setup ~opts:no_opt () in

@@ -88,6 +88,15 @@ let test_parse_errors () =
       "NFAction(x) { } trailing";
     ]
 
+let test_parse_huge_int_literal () =
+  (* An out-of-range literal is a syntax error (Nfc_error), not a crash
+     or a silently wrapped value. *)
+  match Nfc.parse "NFAction(x) { Packet.a = 99999999999999999999999999; }" with
+  | exception Nfc.Nfc_error msg ->
+      Alcotest.(check bool) "names the literal" true
+        (String.length msg > 0 && String.contains msg '9')
+  | _ -> Alcotest.fail "oversized integer literal must raise Nfc_error"
+
 (* ----- evaluation ----- *)
 
 let test_assignment_and_arith () =
@@ -211,6 +220,7 @@ let suite =
     Alcotest.test_case "parse comments" `Quick test_parse_comments;
     Alcotest.test_case "temporaries collected" `Quick test_parse_temporaries_collected;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "oversized int literal" `Quick test_parse_huge_int_literal;
     Alcotest.test_case "assignment/arith" `Quick test_assignment_and_arith;
     Alcotest.test_case "operator precedence" `Quick test_operator_precedence;
     Alcotest.test_case "parens and mod" `Quick test_parens_and_mod;

@@ -46,7 +46,7 @@ let test_sweep profile () =
   done
 
 let test_spec_compositions () =
-  let cases = Progen.spec_cases ~specs_dir ~seed:3 ~packets:96 in
+  let cases = Progen.spec_cases ~specs_dir ~seed:3 ~packets:96 () in
   Alcotest.(check int) "all shipped compositions covered"
     (List.length Progen.spec_names) (List.length cases);
   List.iter exercise cases
@@ -61,6 +61,32 @@ let test_executor_grid () =
     (fun n ->
       Alcotest.(check bool) (n ^ " present") true (List.mem n names))
     [ "rtc"; "batch-1"; "batch-8"; "batch-32"; "rr-1"; "rr-16"; "rf-1"; "rf-16" ]
+
+(* The compiler passes the analyzer reasons about — match removal and
+   redundant-prefetch removal — must be observation-preserving: the
+   oracle's full diff (inputs, counters, per-flow output streams, final
+   state digest) over every shipped composition and every opts
+   combination, against the default-opts build. *)
+let test_opts_observation_preserving () =
+  let observe_with opts name =
+    let case = Progen.spec_case ~opts ~specs_dir ~name ~seed:11 ~packets:96 () in
+    Oracle.observe Oracle.reference (case.Oracle.c_build ~packets:case.Oracle.c_packets)
+  in
+  List.iter
+    (fun name ->
+      let ref_obs = observe_with Compiler.default_opts name in
+      List.iter
+        (fun (mr, pd) ->
+          let opts =
+            { Compiler.default_opts with Compiler.match_removal = mr; prefetch_dedup = pd }
+          in
+          match Oracle.diff_observations ~reference:ref_obs (observe_with opts name) with
+          | None -> ()
+          | Some d ->
+              Alcotest.failf "%s with match_removal=%b prefetch_dedup=%b diverges: %s" name
+                mr pd d)
+        [ (false, false); (true, false); (true, true) ])
+    Progen.spec_names
 
 (* ----- the oracle's own machinery ----- *)
 
@@ -180,6 +206,7 @@ let suite =
     Alcotest.test_case "minimize shrinks repro" `Quick test_minimize_shrinks;
     Helpers.qcheck qcheck_random_case_agrees;
     Alcotest.test_case "spec compositions agree" `Quick test_spec_compositions;
+    Alcotest.test_case "opts observation-preserving" `Quick test_opts_observation_preserving;
     Alcotest.test_case "sweep: uniform" `Quick (test_sweep "uniform");
     Alcotest.test_case "sweep: zipf" `Quick (test_sweep "zipf");
     Alcotest.test_case "sweep: burst" `Quick (test_sweep "burst");

@@ -43,7 +43,9 @@ let test_module_files_match_builtins () =
       Alcotest.(check bool) (file ^ ": fetching") true
         (on_disk.Spec.m_fetching = built_in.Spec.m_fetching);
       Alcotest.(check bool) (file ^ ": states") true
-        (on_disk.Spec.m_states = built_in.Spec.m_states))
+        (on_disk.Spec.m_states = built_in.Spec.m_states);
+      Alcotest.(check bool) (file ^ ": nfc bodies") true
+        (on_disk.Spec.m_nfc = built_in.Spec.m_nfc))
     module_files
 
 let test_nf_files_parse_and_validate () =
