@@ -299,6 +299,85 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize =
   | Invalid_argument msg -> `Error (false, msg)
   | Sys_error msg -> `Error (false, msg)
 
+(* ----- chaos command: the oracle under deterministic fault injection ----- *)
+
+let chaos_cmd programs seed packets profile spec specs_dir rate_ppm no_minimize =
+  try
+    let cases =
+      match spec with
+      | Some "all" -> Check.Progen.spec_cases ~specs_dir ~seed ~packets ()
+      | Some name -> (
+          try [ Check.Progen.spec_case ~specs_dir ~name ~seed ~packets () ]
+          with Invalid_argument m -> raise (Gunfu.Spec.Spec_error m))
+      | None -> (
+          match profile with
+          | Some p when not (List.mem p Check.Progen.profiles) ->
+              invalid_arg
+                (Printf.sprintf "unknown profile %s (expected one of: %s)" p
+                   (String.concat ", " Check.Progen.profiles))
+          | Some p ->
+              List.init programs (fun i ->
+                  Check.Progen.case ~seed:(seed + i) ~profile:p ~packets)
+          | None -> Check.Progen.cases ~seed ~count:programs ~packets)
+    in
+    let divergences = ref 0 in
+    let violations = ref 0 in
+    List.iter
+      (fun (case : Check.Oracle.case) ->
+        (* One plan per case, derived from the case's own seed, so cases do
+           not all replay the same schedule positions. *)
+        let plan = Check.Faultgen.create ~rate_ppm ~seed:case.Check.Oracle.c_seed () in
+        let diverged =
+          match Check.Oracle.check_case ~minimized:(not no_minimize) ~plan case with
+          | Some d ->
+              incr divergences;
+              Fmt.pr "%a@." Check.Oracle.pp_divergence d;
+              true
+          | None -> false
+        in
+        let viols = Check.Invariants.check_case ~plan case in
+        List.iter
+          (fun (exec, viol) ->
+            incr violations;
+            Fmt.pr "INVARIANT VIOLATION in case %s under %s: %a@,replay: %s@."
+              case.Check.Oracle.c_name exec Check.Invariants.pp_violation viol
+              (case.Check.Oracle.c_repro ~packets:case.Check.Oracle.c_packets))
+          viols;
+        if (not diverged) && viols = [] then begin
+          let obs =
+            Check.Oracle.observe ~plan Check.Oracle.reference
+              (case.Check.Oracle.c_build ~packets:case.Check.Oracle.c_packets)
+          in
+          let r = obs.Check.Oracle.o_run in
+          Fmt.pr
+            "case %-18s seed %-6d %4d packets, %2d injected, %2d faulted%s x %d executors: agree@."
+            case.Check.Oracle.c_name case.Check.Oracle.c_seed
+            case.Check.Oracle.c_packets
+            (Check.Faultgen.planned plan ~packets:case.Check.Oracle.c_packets)
+            r.Gunfu.Metrics.faulted
+            (if r.Gunfu.Metrics.degraded then " (degraded)" else "")
+            (List.length Check.Oracle.executor_names)
+        end)
+      cases;
+    if !divergences = 0 && !violations = 0 then begin
+      Fmt.pr
+        "chaos: %d cases at %d ppm, %d executors each: every fault contained, no divergence@."
+        (List.length cases) rate_ppm
+        (List.length Check.Oracle.executor_names);
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "chaos found %d divergence(s), %d invariant violation(s)"
+            !divergences !violations )
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
 (* ----- lint command: the static analyzer (nflint) ----- *)
 
 let lint_cmd spec all_specs specs_dir json strict =
@@ -441,6 +520,38 @@ let check_t =
         $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
         $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")))
 
+let chaos_t =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Differential oracle under deterministic fault injection: arm a \
+          seeded schedule of corrupted packets, forced NF-action exceptions \
+          and MSHR-starvation stalls, then require every executor to contain \
+          each fault identically (same faulted counts, same taxonomy, same \
+          per-flow streams) with conservation emits + drops + faulted = \
+          offered. Exits non-zero on divergence or any uncontained fault.")
+    Term.(
+      ret
+        (const chaos_cmd
+        $ Arg.(value & opt int 5 & info [ "programs" ] ~doc:"Generated programs per profile")
+        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed for programs and the fault plan")
+        $ Arg.(value & opt int 96 & info [ "packets" ] ~doc:"Packets per case")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "profile" ]
+                ~doc:"Only this traffic profile (uniform, zipf, burst, mix); default all")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "spec" ]
+                ~doc:"Run a specs/ composition (nat, sfc4, upf_downlink or all) instead of generated programs")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ Arg.(
+            value & opt int Check.Faultgen.default_rate_ppm
+            & info [ "rate-ppm" ] ~doc:"Injection probability per packet, in parts per million")
+        $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")))
+
 let lint_t =
   Cmd.v
     (Cmd.info "lint"
@@ -492,4 +603,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
-          [ run_t; inspect_t; check_spec_t; check_t; compose_t; lint_t; list_t ]))
+          [ run_t; inspect_t; check_spec_t; check_t; chaos_t; compose_t; lint_t; list_t ]))

@@ -1,0 +1,35 @@
+(** Seeded, deterministic fault-injection plans.
+
+    A plan maps (seed, pull index) to an optional {!Gunfu.Fault.injection}
+    through a stateless avalanche hash: the same plan armed against two
+    runs of the same case produces bit-identical fault schedules, which is
+    what lets the differential oracle require zero cross-executor
+    divergence *under* injection. *)
+
+type t
+
+val default_rate_ppm : int
+(** 10_000 ppm = 1% of pulled packets. *)
+
+val create : ?rate_ppm:int -> seed:int -> unit -> t
+(** @raise Invalid_argument when [rate_ppm] is outside [0, 1_000_000]. *)
+
+val seed : t -> int
+val rate_ppm : t -> int
+
+val decide : t -> int -> Gunfu.Fault.injection option
+(** The injection decided for a pull index — pure, total, stateless. *)
+
+val planned : t -> packets:int -> int
+(** Number of injections the plan decides over pull indices
+    [0 .. packets-1]. *)
+
+val corrupt : t -> index:int -> Netcore.Packet.t -> unit
+(** Deterministically mangle a packet (truncate + scribble); exposed for
+    the parser-robustness fuzz tests. *)
+
+val instrument : t -> plane:Gunfu.Fault.t -> Gunfu.Workload.source -> Gunfu.Workload.source
+(** Wrap a source: each pulled packet rolls the plan at its pull index;
+    a decided injection is registered in [plane] keyed by the packet's
+    run-local id, and [Corrupt_packet] additionally mangles the packet
+    bytes via {!corrupt}. The stream's items and order are unchanged. *)

@@ -17,13 +17,21 @@ type violation = { v_rule : string; v_detail : string }
 
 let v rule fmt = Printf.ksprintf (fun s -> { v_rule = rule; v_detail = s }) fmt
 
+(* A completion the fault plane quarantined carries [Event.Faulted] — its
+   key round-trips through {!Gunfu.Event.to_key} as "FAULT[reason]". *)
+let emit_faulted (e : Oracle.emit) =
+  let s = e.Oracle.e_event in
+  String.length s > 7 && String.sub s 0 6 = "FAULT["
+
 let check_conservation (o : Oracle.observation) : violation list =
   let n_in = List.length o.Oracle.o_inputs in
   let n_out = List.length o.Oracle.o_emits in
   let drops = List.length (List.filter (fun e -> e.Oracle.e_dropped) o.Oracle.o_emits) in
+  let faulted = List.length (List.filter emit_faulted o.Oracle.o_emits) in
   let wire =
     List.fold_left
-      (fun acc e -> if e.Oracle.e_dropped then acc else acc + e.Oracle.e_wire)
+      (fun acc e ->
+        if e.Oracle.e_dropped || emit_faulted e then acc else acc + e.Oracle.e_wire)
       0 o.Oracle.o_emits
   in
   let run = o.Oracle.o_run in
@@ -42,6 +50,24 @@ let check_conservation (o : Oracle.observation) : violation list =
          [
            v "conservation" "run reports %d drops but %d dropped completions observed"
              run.Metrics.drops drops;
+         ]
+       else []);
+      (* Every offered packet is accounted exactly once:
+         emits + drops + faulted = offered. *)
+      (if run.Metrics.faulted <> faulted then
+         [
+           v "conservation" "run reports %d faulted but %d faulted completions observed"
+             run.Metrics.faulted faulted;
+         ]
+       else []);
+      (if run.Metrics.packets - run.Metrics.drops - run.Metrics.faulted
+          <> n_out - drops - faulted
+       then
+         [
+           v "conservation"
+             "emit accounting broken: offered=%d drops=%d faulted=%d but %d clean completions"
+             run.Metrics.packets run.Metrics.drops run.Metrics.faulted
+             (n_out - drops - faulted);
          ]
        else []);
       (if run.Metrics.wire_bytes <> wire then
@@ -133,6 +159,7 @@ let check_memstats (o : Oracle.observation) : violation list =
            ("prefetch_issued", m.Memsim.Memstats.prefetch_issued);
            ("prefetch_redundant", m.Memsim.Memstats.prefetch_redundant);
            ("prefetch_dropped", m.Memsim.Memstats.prefetch_dropped);
+           ("mshr_stalls", m.Memsim.Memstats.mshr_stalls);
          ]
        in
        List.filter_map
@@ -153,10 +180,12 @@ let check (o : Oracle.observation) : violation list =
 
 (* All invariants over every executor's observation of a case; the
    returned violations are tagged with the executor label. *)
-let check_case (case : Oracle.case) : (string * violation) list =
+let check_case ?plan (case : Oracle.case) : (string * violation) list =
   List.concat_map
     (fun x ->
-      let obs = Oracle.observe x (case.Oracle.c_build ~packets:case.Oracle.c_packets) in
+      let obs =
+        Oracle.observe ?plan x (case.Oracle.c_build ~packets:case.Oracle.c_packets)
+      in
       List.map (fun viol -> (x.Oracle.x_name, viol)) (check obs))
     (Oracle.reference :: Oracle.executors)
 

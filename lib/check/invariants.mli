@@ -15,7 +15,9 @@ val check_memstats : Oracle.observation -> violation list
 val check : Oracle.observation -> violation list
 
 (** Every executor over a fresh instance of the case; violations tagged
-    with the executor label. *)
-val check_case : Oracle.case -> (string * violation) list
+    with the executor label. [?plan] checks the invariants *under* a
+    deterministic fault-injection schedule (conservation then reads
+    emits + drops + faulted = offered). *)
+val check_case : ?plan:Faultgen.t -> Oracle.case -> (string * violation) list
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -69,12 +69,15 @@ type divergence = {
 type executor = {
   x_name : string;
   x_run :
-    on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t -> Workload.source ->
-    Metrics.run;
+    ?fault:Fault.t -> on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
+    Workload.source -> Metrics.run;
 }
 
 let reference =
-  { x_name = "rtc"; x_run = (fun ~on_complete w p s -> Rtc.run ~on_complete w p s) }
+  {
+    x_name = "rtc";
+    x_run = (fun ?fault ~on_complete w p s -> Rtc.run ?fault ~on_complete w p s);
+  }
 
 let batch_sizes = [ 1; 8; 32 ]
 let task_counts = [ 1; 2; 4; 8; 16 ]
@@ -84,7 +87,9 @@ let executors =
     (fun b ->
       {
         x_name = Printf.sprintf "batch-%d" b;
-        x_run = (fun ~on_complete w p s -> Batch_rtc.run ~batch:b ~on_complete w p s);
+        x_run =
+          (fun ?fault ~on_complete w p s ->
+            Batch_rtc.run ~batch:b ?fault ~on_complete w p s);
       })
     batch_sizes
   @ List.concat_map
@@ -93,14 +98,16 @@ let executors =
           {
             x_name = Printf.sprintf "rr-%d" n;
             x_run =
-              (fun ~on_complete w p s ->
-                Scheduler.run ~policy:Scheduler.Round_robin ~on_complete w p ~n_tasks:n s);
+              (fun ?fault ~on_complete w p s ->
+                Scheduler.run ~policy:Scheduler.Round_robin ?fault ~on_complete w p
+                  ~n_tasks:n s);
           };
           {
             x_name = Printf.sprintf "rf-%d" n;
             x_run =
-              (fun ~on_complete w p s ->
-                Scheduler.run ~policy:Scheduler.Ready_first ~on_complete w p ~n_tasks:n s);
+              (fun ?fault ~on_complete w p s ->
+                Scheduler.run ~policy:Scheduler.Ready_first ?fault ~on_complete w p
+                  ~n_tasks:n s);
           };
         ])
       task_counts
@@ -116,8 +123,16 @@ let packet_fingerprint (p : Netcore.Packet.t) =
       Fingerprint.feed_int fp p.Netcore.Packet.l3_off;
       Fingerprint.feed_int fp p.Netcore.Packet.l4_off)
 
-let observe (x : executor) (inst : instance) : observation =
+let observe ?plan (x : executor) (inst : instance) : observation =
   let ctx = Worker.ctx inst.worker in
+  (* One fresh plane per run: the plan decides by pull index, so identical
+     plans arm identical schedules in every executor. *)
+  let plane = Option.map (fun _ -> Fault.create ()) plan in
+  let base_source =
+    match (plan, plane) with
+    | Some pl, Some pn -> Faultgen.instrument pl ~plane:pn inst.source
+    | _ -> inst.source
+  in
   let emits = ref [] in
   let inputs = ref [] in
   let on_complete (task : Nftask.t) =
@@ -152,9 +167,9 @@ let observe (x : executor) (inst : instance) : observation =
           | None -> -1
         in
         inputs := (pid, item.Workload.flow_hint) :: !inputs)
-      inst.source
+      base_source
   in
-  let run = x.x_run ~on_complete inst.worker inst.program source in
+  let run = x.x_run ?fault:plane ~on_complete inst.worker inst.program source in
   let mem = ctx.Exec_ctx.mem in
   {
     o_label = x.x_name;
@@ -213,6 +228,26 @@ let diff_observations ~(reference : observation) (obs : observation) : string op
     Some
       (Printf.sprintf "drop counts differ: %d (rtc) vs %d (%s)"
          reference.o_run.Metrics.drops obs.o_run.Metrics.drops obs.o_label)
+  else if reference.o_run.Metrics.faulted <> obs.o_run.Metrics.faulted then
+    Some
+      (Printf.sprintf "faulted counts differ: %d (rtc) vs %d (%s)"
+         reference.o_run.Metrics.faulted obs.o_run.Metrics.faulted obs.o_label)
+  else if reference.o_run.Metrics.degraded <> obs.o_run.Metrics.degraded then
+    Some
+      (Printf.sprintf "degraded flags differ: %b (rtc) vs %b (%s)"
+         reference.o_run.Metrics.degraded obs.o_run.Metrics.degraded obs.o_label)
+  else if reference.o_run.Metrics.faults <> obs.o_run.Metrics.faults then
+    let pp faults =
+      String.concat ", "
+        (List.map
+           (fun (nf, r, n) -> Printf.sprintf "%s/%s x%d" nf (Fault.reason_to_key r) n)
+           faults)
+    in
+    Some
+      (Printf.sprintf "fault taxonomies differ: {%s} (rtc) vs {%s} (%s)"
+         (pp reference.o_run.Metrics.faults)
+         (pp obs.o_run.Metrics.faults)
+         obs.o_label)
   else if reference.o_run.Metrics.wire_bytes <> obs.o_run.Metrics.wire_bytes then
     Some
       (Printf.sprintf "wire byte counts differ: %d (rtc) vs %d (%s)"
@@ -263,39 +298,39 @@ let diff_observations ~(reference : observation) (obs : observation) : string op
 
 (* ----- checking and minimization ----- *)
 
-let diverges case exec ~packets =
-  let ref_obs = observe reference (case.c_build ~packets) in
-  let obs = observe exec (case.c_build ~packets) in
+let diverges ?plan case exec ~packets =
+  let ref_obs = observe ?plan reference (case.c_build ~packets) in
+  let obs = observe ?plan exec (case.c_build ~packets) in
   diff_observations ~reference:ref_obs obs
 
 (* Smallest workload prefix still showing a divergence, by binary search
    (assumes monotonicity — the usual delta-debugging simplification; the
    result is a repro aid, not a proof of minimality). *)
-let minimize case exec ~packets =
+let minimize ?plan case exec ~packets =
   let rec go lo hi =
     (* Invariant: [hi] diverges; [lo] does not. *)
     if hi - lo <= 1 then hi
     else
       let mid = (lo + hi) / 2 in
-      if diverges case exec ~packets:mid <> None then go lo mid else go mid hi
+      if diverges ?plan case exec ~packets:mid <> None then go lo mid else go mid hi
   in
   if packets <= 1 then packets else go 0 packets
 
-let check_case ?(minimized = true) (case : case) : divergence option =
-  let ref_obs = observe reference (case.c_build ~packets:case.c_packets) in
+let check_case ?(minimized = true) ?plan (case : case) : divergence option =
+  let ref_obs = observe ?plan reference (case.c_build ~packets:case.c_packets) in
   let rec scan = function
     | [] -> None
     | exec :: rest -> (
-        let obs = observe exec (case.c_build ~packets:case.c_packets) in
+        let obs = observe ?plan exec (case.c_build ~packets:case.c_packets) in
         match diff_observations ~reference:ref_obs obs with
         | None -> scan rest
         | Some detail ->
             let packets =
-              if minimized then minimize case exec ~packets:case.c_packets
+              if minimized then minimize ?plan case exec ~packets:case.c_packets
               else case.c_packets
             in
             let detail =
-              match diverges case exec ~packets with
+              match diverges ?plan case exec ~packets with
               | Some d when minimized -> d
               | _ -> detail
             in
@@ -312,7 +347,8 @@ let check_case ?(minimized = true) (case : case) : divergence option =
   in
   scan executors
 
-let check_cases ?minimized cases = List.filter_map (check_case ?minimized) cases
+let check_cases ?minimized ?plan cases =
+  List.filter_map (check_case ?minimized ?plan) cases
 
 let pp_divergence ppf d =
   Fmt.pf ppf

@@ -61,8 +61,8 @@ type divergence = {
 type executor = {
   x_name : string;
   x_run :
-    on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t -> Workload.source ->
-    Metrics.run;
+    ?fault:Fault.t -> on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
+    Workload.source -> Metrics.run;
 }
 
 val reference : executor
@@ -77,23 +77,32 @@ val task_counts : int list
 
 val packet_fingerprint : Netcore.Packet.t -> string
 
-(** Run one executor over a fresh instance, recording all observables. *)
-val observe : executor -> instance -> observation
+(** Run one executor over a fresh instance, recording all observables.
+    With [?plan], a fresh fault plane is created for the run, the source is
+    instrumented with the plan's deterministic injection schedule (see
+    {!Faultgen.instrument}) and the plane is handed to the executor — so
+    two observations of the same case under the same plan see identical
+    fault schedules. *)
+val observe : ?plan:Faultgen.t -> executor -> instance -> observation
 
 (** First behavioural difference against the reference observation, or
-    [None] when identical. *)
+    [None] when identical. Under faults this additionally diffs the
+    faulted-completion counts, the degraded flags and the per-NF
+    per-reason taxonomy. *)
 val diff_observations : reference:observation -> observation -> string option
 
 (** Rebuild + rerun reference and [exec] on a [packets]-long prefix. *)
-val diverges : case -> executor -> packets:int -> string option
+val diverges : ?plan:Faultgen.t -> case -> executor -> packets:int -> string option
 
 (** Smallest prefix length still diverging (binary search; repro aid, not
     a minimality proof). *)
-val minimize : case -> executor -> packets:int -> int
+val minimize : ?plan:Faultgen.t -> case -> executor -> packets:int -> int
 
 (** Run the case through every executor; [Some] on the first divergence
-    (minimized unless [~minimized:false]). *)
-val check_case : ?minimized:bool -> case -> divergence option
+    (minimized unless [~minimized:false]). [?plan] runs the whole
+    comparison under that injection schedule — the chaos mode: executors
+    must agree even while faulting. *)
+val check_case : ?minimized:bool -> ?plan:Faultgen.t -> case -> divergence option
 
-val check_cases : ?minimized:bool -> case list -> divergence list
+val check_cases : ?minimized:bool -> ?plan:Faultgen.t -> case list -> divergence list
 val pp_divergence : Format.formatter -> divergence -> unit

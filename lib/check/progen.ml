@@ -274,9 +274,11 @@ let build_synthetic ~rng ~seed ~profile ~packets =
       Nfs.Classifier.create layout ~name:"syn_cls" ~key_kind:"five_tuple"
         ~key_fn:Nfs.Classifier.five_tuple_key ~capacity:n_flows ()
     in
-    Nfs.Classifier.populate classifier
-      (Array.to_list
-         (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) (Traffic.Flowgen.flows gen)));
+    let (_shed : int) =
+      Nfs.Classifier.populate classifier
+        (Array.to_list
+           (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) (Traffic.Flowgen.flows gen)))
+    in
     let arena =
       Structures.State_arena.create layout ~label:"syn.per_flow" ~entry_bytes:16
         ~count:n_flows ()

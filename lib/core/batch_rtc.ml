@@ -49,7 +49,7 @@ let prefix_of program =
   let first = Program.step program (Program.start program) Event.Packet_arrival in
   walk first [] 0
 
-let run ?label ?(batch = default_batch) ?on_complete (worker : Worker.t)
+let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
     (program : Program.t) (source : Workload.source) =
   if batch <= 0 then invalid_arg "Batch_rtc.run: batch must be positive";
   let label =
@@ -58,12 +58,17 @@ let run ?label ?(batch = default_batch) ?on_complete (worker : Worker.t)
   let ctx = Worker.ctx worker in
   let cfg = worker.Worker.cfg in
   let snap = Worker.snapshot worker in
+  let plane = match fault with Some p -> p | None -> Fault.create () in
   let packets = ref 0 in
   let drops = ref 0 in
   let wire_bytes = ref 0 in
+  let faulted = ref 0 in
   let latencies = Metrics.Collector.create () in
   let tasks = Array.init batch Nftask.create in
   let prefix = prefix_of program in
+  let is_faulted (task : Nftask.t) =
+    match task.Nftask.event with Event.Faulted _ -> true | _ -> false
+  in
   let rec fill n =
     if n = batch then n
     else
@@ -76,65 +81,92 @@ let run ?label ?(batch = default_batch) ?on_complete (worker : Worker.t)
           task.Nftask.start_clock <- ctx.Exec_ctx.clock;
           Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
             ~instrs:cfg.Worker.rx_tx_instrs;
+          (* Load-time quarantines are only *marked* here; the task is
+             finalised by the processing pass, in slot order, so per-flow
+             completion order matches the other executors. *)
+          (match Fault.on_load plane ~mem:ctx.Exec_ctx.mem ~now:ctx.Exec_ctx.clock task with
+          | Some r -> task.Nftask.event <- Event.Faulted (Fault.reason_to_key r)
+          | None -> ());
           fill (n + 1)
   in
   let prefetch_pass n =
     for i = 0 to n - 1 do
       let task = tasks.(i) in
-      (* Packet headers are known: prefetch them. *)
-      (match task.Nftask.packet with
-      | Some p when p.Netcore.Packet.sim_addr >= 0 ->
-          ignore (Exec_ctx.prefetch ctx ~addr:p.Netcore.Packet.sim_addr ~bytes:64)
-      | Some _ | None -> ());
-      (* Pre-run the pure prefix (key + first hash) to resolve the first
-         bucket, then prefetch it. The prefix's compute is charged here;
-         the processing pass will not repeat it. *)
-      task.Nftask.cs <- Program.step program (Program.start program) Event.Packet_arrival;
-      let rec pre = function
-        | [] -> ()
-        | cs :: rest when cs = task.Nftask.cs -> (
-            match (Program.info program cs).Program.action with
-            | None -> ()
-            | Some action ->
-                task.Nftask.event <- Action.execute action ctx task;
-                task.Nftask.cs <- Program.step program cs task.Nftask.event;
-                Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
-                pre rest)
-        | _ :: _ -> ()
-      in
-      pre prefix;
-      List.iter
-        (fun (addr, bytes) -> ignore (Exec_ctx.prefetch ctx ~addr ~bytes))
-        task.Nftask.match_addrs
+      if not (is_faulted task) then begin
+        (* Packet headers are known: prefetch them. *)
+        (match task.Nftask.packet with
+        | Some p when p.Netcore.Packet.sim_addr >= 0 ->
+            ignore (Exec_ctx.prefetch ctx ~addr:p.Netcore.Packet.sim_addr ~bytes:64)
+        | Some _ | None -> ());
+        (* Pre-run the pure prefix (key + first hash) to resolve the first
+           bucket, then prefetch it. The prefix's compute is charged here;
+           the processing pass will not repeat it. *)
+        task.Nftask.cs <- Program.step program (Program.start program) Event.Packet_arrival;
+        let rec pre = function
+          | [] -> ()
+          | cs :: rest when cs = task.Nftask.cs -> (
+              match (Program.info program cs).Program.action with
+              | None -> ()
+              | Some action ->
+                  task.Nftask.event <-
+                    Fault.guard plane ~nf:(Program.info program cs).Program.inst
+                      action ctx task;
+                  if not (is_faulted task) then begin
+                    task.Nftask.cs <- Program.step program cs task.Nftask.event;
+                    Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                    pre rest
+                  end)
+          | _ :: _ -> ()
+        in
+        pre prefix;
+        if not (is_faulted task) then
+          List.iter
+            (fun (addr, bytes) -> ignore (Exec_ctx.prefetch ctx ~addr ~bytes))
+            task.Nftask.match_addrs
+      end
     done
   in
   let process_pass n =
     for i = 0 to n - 1 do
       let task = tasks.(i) in
       let rec go () =
-        let cs = task.Nftask.cs in
-        if Program.is_done program cs then ()
+        if is_faulted task then () (* quarantined; stop executing *)
         else
-          match (Program.info program cs).Program.action with
-          | None -> ()
-          | Some action ->
-              Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
-              task.Nftask.event <- Action.execute action ctx task;
-              task.Nftask.cs <- Program.step program cs task.Nftask.event;
-              go ()
+          let cs = task.Nftask.cs in
+          if Program.is_done program cs then ()
+          else
+            match (Program.info program cs).Program.action with
+            | None -> ()
+            | Some action ->
+                Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                task.Nftask.event <-
+                  Fault.guard plane ~nf:(Program.info program cs).Program.inst
+                    action ctx task;
+                if not (is_faulted task) then
+                  task.Nftask.cs <- Program.step program cs task.Nftask.event;
+                go ()
       in
       go ();
       incr packets;
-      let dropped =
-        Event.equal task.Nftask.event Event.Drop_packet
-        || Event.equal task.Nftask.event Event.Match_fail
-      in
-      if dropped then incr drops
-      else (
-        match task.Nftask.packet with
-        | Some p -> wire_bytes := !wire_bytes + p.Netcore.Packet.wire_len
-        | None -> ());
-      Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+      (match
+         Fault.complete plane ~flow:task.Nftask.flow_hint
+           ~faulted:(Fault.reason_of_event task.Nftask.event)
+       with
+      | Some r ->
+          incr faulted;
+          task.Nftask.event <- Event.Faulted (Fault.reason_to_key r)
+      | None ->
+          let dropped =
+            Event.equal task.Nftask.event Event.Drop_packet
+            || Event.equal task.Nftask.event Event.Match_fail
+          in
+          if dropped then incr drops
+          else (
+            match task.Nftask.packet with
+            | Some p -> wire_bytes := !wire_bytes + p.Netcore.Packet.wire_len
+            | None -> ());
+          Metrics.Collector.record latencies
+            (ctx.Exec_ctx.clock - task.Nftask.start_clock));
       (match on_complete with Some f -> f task | None -> ());
       Nftask.retire task
     done
@@ -150,5 +182,6 @@ let run ?label ?(batch = default_batch) ?on_complete (worker : Worker.t)
   loop ();
   Worker.finish
     ?latency:(Metrics.Collector.summarize latencies)
+    ~faulted:!faulted ~faults:(Fault.counts plane) ~degraded:(Fault.degraded plane)
     worker snap ~label ~packets:!packets ~drops:!drops ~wire_bytes:!wire_bytes
     ~switches:0

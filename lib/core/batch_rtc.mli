@@ -10,8 +10,10 @@
 val default_batch : int
 
 (** [on_complete] observes each finished task just before it is retired —
-    the differential oracle's tap.
+    the differential oracle's tap. [fault] supplies the run's
+    fault-injection plane (a fresh empty plane when omitted).
     @raise Invalid_argument when [batch <= 0]. *)
 val run :
-  ?label:string -> ?batch:int -> ?on_complete:(Nftask.t -> unit) -> Worker.t ->
-  Program.t -> Workload.source -> Metrics.run
+  ?label:string -> ?batch:int -> ?fault:Fault.t ->
+  ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
+  Workload.source -> Metrics.run

@@ -10,6 +10,7 @@ type t =
   | Emit_packet     (* processing finished; forward the packet *)
   | Drop_packet
   | User of string  (* module-defined events, e.g. "hash_done" *)
+  | Faulted of string  (* containment: task quarantined, carries the reason *)
 
 let to_key = function
   | Packet_arrival -> "packet"
@@ -17,6 +18,7 @@ let to_key = function
   | Match_fail -> "MATCH_FAIL"
   | Emit_packet -> "EMIT"
   | Drop_packet -> "DROP"
+  | Faulted r -> "FAULT[" ^ r ^ "]"
   | User s -> s
 
 let of_key = function
@@ -25,7 +27,11 @@ let of_key = function
   | "MATCH_FAIL" -> Match_fail
   | "EMIT" -> Emit_packet
   | "DROP" -> Drop_packet
-  | s -> User s
+  | s ->
+      let n = String.length s in
+      if n > 7 && String.sub s 0 6 = "FAULT[" && s.[n - 1] = ']' then
+        Faulted (String.sub s 6 (n - 7))
+      else User s
 
 let equal a b = String.equal (to_key a) (to_key b)
 

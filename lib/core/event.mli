@@ -9,6 +9,10 @@ type t =
   | Emit_packet
   | Drop_packet
   | User of string  (** module-defined event *)
+  | Faulted of string
+      (** containment marker: the task was quarantined by the fault plane;
+          carries the {!Fault.reason} wire name. Never fed to
+          {!Program.step} — executors terminate faulted tasks directly. *)
 
 (** Stable wire name, as used in specification transitions. *)
 val to_key : t -> string

@@ -1,0 +1,101 @@
+(** Fault-injection plane and containment policy.
+
+    A plane instance travels with one executor run. It carries (a) the
+    injected-fault schedule, armed per packet id by the generator before
+    the run (see [Check.Faultgen]), and (b) the containment state: per-NF
+    per-reason fault counts, per-flow consecutive-fault counters, the set
+    of poisoned flows and the degraded flag. Executors create a fresh,
+    empty plane when none is supplied, which makes containment always-on
+    while keeping fault-free runs byte-identical to the pre-plane
+    behaviour (an empty plane never changes an outcome or a charge).
+
+    Determinism across executors is the design constraint: injections are
+    keyed by packet id (pull order is executor-independent), action faults
+    fire on a per-packet action countdown *before* the body runs, and
+    poisoning is evaluated at completion time (per-flow completion order is
+    an oracle invariant; load order relative to same-flow completions is
+    not). *)
+
+type reason =
+  | Parse_error  (** truncated / corrupted packet *)
+  | Table_overflow  (** state-structure insert rejected under [Shed_flow] *)
+  | Action_raise  (** NFAction body raised (injected or organic) *)
+  | Mshr_stall  (** injected MSHR starvation — timing-only, no quarantine *)
+  | Poisoned  (** flow quarantined after repeated consecutive faults *)
+
+(** Stable wire name ("parse", "overflow", "action", "mshr", "poisoned");
+    the payload of [Event.Faulted]. *)
+val reason_to_key : reason -> string
+
+val reason_of_key : string -> reason option
+val pp_reason : Format.formatter -> reason -> unit
+
+(** Raised by NF code and state structures to signal a *contained* fault;
+    the string names the NF instance for the taxonomy. {!guard} converts it
+    (and any other exception escaping an action body) into
+    [Event.Faulted]. *)
+exception Fault of reason * string
+
+type injection =
+  | Corrupt_packet
+      (** the packet's bytes were mangled at the source: quarantine the
+          task at load with [Parse_error] *)
+  | Raise_at of { countdown : int; reason : reason }
+      (** the [countdown]-th guarded action of the packet (0 = first)
+          faults before executing *)
+  | Stall_mshrs of int
+      (** occupy every free MSHR for the given cycles at load time,
+          starving subsequent prefetches (timing/stats only) *)
+
+type t
+
+val default_poison_threshold : int
+
+(** @raise Invalid_argument when [poison_threshold <= 0]. *)
+val create : ?poison_threshold:int -> unit -> t
+
+(** Arm an injection for the packet with the given id (call before the
+    executor pulls it from the source). *)
+val inject : t -> packet_id:int -> injection -> unit
+
+val injection_count : t -> int
+
+(** Completions quarantined by the plane (the [faulted] leg of the
+    conservation invariant: emits + drops + faulted = offered). *)
+val faulted : t -> int
+
+val degraded : t -> bool
+val poisoned_flows : t -> int
+
+(** Record one taxonomy occurrence — used by executors for faults detected
+    outside {!guard} (e.g. a parse quarantine attributed to "netcore"). *)
+val count : t -> nf:string -> reason -> unit
+
+(** The (nf, reason, occurrences) taxonomy, sorted — deterministic across
+    executors for identical schedules. *)
+val counts : t -> (string * reason * int) list
+
+(** Sum of all taxonomy occurrences. *)
+val total_counted : t -> int
+
+(** Load-time hook, called once per task right after [Nftask.load] and the
+    rx/tx charge. Applies load-time injections; [Some reason] means the
+    task must be quarantined without executing any action. *)
+val on_load : t -> mem:Memsim.Hierarchy.t -> now:int -> Nftask.t -> reason option
+
+(** Exception barrier around one [Action.execute]: armed countdowns fire
+    before the body runs; [Fault] and any other exception from the body are
+    converted to [Event.Faulted] and counted under [nf] (the control
+    state's instance name). [Stack_overflow] / [Out_of_memory] are
+    re-raised. *)
+val guard : t -> nf:string -> Action.t -> Exec_ctx.t -> Nftask.t -> Event.t
+
+(** Completion hook, called exactly once per finishing task. [faulted] is
+    the reason the task already faulted with ([None] for a normal
+    completion); the result is the final disposition after poisoning — a
+    normal completion of a poisoned flow becomes [Some Poisoned]. Updates
+    consecutive-fault counters, the poisoned set and the degraded flag. *)
+val complete : t -> flow:int -> faulted:reason option -> reason option
+
+(** The reason encoded in a task's event, when it is [Event.Faulted]. *)
+val reason_of_event : Event.t -> reason option

@@ -57,6 +57,9 @@ type run = {
   freq_ghz : float;
   state_cycles : int array;  (* memory cycles per Sref state class *)
   latency : latency option;  (* per-packet latency distribution, if collected *)
+  faulted : int;  (* completions quarantined by the fault plane *)
+  faults : (string * Fault.reason * int) list;  (* per-NF per-reason taxonomy *)
+  degraded : bool;  (* at least one flow was poisoned during the run *)
 }
 
 (* Latency in nanoseconds given the run's clock. *)
@@ -107,7 +110,36 @@ let pp_row ppf r =
     "%-34s pkts=%-8d %6.2f Mpps %7.2f Gbps ipc=%4.2f cyc/pkt=%7.1f \
      L1m/p=%5.2f L2m/p=%5.2f LLCm/p=%5.2f"
     r.label r.packets (mpps r) (gbps r) (ipc r) (cycles_per_packet r)
-    (l1_misses_per_packet r) (l2_misses_per_packet r) (llc_misses_per_packet r)
+    (l1_misses_per_packet r) (l2_misses_per_packet r) (llc_misses_per_packet r);
+  (* fault columns appear only when the plane actually quarantined work, so
+     fault-free output is byte-identical to the pre-plane format *)
+  if r.faulted > 0 then
+    Fmt.pf ppf " faulted=%d%s" r.faulted (if r.degraded then " DEGRADED" else "")
+
+(* One line per (nf, reason) taxonomy entry; empty output when no faults. *)
+let pp_faults ppf r =
+  List.iter
+    (fun (nf, reason, n) ->
+      Fmt.pf ppf "  fault %-16s %-9s x%d@." nf (Fault.reason_to_key reason) n)
+    r.faults
+
+(* Combine per-core fault taxonomies: occurrences add per (nf, reason),
+   output sorted like Fault.counts. *)
+let merge_faults runs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (nf, reason, n) ->
+          let k = (nf, reason) in
+          Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        r.faults)
+    runs;
+  Hashtbl.fold (fun (nf, r) n acc -> (nf, r, n) :: acc) tbl []
+  |> List.sort (fun (a, ra, _) (b, rb, _) ->
+         match String.compare a b with
+         | 0 -> String.compare (Fault.reason_to_key ra) (Fault.reason_to_key rb)
+         | c -> c)
 
 (* Sum of parallel per-core runs (multicore experiments): cycles is the max
    (cores run concurrently), counts add. *)
@@ -130,6 +162,9 @@ let merge_parallel = function
           Array.init Exec_ctx.n_classes (fun i ->
               List.fold_left (fun a r -> a + r.state_cycles.(i)) 0 runs);
         latency = None;
+        faulted = sum (fun r -> r.faulted);
+        faults = merge_faults runs;
+        degraded = List.exists (fun r -> r.degraded) runs;
       }
 
 let pp_latency ppf (r : run) =

@@ -36,6 +36,10 @@ type run = {
   freq_ghz : float;
   state_cycles : int array;  (** memory cycles per {!Sref.state_class} *)
   latency : latency option;  (** per-packet latency, if collected *)
+  faulted : int;  (** completions quarantined by the fault plane *)
+  faults : (string * Fault.reason * int) list;
+      (** per-NF per-reason fault taxonomy, sorted (see {!Fault.counts}) *)
+  degraded : bool;  (** at least one flow was poisoned during the run *)
 }
 
 (** Convert a cycle count to nanoseconds at the run's clock. *)
@@ -61,6 +65,10 @@ val state_access_share : run -> Sref.state_class list -> float
 
 val switches_per_second : run -> float
 val pp_row : Format.formatter -> run -> unit
+
+(** One line per (nf, reason) taxonomy entry; prints nothing for a
+    fault-free run. *)
+val pp_faults : Format.formatter -> run -> unit
 
 (** Combine concurrent per-core runs: counts add, cycles take the max
     (latency distributions are not merged).

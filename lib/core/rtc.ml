@@ -7,7 +7,7 @@
    only the execution model differs — so comparisons isolate exactly the
    paper's variable. Prefetch policies are ignored. *)
 
-let run ?label ?on_complete (worker : Worker.t) (program : Program.t)
+let run ?label ?fault ?on_complete (worker : Worker.t) (program : Program.t)
     (source : Workload.source) =
   let label =
     Option.value label ~default:(Printf.sprintf "%s/rtc" (Program.name program))
@@ -15,10 +15,12 @@ let run ?label ?on_complete (worker : Worker.t) (program : Program.t)
   let ctx = Worker.ctx worker in
   let cfg = worker.Worker.cfg in
   let snap = Worker.snapshot worker in
+  let plane = match fault with Some p -> p | None -> Fault.create () in
   let task = Nftask.create 0 in
   let packets = ref 0 in
   let drops = ref 0 in
   let wire_bytes = ref 0 in
+  let faulted = ref 0 in
   let latencies = Metrics.Collector.create () in
   let rec drain () =
     match source () with
@@ -30,36 +32,50 @@ let run ?label ?on_complete (worker : Worker.t) (program : Program.t)
         Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
           ~instrs:cfg.Worker.rx_tx_instrs;
         let rec step () =
-          let next = Program.step program task.Nftask.cs task.Nftask.event in
-          if Program.is_done program next then begin
-            incr packets;
+          match task.Nftask.event with
+          | Event.Faulted _ -> () (* quarantined mid-run; stop executing *)
+          | _ ->
+              let next = Program.step program task.Nftask.cs task.Nftask.event in
+              if Program.is_done program next then ()
+              else begin
+                task.Nftask.cs <- next;
+                Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                let info = Program.info program next in
+                let action =
+                  match info.Program.action with
+                  | Some a -> a
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf "Rtc: control state %s has no action"
+                           info.Program.qname)
+                in
+                task.Nftask.event <-
+                  Fault.guard plane ~nf:info.Program.inst action ctx task;
+                step ()
+              end
+        in
+        (match Fault.on_load plane ~mem:ctx.Exec_ctx.mem ~now:ctx.Exec_ctx.clock task with
+        | Some r -> task.Nftask.event <- Event.Faulted (Fault.reason_to_key r)
+        | None -> step ());
+        incr packets;
+        (match
+           Fault.complete plane ~flow:task.Nftask.flow_hint
+             ~faulted:(Fault.reason_of_event task.Nftask.event)
+         with
+        | Some r ->
+            incr faulted;
+            task.Nftask.event <- Event.Faulted (Fault.reason_to_key r)
+        | None ->
             if
               Event.equal task.Nftask.event Event.Drop_packet
               || Event.equal task.Nftask.event Event.Match_fail
             then incr drops
-            else
+            else (
               match task.Nftask.packet with
               | Some p -> wire_bytes := !wire_bytes + p.Netcore.Packet.wire_len
-              | None -> ()
-          end
-          else begin
-            task.Nftask.cs <- next;
-            Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
-            let info = Program.info program next in
-            let action =
-              match info.Program.action with
-              | Some a -> a
-              | None ->
-                  invalid_arg
-                    (Printf.sprintf "Rtc: control state %s has no action"
-                       info.Program.qname)
-            in
-            task.Nftask.event <- Action.execute action ctx task;
-            step ()
-          end
-        in
-        step ();
-        Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
+              | None -> ());
+            Metrics.Collector.record latencies
+              (ctx.Exec_ctx.clock - task.Nftask.start_clock));
         (match on_complete with Some f -> f task | None -> ());
         Nftask.retire task;
         drain ()
@@ -67,5 +83,6 @@ let run ?label ?on_complete (worker : Worker.t) (program : Program.t)
   drain ();
   Worker.finish
     ?latency:(Metrics.Collector.summarize latencies)
+    ~faulted:!faulted ~faults:(Fault.counts plane) ~degraded:(Fault.degraded plane)
     worker snap ~label ~packets:!packets ~drops:!drops ~wire_bytes:!wire_bytes
     ~switches:0

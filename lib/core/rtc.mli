@@ -6,7 +6,10 @@
     the execution model. *)
 
 (** [on_complete] observes each finished task (terminal event, packet,
-    flow hint) just before it is retired — the differential oracle's tap. *)
+    flow hint) just before it is retired — the differential oracle's tap.
+    [fault] supplies the run's fault-injection plane; when omitted a fresh
+    empty plane is used, so containment is always on but behaviour is
+    byte-identical to a plane-less run. *)
 val run :
-  ?label:string -> ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
-  Workload.source -> Metrics.run
+  ?label:string -> ?fault:Fault.t -> ?on_complete:(Nftask.t -> unit) ->
+  Worker.t -> Program.t -> Workload.source -> Metrics.run

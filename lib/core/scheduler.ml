@@ -12,14 +12,14 @@
    Finished NFTasks are re-initialised with new work in place (line 13), so
    the pipeline stays full until the source drains. *)
 
-type completion = { completed : int; dropped : int; wire_bytes : int }
+type completion = { completed : int; dropped : int; wire_bytes : int; faulted : int }
 
 (* Task-selection policy. The paper's scheduler is round-robin; Ready_first
    is a design-space variant that scans for a task whose P-state allows
    immediate execution, trading a (charged) scan for fewer wasted visits. *)
 type policy = Round_robin | Ready_first
 
-let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
+let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
     (program : Program.t) ~n_tasks (source : Workload.source) =
   if n_tasks <= 0 then invalid_arg "Scheduler.run: n_tasks must be positive";
   let label =
@@ -30,8 +30,9 @@ let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
   let cfg = worker.Worker.cfg in
   let snap = Worker.snapshot worker in
   let tasks = Array.init n_tasks Nftask.create in
+  let plane = match fault with Some p -> p | None -> Fault.create () in
   let exhausted = ref false in
-  let stats = ref { completed = 0; dropped = 0; wire_bytes = 0 } in
+  let stats = ref { completed = 0; dropped = 0; wire_bytes = 0; faulted = 0 } in
   let switches = ref 0 in
   let latencies = Metrics.Collector.create () in
 
@@ -116,36 +117,53 @@ let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
     end
   in
 
+  (* Finish one task: poisoning disposition, accounting, oracle tap,
+     per-flow release, retire, and immediate re-initialisation with fresh
+     work (Algorithm 1 line 13). *)
+  let rec finalize (task : Nftask.t) =
+    (match
+       Fault.complete plane ~flow:task.Nftask.flow_hint
+         ~faulted:(Fault.reason_of_event task.Nftask.event)
+     with
+    | Some r ->
+        stats :=
+          {
+            !stats with
+            completed = !stats.completed + 1;
+            faulted = !stats.faulted + 1;
+          };
+        task.Nftask.event <- Event.Faulted (Fault.reason_to_key r)
+    | None ->
+        (* Explicit drops and failed matches both mean the packet is not
+           forwarded. *)
+        let dropped =
+          Event.equal task.Nftask.event Event.Drop_packet
+          || Event.equal task.Nftask.event Event.Match_fail
+        in
+        let wire =
+          match task.Nftask.packet with
+          | Some p when not dropped -> p.Netcore.Packet.wire_len
+          | Some _ | None -> 0
+        in
+        stats :=
+          {
+            !stats with
+            completed = !stats.completed + 1;
+            dropped = (!stats.dropped + if dropped then 1 else 0);
+            wire_bytes = !stats.wire_bytes + wire;
+          };
+        Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock));
+    (match on_complete with Some f -> f task | None -> ());
+    clear_inflight task.Nftask.flow_hint;
+    Nftask.retire task;
+    load_new task
+
   (* Transition (Δ) + Fetch; returns [false] when the task reached the
      terminal state and was retired. *)
-  let rec transition_and_fetch (task : Nftask.t) =
+  and transition_and_fetch (task : Nftask.t) =
     let next = Program.step program task.Nftask.cs task.Nftask.event in
     Exec_ctx.compute ctx ~cycles:cfg.Worker.fetch_cycles ~instrs:cfg.Worker.fetch_instrs;
-    if Program.is_done program next then begin
-      (* Explicit drops and failed matches both mean the packet is not
-         forwarded. *)
-      let dropped =
-        Event.equal task.Nftask.event Event.Drop_packet
-        || Event.equal task.Nftask.event Event.Match_fail
-      in
-      let wire =
-        match task.Nftask.packet with
-        | Some p when not dropped -> p.Netcore.Packet.wire_len
-        | Some _ | None -> 0
-      in
-      stats :=
-        {
-          completed = !stats.completed + 1;
-          dropped = (!stats.dropped + if dropped then 1 else 0);
-          wire_bytes = !stats.wire_bytes + wire;
-        };
-      Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock);
-      (match on_complete with Some f -> f task | None -> ());
-      clear_inflight task.Nftask.flow_hint;
-      Nftask.retire task;
-      (* Re-initialise with fresh work immediately (Algorithm 1 line 13). *)
-      load_new task
-    end
+    if Program.is_done program next then finalize task
     else begin
       task.Nftask.cs <- next;
       fetch task;
@@ -162,9 +180,16 @@ let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
           task.Nftask.start_clock <- ctx.Exec_ctx.clock;
           Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
             ~instrs:cfg.Worker.rx_tx_instrs;
-          (* Initial transition and fetching (Algorithm 1 line 4), driven by
-             the "packet" system event. *)
-          ignore (transition_and_fetch task);
+          (match Fault.on_load plane ~mem:ctx.Exec_ctx.mem ~now:ctx.Exec_ctx.clock task with
+          | Some r ->
+              (* Quarantined at load: finalise without executing anything
+                 (the flow is serialised, so completion order is kept). *)
+              task.Nftask.event <- Event.Faulted (Fault.reason_to_key r);
+              ignore (finalize task)
+          | None ->
+              (* Initial transition and fetching (Algorithm 1 line 4),
+                 driven by the "packet" system event. *)
+              ignore (transition_and_fetch task));
           task.Nftask.active
   in
 
@@ -199,8 +224,11 @@ let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
                 (Printf.sprintf "Scheduler: control state %s has no action"
                    info.Program.qname)
         in
-        task.Nftask.event <- Action.execute action ctx task;
-        ignore (transition_and_fetch task)
+        task.Nftask.event <-
+          Fault.guard plane ~nf:info.Program.inst action ctx task;
+        (match task.Nftask.event with
+        | Event.Faulted _ -> ignore (finalize task)
+        | _ -> ignore (transition_and_fetch task))
       end
   in
 
@@ -213,15 +241,26 @@ let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
     match policy with
     | Round_robin -> idx := (!idx + 1) mod n_tasks
     | Ready_first ->
+        (* An idle slot is only worth visiting when it can actually load
+           work; otherwise the scan would keep picking no-op idle slots
+           over a waiting task whose dropped prefetch (MSHR starvation)
+           needs a re-issuing visit — during the drain phase that task
+           would never be visited again and the loop would spin forever. *)
+        let refillable =
+          lazy
+            ((not !exhausted)
+            || List.exists (fun i -> not (Hashtbl.mem inflight (flow_of i))) !stash)
+        in
         let runnable i =
           let t = tasks.(i) in
-          (not t.Nftask.active)
-          || (match t.Nftask.p_state with
-             | Nftask.P_ready -> true
-             | Nftask.P_none | Nftask.P_issued ->
-                 List.for_all
-                   (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes)
-                   t.Nftask.pending_blocks)
+          if not t.Nftask.active then Lazy.force refillable
+          else
+            match t.Nftask.p_state with
+            | Nftask.P_ready -> true
+            | Nftask.P_none | Nftask.P_issued ->
+                List.for_all
+                  (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes)
+                  t.Nftask.pending_blocks
         in
         let rec scan k skipped =
           if skipped = n_tasks then (!idx + 1) mod n_tasks
@@ -241,6 +280,8 @@ let run ?label ?(policy = Round_robin) ?on_complete (worker : Worker.t)
     advance ();
     if !exhausted && !stash = [] && not (any_active ()) then continue_run := false
   done;
-  Worker.finish ?latency:(Metrics.Collector.summarize latencies) worker snap ~label
+  Worker.finish ?latency:(Metrics.Collector.summarize latencies)
+    ~faulted:!stats.faulted ~faults:(Fault.counts plane)
+    ~degraded:(Fault.degraded plane) worker snap ~label
     ~packets:!stats.completed ~drops:!stats.dropped ~wire_bytes:!stats.wire_bytes
     ~switches:!switches

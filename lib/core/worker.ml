@@ -52,7 +52,8 @@ let snapshot t =
     s_state_cycles = Array.copy t.ctx.Exec_ctx.cycles_by_class;
   }
 
-let finish ?latency t snap ~label ~packets ~drops ~wire_bytes ~switches : Metrics.run =
+let finish ?latency ?(faulted = 0) ?(faults = []) ?(degraded = false) t snap
+    ~label ~packets ~drops ~wire_bytes ~switches : Metrics.run =
   {
     Metrics.label;
     packets;
@@ -67,4 +68,7 @@ let finish ?latency t snap ~label ~packets ~drops ~wire_bytes ~switches : Metric
       Array.init Exec_ctx.n_classes (fun i ->
           t.ctx.Exec_ctx.cycles_by_class.(i) - snap.s_state_cycles.(i));
     latency;
+    faulted;
+    faults;
+    degraded;
   }

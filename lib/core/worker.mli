@@ -29,6 +29,10 @@ type snapshot
 
 val snapshot : t -> snapshot
 
+(** [faulted]/[faults]/[degraded] come from the run's fault plane and
+    default to a fault-free run. *)
 val finish :
-  ?latency:Metrics.latency -> t -> snapshot -> label:string -> packets:int ->
-  drops:int -> wire_bytes:int -> switches:int -> Metrics.run
+  ?latency:Metrics.latency -> ?faulted:int ->
+  ?faults:(string * Fault.reason * int) list -> ?degraded:bool -> t ->
+  snapshot -> label:string -> packets:int -> drops:int -> wire_bytes:int ->
+  switches:int -> Metrics.run

@@ -68,6 +68,7 @@ type t = {
   mutable prefetch_issued : int;
   mutable prefetch_redundant : int;
   mutable prefetch_dropped : int;
+  mutable mshr_stalls : int;
 }
 
 let log2_exact n =
@@ -101,6 +102,7 @@ let create ?(cfg = default_config) () =
     prefetch_issued = 0;
     prefetch_redundant = 0;
     prefetch_dropped = 0;
+    mshr_stalls = 0;
   }
 
 let config t = t.cfg
@@ -287,7 +289,27 @@ let counters t : Memstats.t =
     prefetch_issued = t.prefetch_issued;
     prefetch_redundant = t.prefetch_redundant;
     prefetch_dropped = t.prefetch_dropped;
+    mshr_stalls = t.mshr_stalls;
   }
+
+(* Fault-injection hook: occupy every currently-free MSHR slot with a dummy
+   in-flight fetch for [cycles] cycles. Dummy line ids sit far above any real
+   allocation, so no demand access or readiness check ever matches them; the
+   only observable effect is that prefetches issued before the deadline find
+   the MSHRs exhausted and are dropped (starvation). Returns the number of
+   slots stalled. *)
+let stall_mshrs t ~now ~cycles =
+  let stalled = ref 0 in
+  let n = Array.length t.mshr_line in
+  for i = 0 to n - 1 do
+    if t.mshr_line.(i) = -1 || t.mshr_ready.(i) <= now then begin
+      t.mshr_line.(i) <- max_int - i;
+      t.mshr_ready.(i) <- now + cycles;
+      incr stalled
+    end
+  done;
+  t.mshr_stalls <- t.mshr_stalls + !stalled;
+  !stalled
 
 let clear t =
   Cache.clear t.l1;

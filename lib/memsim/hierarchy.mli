@@ -76,6 +76,14 @@ val mshr_pending_count : t -> now:int -> int
     [mshr_count] entries). *)
 val mshr_deadlines : t -> now:int -> (int * int) list
 
+(** Fault-injection hook: occupy every currently-free MSHR slot with a dummy
+    in-flight fetch for [cycles] cycles, starving prefetches issued before
+    the deadline (they are dropped as MSHR-full). Dummy lines never match a
+    demand access or readiness check, so behaviour is timing/stats-only.
+    Returns the number of slots stalled (also counted in
+    {!Memstats.t.mshr_stalls}). *)
+val stall_mshrs : t -> now:int -> cycles:int -> int
+
 (** Snapshot of all counters (monotonic; diff two snapshots to measure a
     run). *)
 val counters : t -> Memstats.t

@@ -14,6 +14,7 @@ type t = {
   prefetch_issued : int;
   prefetch_redundant : int;  (* line already resident or pending *)
   prefetch_dropped : int;    (* MSHR full, prefetch not issued *)
+  mshr_stalls : int;         (* injected MSHR-starvation stalls (fault plane) *)
 }
 
 let zero =
@@ -30,6 +31,7 @@ let zero =
     prefetch_issued = 0;
     prefetch_redundant = 0;
     prefetch_dropped = 0;
+    mshr_stalls = 0;
   }
 
 let diff a b =
@@ -46,6 +48,7 @@ let diff a b =
     prefetch_issued = a.prefetch_issued - b.prefetch_issued;
     prefetch_redundant = a.prefetch_redundant - b.prefetch_redundant;
     prefetch_dropped = a.prefetch_dropped - b.prefetch_dropped;
+    mshr_stalls = a.mshr_stalls - b.mshr_stalls;
   }
 
 let add a b =
@@ -62,6 +65,7 @@ let add a b =
     prefetch_issued = a.prefetch_issued + b.prefetch_issued;
     prefetch_redundant = a.prefetch_redundant + b.prefetch_redundant;
     prefetch_dropped = a.prefetch_dropped + b.prefetch_dropped;
+    mshr_stalls = a.mshr_stalls + b.mshr_stalls;
   }
 
 (* Misses at a level = accesses that had to be served deeper. *)
@@ -78,4 +82,7 @@ let pp ppf t =
     "accesses=%d l1_hits=%d l2_hits=%d llc_hits=%d dram=%d mshr_waits=%d \
      wait_cyc=%d pf=%d pf_redundant=%d pf_dropped=%d"
     t.line_accesses t.l1_hits t.l2_hits t.llc_hits t.dram_fills t.mshr_waits
-    t.wait_cycles t.prefetch_issued t.prefetch_redundant t.prefetch_dropped
+    t.wait_cycles t.prefetch_issued t.prefetch_redundant t.prefetch_dropped;
+  (* appended only when the fault plane actually injected stalls, so
+     fault-free output is unchanged *)
+  if t.mshr_stalls > 0 then Fmt.pf ppf " mshr_stalls=%d" t.mshr_stalls

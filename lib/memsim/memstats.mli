@@ -16,6 +16,7 @@ type t = {
   prefetch_issued : int;
   prefetch_redundant : int;  (** prefetch of a resident or pending line *)
   prefetch_dropped : int;  (** prefetch rejected because all MSHRs were busy *)
+  mshr_stalls : int;  (** injected MSHR-starvation stalls (fault-injection plane) *)
 }
 
 val zero : t

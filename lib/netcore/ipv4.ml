@@ -64,6 +64,27 @@ let encode t buf ~off =
   let csum = Checksum.of_bytes buf ~off ~len:header_bytes in
   put_u16 buf (off + checksum_offset) csum
 
+(* Total decode: truncation and a wrong version nibble are typed errors,
+   never exceptions — garbage from the wire must not escape a packet
+   decode. *)
+let decode_result buf ~off =
+  if off < 0 || off + header_bytes > Bytes.length buf then
+    Error "Ipv4.decode: truncated header"
+  else
+    let vihl = get_u8 buf off in
+    if vihl lsr 4 <> 4 then Error "Ipv4.decode: not IPv4"
+    else
+      Ok
+        {
+          src = get_u32 buf (off + 12);
+          dst = get_u32 buf (off + 16);
+          proto = get_u8 buf (off + 9);
+          ttl = get_u8 buf (off + 8);
+          total_len = get_u16 buf (off + 2);
+          ident = get_u16 buf (off + 4);
+          dscp = get_u8 buf (off + 1) lsr 2;
+        }
+
 let decode buf ~off =
   let vihl = get_u8 buf off in
   if vihl lsr 4 <> 4 then invalid_arg "Ipv4.decode: not IPv4";

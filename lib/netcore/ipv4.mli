@@ -31,6 +31,10 @@ val addr_to_string : addr -> string
 (** Encode at [off], computing the header checksum. *)
 val encode : t -> Bytes.t -> off:int -> unit
 
+(** Total decode: truncation and a non-4 version nibble are typed errors,
+    never exceptions. *)
+val decode_result : Bytes.t -> off:int -> (t, string) result
+
 (** @raise Invalid_argument if the version nibble is not 4. *)
 val decode : Bytes.t -> off:int -> t
 

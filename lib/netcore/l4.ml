@@ -29,6 +29,13 @@ let encode_udp (u : udp) buf ~off =
 let decode_udp buf ~off : udp =
   { src_port = get_u16 buf off; dst_port = get_u16 buf (off + 2); length = get_u16 buf (off + 4) }
 
+(* Total decode with bounds checks — truncated transport headers are a
+   typed error, not an out-of-bounds exception. *)
+let decode_udp_result buf ~off =
+  if off < 0 || off + udp_header_bytes > Bytes.length buf then
+    Error "L4.decode_udp: truncated header"
+  else Ok (decode_udp buf ~off)
+
 let flags_byte f =
   (if f.fin then 0x01 else 0)
   lor (if f.syn then 0x02 else 0)
@@ -58,6 +65,11 @@ let decode_tcp buf ~off : tcp =
     flags = flags_of_byte (Char.code (Bytes.get buf (off + 13)));
     window = get_u16 buf (off + 14);
   }
+
+let decode_tcp_result buf ~off =
+  if off < 0 || off + tcp_header_bytes > Bytes.length buf then
+    Error "L4.decode_tcp: truncated header"
+  else Ok (decode_tcp buf ~off)
 
 (* Port rewrites shared by UDP and TCP (ports sit at the same offsets). *)
 let rewrite_src_port buf ~off ~port = put_u16 buf off port

@@ -22,6 +22,12 @@ val decode_udp : Bytes.t -> off:int -> udp
 val encode_tcp : tcp -> Bytes.t -> off:int -> unit
 val decode_tcp : Bytes.t -> off:int -> tcp
 
+(** Total decodes with bounds checks: a truncated transport header is a
+    typed error, never an out-of-bounds exception. *)
+val decode_udp_result : Bytes.t -> off:int -> (udp, string) result
+
+val decode_tcp_result : Bytes.t -> off:int -> (tcp, string) result
+
 (** Port rewrites/reads valid for both UDP and TCP (same offsets). *)
 val rewrite_src_port : Bytes.t -> off:int -> port:int -> unit
 

@@ -63,3 +63,13 @@ let decode buf ~off =
   done;
   if !ue_id < 0 then raise (Malformed "missing UE id IE");
   { msg_type; ue_id = !ue_id; payload_len = !payload_len }
+
+(* Total decode: any malformation (including a negative offset, which the
+   raising decode would turn into an out-of-bounds exception) is a typed
+   error. *)
+let decode_result buf ~off =
+  if off < 0 then Error "negative offset"
+  else
+    match decode buf ~off with
+    | t -> Ok t
+    | exception Malformed e -> Error e

@@ -26,3 +26,6 @@ val encode : t -> Bytes.t -> off:int -> unit
 
 (** @raise Malformed on truncation, wrong discriminator or missing IEs. *)
 val decode : Bytes.t -> off:int -> t
+
+(** Total decode: malformation is a typed error, never an exception. *)
+val decode_result : Bytes.t -> off:int -> (t, string) result

@@ -63,27 +63,34 @@ let get_u32le s off =
 
 let get_u16le s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
 
-let parse s =
-  if String.length s < 24 then raise (Bad_capture "truncated global header");
-  if get_u32le s 0 <> magic then raise (Bad_capture "bad magic (or byte-swapped)");
-  if get_u16le s 4 <> version_major then raise (Bad_capture "unsupported version");
-  if get_u32le s 20 <> linktype_ethernet then raise (Bad_capture "not Ethernet");
-  let n = String.length s in
-  let rec go off acc =
-    if off = n then List.rev acc
-    else if off + 16 > n then raise (Bad_capture "truncated record header")
-    else
-      let ts_sec = get_u32le s off in
-      let ts_usec = get_u32le s (off + 4) in
-      let incl = get_u32le s (off + 8) in
-      let orig_len = get_u32le s (off + 12) in
-      if off + 16 + incl > n then raise (Bad_capture "truncated record data")
+(* Total parse: every malformed-input case is a typed [Error], so decoding
+   captured bytes can never raise out of the data path. *)
+let parse_result s =
+  if String.length s < 24 then Error "truncated global header"
+  else if get_u32le s 0 <> magic then Error "bad magic (or byte-swapped)"
+  else if get_u16le s 4 <> version_major then Error "unsupported version"
+  else if get_u32le s 20 <> linktype_ethernet then Error "not Ethernet"
+  else begin
+    let n = String.length s in
+    let rec go off acc =
+      if off = n then Ok (List.rev acc)
+      else if off + 16 > n then Error "truncated record header"
       else
-        let data = Bytes.of_string (String.sub s (off + 16) incl) in
-        go (off + 16 + incl)
-          ({ ts_us = (ts_sec * 1_000_000) + ts_usec; data; orig_len } :: acc)
-  in
-  go 24 []
+        let ts_sec = get_u32le s off in
+        let ts_usec = get_u32le s (off + 4) in
+        let incl = get_u32le s (off + 8) in
+        let orig_len = get_u32le s (off + 12) in
+        if incl < 0 || off + 16 + incl > n then Error "truncated record data"
+        else
+          let data = Bytes.of_string (String.sub s (off + 16) incl) in
+          go (off + 16 + incl)
+            ({ ts_us = (ts_sec * 1_000_000) + ts_usec; data; orig_len } :: acc)
+    in
+    go 24 []
+  end
+
+let parse s =
+  match parse_result s with Ok r -> r | Error e -> raise (Bad_capture e)
 
 let read_file path =
   let ic = open_in_bin path in

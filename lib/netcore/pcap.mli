@@ -20,7 +20,12 @@ type record = { ts_us : int; data : Bytes.t; orig_len : int }
 
 exception Bad_capture of string
 
-(** @raise Bad_capture on malformed input. *)
+(** Total parse: malformed input (truncated headers/records, wrong magic,
+    wrong link type) is a typed [Error], never an exception. *)
+val parse_result : string -> (record list, string) result
+
+(** {!parse_result}, raising for callers that want the old behaviour.
+    @raise Bad_capture on malformed input. *)
 val parse : string -> record list
 
 val read_file : string -> record list

@@ -191,7 +191,11 @@ let create layout ~name ?(packed = false) ~n_ues () =
   }
 
 let populate t =
-  Classifier.populate t.classifier (List.init t.n_ues (fun i -> (Int64.of_int (i + 1), i)))
+  let (_shed : int) =
+    Classifier.populate t.classifier
+      (List.init t.n_ues (fun i -> (Int64.of_int (i + 1), i)))
+  in
+  ()
 
 (* ----- actions ----- *)
 

@@ -79,14 +79,18 @@ let create layout ~name ~key_kind ~key_fn ~capacity () =
 
 let table t = t.table
 
-(* Insert [key -> index] pairs; raises on table overflow (a sizing bug, not
-   a runtime condition). *)
-let populate t entries =
-  List.iter
-    (fun (key, idx) ->
-      if not (Cuckoo.insert t.table ~key ~value:idx) then
-        failwith (Printf.sprintf "classifier %s: cuckoo table overflow" t.name))
-    entries
+(* Insert [key -> index] pairs. Overflow is a typed, policy-resolved
+   condition rather than a crash: the returned count is the number of
+   entries that did not survive (rejected new entries under [Drop_new] /
+   [Shed_flow], displaced victims under [Evict_lru]) — 0 means every entry
+   is resident, as the pre-policy code guaranteed by raising. *)
+let populate ?(policy = Cuckoo.Drop_new) t entries =
+  List.fold_left
+    (fun shed (key, idx) ->
+      match Cuckoo.insert_policy t.table ~policy ~key ~value:idx with
+      | Cuckoo.Inserted | Cuckoo.Updated -> shed
+      | Cuckoo.Evicted _ | Cuckoo.Rejected -> shed + 1)
+    0 entries
 
 (* ----- NFActions ----- *)
 

@@ -33,9 +33,13 @@ val create :
 
 val table : t -> Structures.Cuckoo.t
 
-(** Insert [key -> per-flow index] pairs.
-    @raise Failure on table overflow (a sizing bug). *)
-val populate : t -> (int64 * int) list -> unit
+(** Insert [key -> per-flow index] pairs. Table overflow resolves per
+    [policy] (default [Drop_new]) instead of raising; the result is the
+    number of entries that are *not* resident afterwards (rejected new
+    entries, or victims displaced by [Evict_lru]) — 0 on a well-sized
+    table. *)
+val populate :
+  ?policy:Structures.Cuckoo.overflow_policy -> t -> (int64 * int) list -> int
 
 (** The compiler-ready instance (actions + prefetch bindings). *)
 val instance : t -> Compiler.instance

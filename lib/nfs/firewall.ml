@@ -116,8 +116,11 @@ let populate t flows =
   Array.iteri
     (fun i flow -> t.verdicts.(i) <- evaluate t.policy flow = Accept)
     flows;
-  Classifier.populate t.classifier
-    (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  let (_shed : int) =
+    Classifier.populate t.classifier
+      (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  in
+  ()
 
 let filter_action t =
   Action.make ~base_cycles:14 ~base_instrs:12 ~name:(t.name ^ ".filter")

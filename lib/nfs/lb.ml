@@ -71,8 +71,11 @@ let populate t flows =
          changes. *)
       t.assignment.(i) <- Maglev.lookup t.maglev (Netcore.Flow.key64 flow))
     flows;
-  Classifier.populate t.classifier
-    (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  let (_shed : int) =
+    Classifier.populate t.classifier
+      (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  in
+  ()
 
 let backend_of t idx = t.backends.(t.assignment.(idx))
 

@@ -89,21 +89,42 @@ let evict_nat (nat : Nat.t) flows =
     flows
 
 (* Install a snapshot into a target NAT, preserving external mappings.
-   Returns the number of entries imported.
+   Returns the number of entries imported. All-or-nothing: the snapshot is
+   fully parsed and capacity-checked before the first mutation, and a
+   mid-import cuckoo rejection rolls every already-installed entry back —
+   on ANY failure the target is exactly as it was.
    @raise Bad_snapshot on malformed input or when the target is full. *)
 let import_nat (nat : Nat.t) snapshot =
   let entries = parse_nat snapshot in
-  List.iter
-    (fun e ->
-      if nat.Nat.next_free >= Array.length nat.Nat.map_ip then
-        raise (Bad_snapshot "target NAT mapping table full");
-      let idx = nat.Nat.next_free in
-      nat.Nat.next_free <- idx + 1;
-      nat.Nat.map_ip.(idx) <- e.ext_ip;
-      nat.Nat.map_port.(idx) <- e.ext_port;
-      if not (Structures.Cuckoo.insert (Classifier.table nat.Nat.classifier) ~key:e.key ~value:idx)
-      then raise (Bad_snapshot "target NAT match table full"))
-    entries;
+  let table = Classifier.table nat.Nat.classifier in
+  if nat.Nat.next_free + List.length entries > Array.length nat.Nat.map_ip then
+    raise (Bad_snapshot "target NAT mapping table full");
+  let saved_next = nat.Nat.next_free in
+  let installed = ref [] in
+  let rollback () =
+    List.iter (fun key -> ignore (Structures.Cuckoo.delete table key)) !installed;
+    for idx = saved_next to nat.Nat.next_free - 1 do
+      nat.Nat.map_ip.(idx) <- 0l;
+      nat.Nat.map_port.(idx) <- 0;
+      nat.Nat.keys.(idx) <- 0L
+    done;
+    nat.Nat.next_free <- saved_next
+  in
+  (try
+     List.iter
+       (fun e ->
+         let idx = nat.Nat.next_free in
+         nat.Nat.next_free <- idx + 1;
+         nat.Nat.map_ip.(idx) <- e.ext_ip;
+         nat.Nat.map_port.(idx) <- e.ext_port;
+         nat.Nat.keys.(idx) <- e.key;
+         if not (Structures.Cuckoo.insert table ~key:e.key ~value:idx) then
+           raise (Bad_snapshot "target NAT match table full");
+         installed := e.key :: !installed)
+       entries
+   with exn ->
+     rollback ();
+     raise exn);
   List.length entries
 
 (* ----- monitor counters (accounting survives scale events) ----- *)

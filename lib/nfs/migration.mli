@@ -19,7 +19,10 @@ val parse_nat : string -> nat_entry list
 val evict_nat : Nat.t -> Netcore.Flow.t list -> unit
 
 (** Install a snapshot, preserving external mappings; returns entries
-    imported. @raise Bad_snapshot on malformed input or a full target. *)
+    imported. All-or-nothing: on failure the target NAT is left exactly as
+    it was (parse + capacity check happen before the first mutation, and a
+    mid-import insert rejection rolls back the installed prefix).
+    @raise Bad_snapshot on malformed input or a full target. *)
 val import_nat : Nat.t -> string -> int
 
 (** Monitor accounting export/import (added into the target's counters for

@@ -53,8 +53,11 @@ let create layout ~name ?arena ~n_flows () =
   }
 
 let populate t flows =
-  Classifier.populate t.classifier
-    (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  let (_shed : int) =
+    Classifier.populate t.classifier
+      (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  in
+  ()
 
 let account_action t =
   Action.make ~base_cycles:12 ~base_instrs:10 ~name:(t.name ^ ".account")

@@ -74,6 +74,7 @@ type t = {
   keys : int64 array;  (* installed flow key per slot; 0 = slot unused *)
   last_seen : int array;  (* cycle of the slot's last data-path use *)
   mutable free_slots : int list;  (* recycled by the idle-expiry sweep *)
+  overflow : Cuckoo.overflow_policy;  (* match-table pressure policy (learner) *)
 }
 
 let state_bytes = 8 (* 4B ip + 2B port, padded *)
@@ -81,7 +82,7 @@ let state_bytes = 8 (* 4B ip + 2B port, padded *)
 let public_ip i = Int32.of_int (0xCB007100 lor (i mod 64)) (* 203.0.113.x *)
 let public_port i = 20000 + (i mod 40000)
 
-let create layout ~name ?arena ~n_flows () =
+let create layout ~name ?arena ?(overflow = Cuckoo.Drop_new) ~n_flows () =
   let classifier =
     Classifier.create layout ~name:(name ^ "_cls") ~key_kind:"five_tuple"
       ~key_fn:Classifier.five_tuple_key ~capacity:n_flows ()
@@ -108,6 +109,7 @@ let create layout ~name ?arena ~n_flows () =
     keys = Array.make n_flows 0L;
     last_seen = Array.make n_flows 0;
     free_slots = [];
+    overflow;
   }
 
 (* Install the NAT mapping for every flow: the public address pool is
@@ -120,8 +122,11 @@ let populate t flows =
       t.keys.(i) <- Netcore.Flow.key64 flow)
     flows;
   t.next_free <- Array.length flows;
-  Classifier.populate t.classifier
-    (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  let (_shed : int) =
+    Classifier.populate t.classifier
+      (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  in
+  ()
 
 (* NF-C binding: the only state the mapper can reach. Packet field writes
    rewrite the real header bytes. *)
@@ -202,10 +207,31 @@ let learn_action t =
         Exec_ctx.write ctx ~cls:Sref.Control_state ~addr:t.allocator_sref.Sref.addr
           ~bytes:8;
         (* Install the match-state entry: a real cuckoo insert, charged as
-           writes of the touched bucket lines. *)
+           writes of the touched bucket lines. Overflow resolves per the
+           NAT's policy: reject the new flow (Drop_new), displace the
+           stalest resident and recycle its mapping slot (Evict_lru), or
+           quarantine the flow via a contained fault (Shed_flow). *)
         let key = task.Nftask.temps.Nftask.key in
-        if not (Structures.Cuckoo.insert (Classifier.table t.classifier) ~key ~value:idx)
-        then Event.Drop_packet
+        let installed =
+          match
+            Structures.Cuckoo.insert_policy (Classifier.table t.classifier)
+              ~policy:t.overflow ~key ~value:idx
+          with
+          | Structures.Cuckoo.Inserted | Structures.Cuckoo.Updated -> true
+          | Structures.Cuckoo.Evicted { victim_value; _ } ->
+              if victim_value >= 0 && victim_value < Array.length t.keys
+                 && victim_value <> idx
+              then begin
+                t.keys.(victim_value) <- 0L;
+                t.free_slots <- t.free_slots @ [ victim_value ]
+              end;
+              true
+          | Structures.Cuckoo.Rejected ->
+              if t.overflow = Structures.Cuckoo.Shed_flow then
+                raise (Fault.Fault (Fault.Table_overflow, t.name));
+              false
+        in
+        if not installed then Event.Drop_packet
         else begin
           let table = Classifier.table t.classifier in
           let bucket =

@@ -21,14 +21,20 @@ type t = {
   keys : int64 array;  (** installed flow key per slot; 0 = slot unused *)
   last_seen : int array;  (** cycle of the slot's last data-path use *)
   mutable free_slots : int list;  (** recycled by {!expire} *)
+  overflow : Structures.Cuckoo.overflow_policy;
+      (** how the learner resolves match-table overflow *)
 }
 
 val state_bytes : int
 
-(** [?arena] substitutes a packed-group view for the private arena. *)
+(** [?arena] substitutes a packed-group view for the private arena.
+    [?overflow] (default [Drop_new]) picks the learner's policy when the
+    match table rejects an insert: drop the new flow's packet, evict the
+    stalest resident (its mapping slot is recycled), or shed the flow with
+    a contained [Fault.Fault (Table_overflow, _)]. *)
 val create :
-  Memsim.Layout.t -> name:string -> ?arena:Structures.State_arena.t -> n_flows:int ->
-  unit -> t
+  Memsim.Layout.t -> name:string -> ?arena:Structures.State_arena.t ->
+  ?overflow:Structures.Cuckoo.overflow_policy -> n_flows:int -> unit -> t
 
 (** Install mappings (public address pool + sequential ports) and populate
     the classifier. *)

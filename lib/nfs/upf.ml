@@ -171,18 +171,23 @@ let create_empty layout ~name ~capacity ~n_pdrs () =
   t
 
 let populate t =
-  Classifier.populate t.classifier
-    (Array.to_list
-       (Array.mapi
-          (fun i (s : Traffic.Mgw.session) ->
-            (Int64.logand (Int64.of_int32 s.Traffic.Mgw.ue_ip) 0xFFFFFFFFL, i))
-          t.sessions));
-  Classifier.populate t.uplink_classifier
-    (Array.to_list
-       (Array.mapi
-          (fun i (s : Traffic.Mgw.session) ->
-            (Int64.logand (Int64.of_int32 s.Traffic.Mgw.teid) 0xFFFFFFFFL, i))
-          t.sessions))
+  let (_shed : int) =
+    Classifier.populate t.classifier
+      (Array.to_list
+         (Array.mapi
+            (fun i (s : Traffic.Mgw.session) ->
+              (Int64.logand (Int64.of_int32 s.Traffic.Mgw.ue_ip) 0xFFFFFFFFL, i))
+            t.sessions))
+  in
+  let (_shed : int) =
+    Classifier.populate t.uplink_classifier
+      (Array.to_list
+         (Array.mapi
+            (fun i (s : Traffic.Mgw.session) ->
+              (Int64.logand (Int64.of_int32 s.Traffic.Mgw.teid) 0xFFFFFFFFL, i))
+            t.sessions))
+  in
+  ()
 
 (* ----- runtime session management (driven by PFCP) ----- *)
 

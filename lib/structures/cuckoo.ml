@@ -13,16 +13,37 @@ let slots_per_bucket = 4
 let bucket_bytes = 64
 let max_kicks = 500
 
+type overflow_policy = Drop_new | Evict_lru | Shed_flow
+
+let policy_to_string = function
+  | Drop_new -> "drop-new"
+  | Evict_lru -> "evict-lru"
+  | Shed_flow -> "shed-flow"
+
+let policy_of_string = function
+  | "drop-new" -> Some Drop_new
+  | "evict-lru" -> Some Evict_lru
+  | "shed-flow" -> Some Shed_flow
+  | _ -> None
+
+type insert_result =
+  | Inserted
+  | Updated
+  | Evicted of { victim_key : int64; victim_value : int }
+  | Rejected
+
 type t = {
   mask : int;  (* nbuckets - 1 *)
   keys : int64 array;  (* nbuckets * slots; slot empty when vals.(i) < 0 *)
   vals : int array;
+  stamps : int array;  (* per-slot insertion stamp; LRU-ish eviction order *)
   base_addr : int;  (* bucket array: fingerprints + value indices *)
   key_base : int;  (* out-of-line full-key store, one line per bucket *)
   seed1 : int64;
   seed2 : int64;
   rng : Memsim.Rng.t;
   mutable population : int;
+  mutable tick : int;
 }
 
 let next_pow2 n =
@@ -46,12 +67,14 @@ let create layout ~label ~capacity () =
     mask = nbuckets - 1;
     keys = Array.make nslots 0L;
     vals = Array.make nslots (-1);
+    stamps = Array.make nslots 0;
     base_addr;
     key_base;
     seed1 = 0x9E3779B97F4A7C15L;
     seed2 = 0xC2B2AE3D27D4EB4FL;
     rng = Memsim.Rng.create 97;
     population = 0;
+    tick = 0;
   }
 
 let nbuckets t = t.mask + 1
@@ -127,6 +150,7 @@ let try_place t ~key ~value bucket =
   | Some slot ->
       t.keys.(slot) <- key;
       t.vals.(slot) <- value;
+      t.stamps.(slot) <- t.tick;
       true
   | None -> false
 
@@ -137,6 +161,7 @@ let update_existing t ~key ~value =
       if i = slots_per_bucket then false
       else if t.vals.(b + i) >= 0 && Int64.equal t.keys.(b + i) key then begin
         t.vals.(b + i) <- value;
+        t.stamps.(b + i) <- t.tick;
         true
       end
       else go (i + 1)
@@ -145,36 +170,102 @@ let update_existing t ~key ~value =
   in
   set (hash1 t key) || set (hash2 t key)
 
+(* Place [key] into [bucket] or displace a random resident into its
+   alternate bucket, carrying per-entry stamps along the walk (a displaced
+   resident keeps its original stamp). A failed walk is unwound slot by
+   slot — most recent swap first — so the table is bit-identical to before
+   the call: overflow must be a *typed, recoverable* outcome, never the
+   silent loss of whichever resident the walk happened to be carrying when
+   it ran out of kicks. *)
+let walk_place t ~key ~value ~stamp ~bucket =
+  let undo = ref [] in
+  let rec go ~key ~value ~stamp ~bucket kicks =
+    (match empty_slot_in t bucket with
+    | Some slot ->
+        t.keys.(slot) <- key;
+        t.vals.(slot) <- value;
+        t.stamps.(slot) <- stamp;
+        true
+    | None -> false)
+    || kicks < max_kicks
+       && begin
+            (* Evict a random resident of this bucket and re-insert it into
+               its alternate bucket. *)
+            let victim = slot_base bucket + Memsim.Rng.int t.rng slots_per_bucket in
+            let vkey = t.keys.(victim) and vval = t.vals.(victim) in
+            let vstamp = t.stamps.(victim) in
+            undo := (victim, vkey, vval, vstamp) :: !undo;
+            t.keys.(victim) <- key;
+            t.vals.(victim) <- value;
+            t.stamps.(victim) <- stamp;
+            let alt =
+              let h1 = hash1 t vkey in
+              if h1 = bucket then hash2 t vkey else h1
+            in
+            go ~key:vkey ~value:vval ~stamp:vstamp ~bucket:alt (kicks + 1)
+          end
+  in
+  let placed = go ~key ~value ~stamp ~bucket 0 in
+  if not placed then
+    List.iter
+      (fun (slot, k, v, s) ->
+        t.keys.(slot) <- k;
+        t.vals.(slot) <- v;
+        t.stamps.(slot) <- s)
+      !undo;
+  placed
+
+(* Insert a key known to be absent; true population bump on success. *)
+let insert_fresh t ~key ~value =
+  let placed =
+    try_place t ~key ~value (hash1 t key)
+    || try_place t ~key ~value (hash2 t key)
+    || walk_place t ~key ~value ~stamp:t.tick ~bucket:(hash1 t key)
+  in
+  if placed then t.population <- t.population + 1;
+  placed
+
 (* Random-walk cuckoo insert. Returns [false] when the walk exceeds
-   [max_kicks] (table effectively full); the displaced element is always
-   re-housed before giving up, so no entry is ever lost. *)
+   [max_kicks] (table effectively full); the failed walk is fully unwound,
+   so no entry is ever lost or moved by a rejected insert. *)
 let insert t ~key ~value =
-  if update_existing t ~key ~value then true
+  t.tick <- t.tick + 1;
+  update_existing t ~key ~value || insert_fresh t ~key ~value
+
+(* Stalest slot among the key's two candidate buckets (lowest stamp;
+   first-in-scan-order tie-break — fully deterministic). *)
+let stalest_slot t key =
+  let best = ref (-1) in
+  let scan bucket =
+    let b = slot_base bucket in
+    for i = 0 to slots_per_bucket - 1 do
+      let s = b + i in
+      if t.vals.(s) >= 0 && (!best < 0 || t.stamps.(s) < t.stamps.(!best)) then
+        best := s
+    done
+  in
+  scan (hash1 t key);
+  (let b2 = hash2 t key in
+   if b2 <> hash1 t key then scan b2);
+  !best
+
+let insert_policy t ~policy ~key ~value =
+  t.tick <- t.tick + 1;
+  if update_existing t ~key ~value then Updated
+  else if insert_fresh t ~key ~value then Inserted
   else
-    let rec walk ~key ~value ~bucket kicks =
-      if try_place t ~key ~value bucket then true
-      else if kicks >= max_kicks then false
-      else begin
-        (* Evict a random resident of this bucket and re-insert it into its
-           alternate bucket. *)
-        let victim = slot_base bucket + Memsim.Rng.int t.rng slots_per_bucket in
-        let vkey = t.keys.(victim) and vval = t.vals.(victim) in
-        t.keys.(victim) <- key;
-        t.vals.(victim) <- value;
-        let alt =
-          let h1 = hash1 t vkey in
-          if h1 = bucket then hash2 t vkey else h1
-        in
-        walk ~key:vkey ~value:vval ~bucket:alt (kicks + 1)
-      end
-    in
-    let placed =
-      try_place t ~key ~value (hash1 t key)
-      || try_place t ~key ~value (hash2 t key)
-      || walk ~key ~value ~bucket:(hash1 t key) 0
-    in
-    if placed then t.population <- t.population + 1;
-    placed
+    match policy with
+    | Drop_new | Shed_flow -> Rejected
+    | Evict_lru -> (
+        match stalest_slot t key with
+        | -1 -> Rejected (* both candidate buckets empty yet walk failed: impossible *)
+        | slot ->
+            let victim_key = t.keys.(slot) and victim_value = t.vals.(slot) in
+            t.keys.(slot) <- key;
+            t.vals.(slot) <- value;
+            t.stamps.(slot) <- t.tick;
+            (* one out, one in: population unchanged *)
+            Evicted { victim_key; victim_value })
 
 let delete t key =
   let del bucket =

@@ -52,3 +52,27 @@ val lookup : t -> int64 -> int option
 val insert : t -> key:int64 -> value:int -> bool
 
 val delete : t -> int64 -> bool
+
+(** What a state structure does when an insert finds the table full.
+    [Drop_new] rejects the new entry (legacy behaviour, minus the crash);
+    [Evict_lru] displaces the stalest resident of the key's two candidate
+    buckets to make room; [Shed_flow] rejects and asks the caller to
+    quarantine the offending flow (the caller raises a contained fault). *)
+type overflow_policy = Drop_new | Evict_lru | Shed_flow
+
+val policy_to_string : overflow_policy -> string
+val policy_of_string : string -> overflow_policy option
+
+(** Outcome of {!insert_policy}. [Evicted] carries the displaced resident so
+    the caller can release any out-of-table resources tied to it. *)
+type insert_result =
+  | Inserted
+  | Updated
+  | Evicted of { victim_key : int64; victim_value : int }
+  | Rejected
+
+(** Like {!insert} but overflow resolves per [policy] instead of just
+    reporting [false]. Deterministic: LRU order comes from per-slot
+    insertion stamps, ties break on scan order. *)
+val insert_policy :
+  t -> policy:overflow_policy -> key:int64 -> value:int -> insert_result

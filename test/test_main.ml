@@ -31,4 +31,5 @@ let () =
       ("lint", Test_lint.suite);
       ("oracle", Test_oracle.suite);
       ("invariants", Test_invariants.suite);
+      ("fault", Test_fault.suite);
     ]

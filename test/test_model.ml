@@ -168,6 +168,9 @@ let mk_run ?(cycles = 2_700_000) ?(packets = 1000) ?(wire = 64000) () =
     freq_ghz = 2.7;
     state_cycles = Array.make Exec_ctx.n_classes 0;
     latency = None;
+    faulted = 0;
+    faults = [];
+    degraded = false;
   }
 
 let test_metrics_math () =

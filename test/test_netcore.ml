@@ -295,6 +295,60 @@ let test_pool_recycles () =
   Alcotest.(check bool) "recycles in ring order" true
     (List.nth addrs 0 = List.nth addrs 4)
 
+(* ----- parser robustness (truncation / garbage fuzz) ----- *)
+
+(* A small valid capture to truncate: headers carry real bytes, so every
+   prefix length exercises a different parser bounds check. *)
+let valid_capture () =
+  let w = Pcap.create_writer () in
+  List.iteri
+    (fun i f -> Pcap.add_packet w ~ts_us:(i * 10) (Packet.make ~flow:f ~wire_len:96 ()))
+    [ flow1; { flow1 with Flow.src_port = 7 }; { flow1 with Flow.proto = Ipv4.proto_udp } ];
+  Pcap.contents w
+
+let qcheck_pcap_truncation =
+  let cap = valid_capture () in
+  QCheck.Test.make ~name:"pcap parse_result total under truncation" ~count:300
+    QCheck.(int_bound (String.length cap - 1))
+    (fun n ->
+      (* Any strict prefix must yield a typed Error or a shorter Ok list —
+         never an exception, and never all three records. *)
+      match Pcap.parse_result (String.sub cap 0 n) with
+      | Error _ -> true
+      | Ok records -> List.length records < 3)
+
+let qcheck_pcap_garbage =
+  QCheck.Test.make ~name:"pcap parse_result total on garbage" ~count:300
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s -> match Pcap.parse_result s with Ok _ | Error _ -> true)
+
+let qcheck_header_decoders_total =
+  QCheck.Test.make ~name:"header decode_result never raises" ~count:500
+    QCheck.(pair (string_of_size (Gen.int_bound 48)) (int_bound 52))
+    (fun (s, off) ->
+      let buf = Bytes.of_string s in
+      (* Offsets past the end are in scope: a truncated capture can leave
+         l3/l4 offsets beyond the valid bytes. *)
+      (match Ipv4.decode_result buf ~off with Ok _ | Error _ -> ());
+      (match L4.decode_udp_result buf ~off with Ok _ | Error _ -> ());
+      (match L4.decode_tcp_result buf ~off with Ok _ | Error _ -> ());
+      (match Nas.decode_result buf ~off with Ok _ | Error _ -> ());
+      true)
+
+let test_corrupted_packet_decoders () =
+  (* Faultgen's packet mangler (truncate + scribble) is exactly what the
+     executors feed the parsers under Corrupt_packet injection: the typed
+     decoders must stay total on its output. *)
+  let plan = Check.Faultgen.create ~seed:5 () in
+  for index = 0 to 199 do
+    let p = Packet.make ~flow:flow1 ~wire_len:128 () in
+    Check.Faultgen.corrupt plan ~index p;
+    (match Ipv4.decode_result p.Packet.buf ~off:p.Packet.l3_off with
+    | Ok _ | Error _ -> ());
+    (match L4.decode_udp_result p.Packet.buf ~off:p.Packet.l4_off with
+    | Ok _ | Error _ -> ())
+  done
+
 let qcheck_packet_flow_roundtrip =
   QCheck.Test.make ~name:"packet headers always encode the flow" ~count:200
     QCheck.(quad small_int small_int (int_bound 65535) (int_bound 65535))
@@ -337,4 +391,9 @@ let suite =
     Alcotest.test_case "gtpu encap/decap" `Quick test_gtpu_encap_decap;
     Alcotest.test_case "pool recycles" `Quick test_pool_recycles;
     Helpers.qcheck qcheck_packet_flow_roundtrip;
+    Helpers.qcheck qcheck_pcap_truncation;
+    Helpers.qcheck qcheck_pcap_garbage;
+    Helpers.qcheck qcheck_header_decoders_total;
+    Alcotest.test_case "corrupted packets decode totally" `Quick
+      test_corrupted_packet_decoders;
   ]

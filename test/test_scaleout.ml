@@ -83,6 +83,103 @@ let test_migration_bad_snapshot () =
       | _ -> Alcotest.fail "malformed snapshot accepted")
     [ ""; "XXXXX"; "GNAT1\xff\xff\xff\xff" ]
 
+(* Full observable state of a target NAT, for checking the all-or-nothing
+   import guarantee: a failed import must leave every one of these equal. *)
+let nat_state (nat : Nfs.Nat.t) =
+  ( nat.Nfs.Nat.next_free,
+    Structures.Cuckoo.population (Nfs.Classifier.table nat.Nfs.Nat.classifier),
+    Array.copy nat.Nfs.Nat.map_ip,
+    Array.copy nat.Nfs.Nat.map_port,
+    Array.copy nat.Nfs.Nat.keys )
+
+let test_migration_bitflip_snapshot () =
+  let a, b, flows = two_nats () in
+  let _, _, nat_a, _ = a in
+  let _, _, nat_b, _ = b in
+  let snapshot = Nfs.Migration.export_nat nat_a [ flows.(3); flows.(7) ] in
+  let before = nat_state nat_b in
+  let accepted = ref 0 and rejected = ref 0 in
+  for bit = 0 to (String.length snapshot * 8) - 1 do
+    let mangled = Bytes.of_string snapshot in
+    Bytes.set mangled (bit / 8)
+      (Char.chr (Char.code snapshot.[bit / 8] lxor (1 lsl (bit mod 8))));
+    match Nfs.Migration.import_nat nat_b (Bytes.to_string mangled) with
+    | exception Nfs.Migration.Bad_snapshot _ ->
+        incr rejected;
+        Alcotest.(check bool) "rejected import leaves target unchanged" true
+          (nat_state nat_b = before)
+    | n ->
+        (* A flip inside an entry body still parses; undo what it installed
+           so each iteration starts from the same target state. *)
+        incr accepted;
+        let entries = Nfs.Migration.parse_nat (Bytes.to_string mangled) in
+        (* Flips in the count field can shrink the entry list (2 -> 0);
+           whatever parses is what must have been imported. *)
+        Alcotest.(check int) "imported what parsed" (List.length entries) n;
+        List.iter
+          (fun e ->
+            ignore
+              (Structures.Cuckoo.delete
+                 (Nfs.Classifier.table nat_b.Nfs.Nat.classifier)
+                 e.Nfs.Migration.key))
+          entries;
+        let nf_before, _, ip_before, port_before, keys_before = before in
+        for idx = nf_before to nat_b.Nfs.Nat.next_free - 1 do
+          nat_b.Nfs.Nat.map_ip.(idx) <- ip_before.(idx);
+          nat_b.Nfs.Nat.map_port.(idx) <- port_before.(idx);
+          nat_b.Nfs.Nat.keys.(idx) <- keys_before.(idx)
+        done;
+        nat_b.Nfs.Nat.next_free <- nf_before
+  done;
+  (* Flips in the magic or count must reject; flips in entry bodies may
+     legitimately parse — both classes have to occur over all positions. *)
+  Alcotest.(check bool) "some flips rejected" true (!rejected > 0);
+  Alcotest.(check bool) "some flips still parse" true (!accepted > 0)
+
+let test_migration_target_full () =
+  let a, _, flows = two_nats () in
+  let _, _, nat_a, _ = a in
+  (* A target whose mapping arena is exhausted: every slot allocated. *)
+  let worker_c = Worker.create ~id:2 () in
+  let nat_c = Nfs.Nat.create (Worker.layout worker_c) ~name:"c" ~n_flows:8 () in
+  let gen = Traffic.Flowgen.create ~seed:77 ~n_flows:8 () in
+  Nfs.Nat.populate nat_c (Traffic.Flowgen.flows gen);
+  let snapshot = Nfs.Migration.export_nat nat_a [ flows.(1) ] in
+  let before = nat_state nat_c in
+  (match Nfs.Migration.import_nat nat_c snapshot with
+  | exception Nfs.Migration.Bad_snapshot _ -> ()
+  | _ -> Alcotest.fail "import into a full target must raise Bad_snapshot");
+  Alcotest.(check bool) "full target unchanged" true (nat_state nat_c = before)
+
+let test_migration_midway_rollback () =
+  let a, _, flows = two_nats () in
+  let _, _, nat_a, _ = a in
+  (* Mapping slots free but the match table saturated: the capacity
+     pre-check passes and the cuckoo insert fails mid-import, exercising
+     the rollback path rather than the up-front rejection. *)
+  let worker_c = Worker.create ~id:2 () in
+  let nat_c = Nfs.Nat.create (Worker.layout worker_c) ~name:"c" ~n_flows:8 () in
+  let table = Nfs.Classifier.table nat_c.Nfs.Nat.classifier in
+  let cap = Structures.Cuckoo.nbuckets table * Structures.Cuckoo.slots_per_bucket in
+  let k = ref 0x2000_0000 in
+  while Structures.Cuckoo.population table < cap && !k < 0x2010_0000 do
+    ignore (Structures.Cuckoo.insert table ~key:(Int64.of_int !k) ~value:1);
+    incr k
+  done;
+  Alcotest.(check int) "match table saturated" cap (Structures.Cuckoo.population table);
+  let snapshot = Nfs.Migration.export_nat nat_a [ flows.(2); flows.(9) ] in
+  let before = nat_state nat_c in
+  (match Nfs.Migration.import_nat nat_c snapshot with
+  | exception Nfs.Migration.Bad_snapshot _ -> ()
+  | _ -> Alcotest.fail "saturated match table must raise Bad_snapshot");
+  Alcotest.(check bool) "mid-import failure rolled back" true
+    (nat_state nat_c = before);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "no snapshot key left behind" true
+        (Structures.Cuckoo.lookup table e.Nfs.Migration.key = None))
+    (Nfs.Migration.parse_nat snapshot)
+
 let test_monitor_migration () =
   let worker = Worker.create ~id:0 () in
   let layout = Worker.layout worker in
@@ -159,6 +256,10 @@ let suite =
     Alcotest.test_case "migration leaves others" `Quick test_migration_untouched_flows_unaffected;
     Alcotest.test_case "snapshot roundtrip" `Quick test_migration_snapshot_roundtrip;
     Alcotest.test_case "bad snapshot rejected" `Quick test_migration_bad_snapshot;
+    Alcotest.test_case "bit-flipped snapshot contained" `Quick test_migration_bitflip_snapshot;
+    Alcotest.test_case "full target import rejected atomically" `Quick
+      test_migration_target_full;
+    Alcotest.test_case "mid-import failure rolls back" `Quick test_migration_midway_rollback;
     Alcotest.test_case "monitor counters migrate" `Quick test_monitor_migration;
     Alcotest.test_case "catalog builds sfc4 from files" `Quick test_catalog_builds_sfc4_from_files;
     Alcotest.test_case "catalog: file FSM drives execution" `Quick
