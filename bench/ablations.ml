@@ -60,7 +60,7 @@ let a2 () =
       Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs:16 ()
     in
     Nfs.Upf.populate upf;
-    let opts = { Gunfu.Compiler.default_opts with prefetching = false } in
+    let opts = { Gunfu.Compiler.default_opts with Gunfu.Compiler.prefetching = false } in
     let program = Nfs.Upf.program ~opts upf in
     measure worker program (Interleaved 16) (fun ~count ->
         Gunfu.Workload.of_mgw_downlink mgw ~pool ~count)

@@ -90,6 +90,30 @@ let sfc_env ?(n_flows = 131072) ?(length = 6) ?(packed = false)
   let program = Nfs.Sfc.program ~opts sfc in
   (worker, program, fun ~count -> Workload.of_flowgen gen ~pool ~count)
 
+(* ----- machine-readable baseline ----- *)
+
+(* Global collector: each figure records its key series alongside the
+   printed table, and main.ml writes the aggregate as BENCH_<pr>.json
+   (schema gunfu-bench-baseline/1) for later PRs to diff against. *)
+let baseline = Telemetry.Baseline.collector ()
+
+let record ~fig ~title ~series ~x r =
+  Telemetry.Baseline.record_run baseline ~fig ~title ~series ~x r
+
+let record_metrics ~fig ~title ~series ~x metrics =
+  Telemetry.Baseline.record baseline ~fig ~title ~series ~x metrics
+
+let write_baseline ~pr ~path =
+  let b = Telemetry.Baseline.to_baseline baseline ~pr in
+  if b.Telemetry.Baseline.figures <> [] then begin
+    let oc = open_out path in
+    output_string oc (Telemetry.Baseline.to_string b);
+    close_out oc;
+    Printf.printf "\nwrote %s: %d figures (schema %s)\n%!" path
+      (List.length b.Telemetry.Baseline.figures)
+      Telemetry.Baseline.schema_id
+  end
+
 (* ----- output ----- *)
 
 let header title =

@@ -19,10 +19,15 @@ let run () =
         measure worker program Rtc_model source
       in
       row "%-8d %10s %10.2f %10s" n_pdrs "RTC" (Gunfu.Metrics.mpps baseline) "1.00x";
+      (* x = NFTask count; the RTC baseline sits at x = 0. *)
+      record ~fig:"fig10a" ~title:"UPF downlink throughput vs NFTasks"
+        ~series:"RTC" ~x:0.0 baseline;
       List.iter
         (fun n ->
           let worker, program, source = upf_env ~n_pdrs () in
           let r = measure worker program (Interleaved n) source in
+          record ~fig:"fig10a" ~title:"UPF downlink throughput vs NFTasks"
+            ~series:"IL" ~x:(float_of_int n) r;
           row "%-8d %10s %10.2f %9.2fx" n_pdrs
             (Printf.sprintf "IL-%d" n)
             (Gunfu.Metrics.mpps r)
@@ -38,6 +43,8 @@ let run () =
       let show model =
         let worker, program, source = upf_env ~n_pdrs () in
         let r = measure worker program model source in
+        record ~fig:"fig10b" ~title:"UPF cache behaviour and IPC vs rules"
+          ~series:(model_name model) ~x:(float_of_int n_pdrs) r;
         row "%-8d %-8s %10.2f %10.2f %10.2f %8.2f" n_pdrs (model_name model)
           (Gunfu.Metrics.l1_misses_per_packet r)
           (Gunfu.Metrics.l2_misses_per_packet r)

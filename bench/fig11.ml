@@ -21,10 +21,16 @@ let run () =
       (Gunfu.Metrics.ipc r)
   in
   show "RTC" baseline;
+  (* x = NFTask count; the RTC baseline sits at x = 0. *)
+  record ~fig:"fig11" ~title:"NAT granular decomposition" ~series:"RTC" ~x:0.0
+    baseline;
   List.iter
     (fun n ->
       let worker, program, source = nat_env () in
-      show (Printf.sprintf "IL-%d" n) (measure worker program (Interleaved n) source))
+      let r = measure worker program (Interleaved n) source in
+      record ~fig:"fig11" ~title:"NAT granular decomposition" ~series:"IL"
+        ~x:(float_of_int n) r;
+      show (Printf.sprintf "IL-%d" n) r)
     task_counts;
   row "expected shape: IL-1 below RTC (scheduler overhead); benefits from 4 tasks;";
   row "optimum around 8-16; decline past 32 as prefetched lines contend (paper Fig 11)"

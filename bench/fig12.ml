@@ -25,6 +25,10 @@ let run () =
   line "RTC (L25GC-style)" rtc;
   line "GuNFu IL-16" il;
   line "GuNFu IL-16 + DP" il_dp;
+  List.iter
+    (fun (series, r) ->
+      record ~fig:"fig12" ~title:"AMF interleaved + data packing" ~series ~x:0.0 r)
+    [ ("RTC", rtc); ("IL-16", il); ("IL-16+DP", il_dp) ];
   row "interleaving improvement: +%.0f%% (paper: ~60%%)"
     ((Gunfu.Metrics.mpps il /. Gunfu.Metrics.mpps rtc -. 1.0) *. 100.0);
   row "data packing adds:        +%.1f%% (paper: ~5%%)"

@@ -7,7 +7,7 @@ open Bench_common
 let lengths = [ 2; 3; 4; 5; 6 ]
 
 let case ~length ~packed ~mr model =
-  let opts = { Gunfu.Compiler.default_opts with match_removal = mr } in
+  let opts = { Gunfu.Compiler.default_opts with Gunfu.Compiler.match_removal = mr } in
   let worker, program, source = sfc_env ~length ~packed ~opts () in
   measure ~packets:30_000 worker program model source
 
@@ -21,6 +21,11 @@ let run () =
         let il = case ~length ~packed:false ~mr:false (Interleaved 16) in
         let dp = case ~length ~packed:true ~mr:false (Interleaved 16) in
         let mr = case ~length ~packed:true ~mr:true (Interleaved 16) in
+        List.iter
+          (fun (series, r) ->
+            record ~fig:"fig13" ~title:"SFC compiler optimisations" ~series
+              ~x:(float_of_int length) r)
+          [ ("RTC", rtc); ("IL-16", il); ("IL-16+DP", dp); ("IL-16+DP+MR", mr) ];
         row "%-8d %10.2f %10.2f %10.2f %12.2f" length (Gunfu.Metrics.mpps rtc)
           (Gunfu.Metrics.mpps il) (Gunfu.Metrics.mpps dp) (Gunfu.Metrics.mpps mr);
         (length, rtc, il, dp, mr))

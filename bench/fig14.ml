@@ -28,7 +28,7 @@ let build_core ~mr ~packed ~size ~cores worker core =
   let pool = Netcore.Packet.Pool.create layout ~count:1024 in
   let sfc = Nfs.Sfc.create layout ~length:6 ~packed ~n_flows () in
   Nfs.Sfc.populate sfc (Traffic.Flowgen.flows gen);
-  let opts = { Gunfu.Compiler.default_opts with match_removal = mr } in
+  let opts = { Gunfu.Compiler.default_opts with Gunfu.Compiler.match_removal = mr } in
   ( Nfs.Sfc.program ~opts sfc,
     Traffic.Flowgen.flows gen,
     Gunfu.Workload.of_flowgen gen ~pool ~count:packets_per_core )
@@ -59,7 +59,12 @@ let run () =
     (fun cores ->
       let cells =
         List.map
-          (fun size -> gbps ~cores ~mr:true ~packed:true ~size (Interleaved 16))
+          (fun size ->
+            let v = gbps ~cores ~mr:true ~packed:true ~size (Interleaved 16) in
+            record_metrics ~fig:"fig14" ~title:"SFC multicore scalability"
+              ~series:(size_name size) ~x:(float_of_int cores)
+              [ ("gbps", v) ];
+            v)
           size_cases
       in
       (match cells with
@@ -68,7 +73,14 @@ let run () =
     cores_list;
   (* BESS-like reference: the same chain under per-packet RTC at 16 cores. *)
   let ref_cells =
-    List.map (fun size -> gbps ~cores:16 ~mr:false ~packed:false ~size Rtc_model) size_cases
+    List.map
+      (fun size ->
+        let v = gbps ~cores:16 ~mr:false ~packed:false ~size Rtc_model in
+        record_metrics ~fig:"fig14" ~title:"SFC multicore scalability"
+          ~series:(Printf.sprintf "BESS@16-%s" (size_name size))
+          ~x:16.0 [ ("gbps", v) ];
+        v)
+      size_cases
   in
   (match ref_cells with
   | [ a; b; c; d; e ] ->

@@ -70,15 +70,32 @@ let run () =
   row "%-8s %8s %8s %8s %8s %8s" "cores" "64B" "512B" "1024B" "1512B" "CAIDA";
   List.iter
     (fun cores ->
-      let cells = List.map (fun size -> gbps ~cores ~size (Interleaved 16)) size_cases in
+      let cells =
+        List.map
+          (fun size ->
+            let v = gbps ~cores ~size (Interleaved 16) in
+            record_metrics ~fig:"fig15" ~title:"UPF multicore scalability"
+              ~series:(size_name size) ~x:(float_of_int cores)
+              [ ("gbps", v) ];
+            v)
+          size_cases
+      in
       match cells with
       | [ a; b; c; d; e ] -> row "%-8d %8.1f %8.1f %8.1f %8.1f %8.1f" cores a b c d e
       | _ -> assert false)
     cores_list;
-  let ref_cells = List.map (fun size -> gbps ~cores:10 ~size Rtc_model) size_cases in
+  let ref_cells =
+    List.map
+      (fun size ->
+        let v = gbps ~cores:10 ~size Rtc_model in
+        record_metrics ~fig:"fig15" ~title:"UPF multicore scalability"
+          ~series:(Printf.sprintf "RTC@10-%s" (size_name size))
+          ~x:10.0 [ ("gbps", v) ];
+        v)
+      size_cases
+  in
   (match ref_cells with
   | [ a; b; c; d; e ] -> row "%-8s %8.1f %8.1f %8.1f %8.1f %8.1f" "RTC@10" a b c d e
   | _ -> assert false);
-  ignore size_name;
   row "expected shape: line rate reached with few cores for large packets, more";
   row "for 64B; the RTC reference needs far more cores (paper Fig 15)"

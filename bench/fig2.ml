@@ -16,6 +16,9 @@ let run () =
         (fun n_pdrs ->
           let worker, program, source = upf_env ~n_sessions ~n_pdrs () in
           let r = measure worker program Rtc_model source in
+          record ~fig:"fig2" ~title:"UPF concurrency under RTC"
+            ~series:(Printf.sprintf "pdrs-%d" n_pdrs)
+            ~x:(float_of_int n_sessions) r;
           row "%-10d %-8d %10.2f %12.1f %10.2f %10.2f" n_sessions n_pdrs
             (Gunfu.Metrics.mpps r)
             (Gunfu.Metrics.cycles_per_packet r)

@@ -13,6 +13,11 @@ let run () =
     (fun msg ->
       let worker, program, amf, source = amf_env ~only_msg:msg () in
       let r = measure ~packets:20_000 worker program Rtc_model source in
+      record_metrics ~fig:"fig3" ~title:"AMF state complexity under RTC"
+        ~series:(Traffic.Mgw.amf_msg_name msg)
+        ~x:(float_of_int (Gunfu.Workload.amf_msg_code msg))
+        (Telemetry.Baseline.metrics_of_run r
+        @ [ ("lines", float_of_int (Nfs.Amf.lines_per_message amf msg)) ]);
       row "%-26s %10.0f %10.1f %9.2f %9.2f %9.2f %9.0f%% %8d"
         (Traffic.Mgw.amf_msg_name msg)
         (Gunfu.Metrics.mpps r *. 1000.0)

@@ -119,6 +119,15 @@ let run () =
     (thread_ns /. float_of_int yields_per_run);
   Bench_common.row "ratio: NFTask switching is %.0fx faster (paper Fig 9: orders of magnitude)"
     (nftask_rate /. thread_rate);
+  Bench_common.record_metrics ~fig:"fig9"
+    ~title:"NFTask vs pthread context switches" ~series:"nftask" ~x:0.0
+    [ ("switches_per_s", nftask_rate); ("ns_per_switch", switch_ns) ];
+  Bench_common.record_metrics ~fig:"fig9"
+    ~title:"NFTask vs pthread context switches" ~series:"pthread" ~x:0.0
+    [
+      ("switches_per_s", thread_rate);
+      ("ns_per_switch", thread_ns /. float_of_int yields_per_run);
+    ];
   (* Secondary: wall-clock rate of the full simulated scheduler loop (the
      simulator does cache bookkeeping per visit, so this is a lower bound on
      nothing — just reported for context). *)

@@ -27,8 +27,14 @@ let usage () =
   print_endline "available targets:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) figures
 
+(* Figures record their key series into Bench_common.baseline as they
+   print; whatever ran is written out as a machine-readable baseline
+   (validate / round-trip it with `gunfu_cli bench --json`). *)
+let baseline_pr = "PR4"
+let baseline_path = "BENCH_" ^ baseline_pr ^ ".json"
+
 let () =
-  match Array.to_list Sys.argv with
+  (match Array.to_list Sys.argv with
   | _ :: [] ->
       Printf.printf "GuNFu-OCaml benchmark harness - regenerating all figures\n";
       List.iter (fun (_, _, run) -> run ()) figures
@@ -42,4 +48,5 @@ let () =
               usage ();
               exit 1)
         args
-  | [] -> usage ()
+  | [] -> usage ());
+  Bench_common.write_baseline ~pr:baseline_pr ~path:baseline_path

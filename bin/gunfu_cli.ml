@@ -445,6 +445,111 @@ let lint_cmd spec all_specs specs_dir json strict =
   | Invalid_argument msg -> `Error (false, msg)
   | Sys_error msg -> `Error (false, msg)
 
+(* ----- profile / trace commands: the telemetry plane ----- *)
+
+(* Build the system under test — a built-in NF (--nf) or an on-disk
+   composition (--spec) — and run it once with the span tracer attached. *)
+let traced_execute nf spec specs_dir model flows packets packed =
+  let worker = Gunfu.Worker.create ~id:0 () in
+  let layout = Gunfu.Worker.layout worker in
+  let opts = Gunfu.Compiler.default_opts in
+  let program, source =
+    match (spec, nf) with
+    | Some nf_file, _ ->
+        let built =
+          Nfs.Catalog.build_from_files layout ~nf_file ~specs_dir ~n_flows:flows ()
+        in
+        let gen =
+          Traffic.Flowgen.create ~seed:1 ~n_flows:flows
+            ~size_model:(Traffic.Flowgen.Fixed 128) ()
+        in
+        built.Nfs.Catalog.populate (Traffic.Flowgen.flows gen);
+        let pool = Netcore.Packet.Pool.create layout ~count:1024 in
+        ( built.Nfs.Catalog.program,
+          fun ~count -> Gunfu.Workload.of_flowgen gen ~pool ~count )
+    | None, Some nf -> build nf ~flows ~packed ~opts worker
+    | None, None -> invalid_arg "pass --nf NAME or --spec NF_FILE"
+  in
+  let tr = Gunfu.Trace.create () in
+  let r =
+    match model with
+    | Rtc_m -> Gunfu.Rtc.run ~telemetry:tr worker program (source ~count:packets)
+    | Batch_m -> Gunfu.Batch_rtc.run ~telemetry:tr worker program (source ~count:packets)
+    | Il_m n ->
+        Gunfu.Scheduler.run ~telemetry:tr worker program ~n_tasks:n
+          (source ~count:packets)
+  in
+  (tr, r)
+
+let profile_cmd nf spec specs_dir model flows packets packed =
+  try
+    let tr, r = traced_execute nf spec specs_dir model flows packets packed in
+    Fmt.pr "%s" (Telemetry.Attribution.report ~run:r tr);
+    match Check.Invariants.check_telemetry tr r with
+    | [] -> `Ok ()
+    | viol :: _ ->
+        `Error
+          ( false,
+            Printf.sprintf "telemetry invariant %s: %s" viol.Check.Invariants.v_rule
+              viol.Check.Invariants.v_detail )
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+let trace_cmd nf spec specs_dir model flows packets packed out =
+  try
+    let tr, r = traced_execute nf spec specs_dir model flows packets packed in
+    let s = Telemetry.Chrome.export_string tr in
+    match Telemetry.Chrome.validate_string s with
+    | Error e -> `Error (false, "exported trace is invalid: " ^ e)
+    | Ok events ->
+        let oc = open_out out in
+        output_string oc s;
+        close_out oc;
+        Fmt.pr
+          "wrote %s: %d events from %d spans (%d dropped), %d packets in %d cycles@."
+          out events (Gunfu.Trace.total_spans tr) (Gunfu.Trace.dropped tr)
+          r.Gunfu.Metrics.packets r.Gunfu.Metrics.cycles;
+        `Ok ()
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* ----- bench command: round-trip a committed bench baseline ----- *)
+
+let bench_cmd json_file =
+  try
+    let src = Nfs.Catalog.read_file json_file in
+    match Telemetry.Baseline.of_string src with
+    | Error e -> `Error (false, "baseline: " ^ e)
+    | Ok b -> (
+        match Telemetry.Baseline.of_string (Telemetry.Baseline.to_string b) with
+        | Error e -> `Error (false, "baseline re-parse: " ^ e)
+        | Ok b2 when not (Telemetry.Baseline.equal b b2) ->
+            `Error (false, "baseline does not round-trip through print/parse")
+        | Ok _ ->
+            List.iter
+              (fun (f : Telemetry.Baseline.figure) ->
+                Fmt.pr "%-8s %-52s %d series, %d points@." f.Telemetry.Baseline.f_name
+                  f.Telemetry.Baseline.f_title
+                  (List.length f.Telemetry.Baseline.series)
+                  (List.fold_left
+                     (fun n (s : Telemetry.Baseline.series) ->
+                       n + List.length s.Telemetry.Baseline.points)
+                     0 f.Telemetry.Baseline.series))
+              b.Telemetry.Baseline.figures;
+            Fmt.pr "baseline %s (pr %s): %d figures, round-trip OK@." json_file
+              b.Telemetry.Baseline.pr
+              (List.length b.Telemetry.Baseline.figures);
+            `Ok ())
+  with Sys_error msg -> `Error (false, msg)
+
 let list_cmd () =
   Fmt.pr "network functions: %s@." nf_names;
   Fmt.pr "execution models:  rtc, batch, ilN (e.g. il16)@.";
@@ -578,6 +683,69 @@ let lint_t =
             & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json")
         $ Arg.(value & flag & info [ "strict" ] ~doc:"Fail on warnings too")))
 
+let nf_opt_arg =
+  Arg.(
+    value
+    & opt (some nf_conv) None
+    & info [ "nf" ] ~docv:"NF" ~doc:("Built-in network function: " ^ nf_names))
+
+let spec_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"NF_FILE"
+        ~doc:"Profile an on-disk composition file instead of a built-in NF")
+
+let specs_dir_arg =
+  Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+
+let profile_t =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run once with the telemetry plane attached and print the \
+          cycle-attribution profile: cycles by (NF, control state, state \
+          class, serving cache level), per-phase totals, latency \
+          percentiles, and the exact reconciliation of traced cache-level \
+          serves against the memory-hierarchy counters. Exits non-zero if \
+          the trace violates a telemetry invariant.")
+    Term.(
+      ret
+        (const profile_cmd $ nf_opt_arg $ spec_file_arg $ specs_dir_arg $ model_arg
+       $ flows_arg $ packets_arg $ packed_arg))
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run once with the telemetry plane attached and export the \
+          per-packet span trace as Chrome trace_event JSON (load in \
+          Perfetto / chrome://tracing). The export is validated — \
+          well-formed JSON, monotone timestamps — before it is written.")
+    Term.(
+      ret
+        (const trace_cmd $ nf_opt_arg $ spec_file_arg $ specs_dir_arg $ model_arg
+       $ flows_arg $ packets_arg $ packed_arg
+       $ Arg.(
+           value & opt string "gunfu_trace.json"
+           & info [ "out" ] ~docv:"FILE" ~doc:"Output path for the trace JSON")))
+
+let bench_t =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Validate a committed machine-readable bench baseline \
+          (gunfu-bench-baseline/1 JSON, e.g. BENCH_PR4.json): parse it, \
+          round-trip it through print/parse, and summarize its figures. \
+          Exits non-zero on schema or round-trip failure.")
+    Term.(
+      ret
+        (const bench_cmd
+        $ Arg.(
+            required
+            & opt (some file) None
+            & info [ "json" ] ~docv:"FILE" ~doc:"Baseline JSON file to check")))
+
 let list_t = Cmd.v (Cmd.info "list" ~doc:"List NFs and execution models") Term.(ret (const list_cmd $ const ()))
 
 let compose_t =
@@ -603,4 +771,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
-          [ run_t; inspect_t; check_spec_t; check_t; chaos_t; compose_t; lint_t; list_t ]))
+          [
+            run_t; inspect_t; check_spec_t; check_t; chaos_t; compose_t; lint_t;
+            profile_t; trace_t; bench_t; list_t;
+          ]))

@@ -178,6 +178,113 @@ let check_memstats (o : Oracle.observation) : violation list =
 let check (o : Oracle.observation) : violation list =
   check_conservation o @ check_flow_order o @ check_clock o @ check_memstats o
 
+(* ----- telemetry-plane rules ----- *)
+
+(* span-nesting: per packet (sp_unit), the span tree is well-nested —
+   action spans of one unit never overlap each other, and every memory
+   span attributed to a unit lies inside one of that unit's action spans
+   (memory traffic outside an action is attributed to unit -1 by
+   construction). Only checkable when the ring kept every span. *)
+let check_span_nesting ~(spans : Trace.span array) ~dropped : violation list =
+  if dropped > 0 then []
+  else begin
+    let by_unit : (int, Trace.span list ref) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun (sp : Trace.span) ->
+        if sp.Trace.sp_unit >= 0 then
+          match Hashtbl.find_opt by_unit sp.Trace.sp_unit with
+          | Some l -> l := sp :: !l
+          | None -> Hashtbl.add by_unit sp.Trace.sp_unit (ref [ sp ]))
+      spans;
+    Hashtbl.fold
+      (fun unit l acc ->
+        let sps = List.rev !l in
+        let actions =
+          List.filter (fun sp -> sp.Trace.sp_phase = Trace.Action_body) sps
+          |> List.sort (fun a b -> compare a.Trace.sp_ts b.Trace.sp_ts)
+        in
+        let overlap =
+          let rec go = function
+            | a :: (b :: _ as rest) ->
+                if a.Trace.sp_ts + a.Trace.sp_dur > b.Trace.sp_ts then
+                  [
+                    v "span-nesting"
+                      "unit %d: action spans overlap (%s [%d,%d) vs %s [%d,%d))" unit
+                      a.Trace.sp_cs a.Trace.sp_ts
+                      (a.Trace.sp_ts + a.Trace.sp_dur)
+                      b.Trace.sp_cs b.Trace.sp_ts
+                      (b.Trace.sp_ts + b.Trace.sp_dur);
+                  ]
+                else go rest
+            | _ -> []
+          in
+          go actions
+        in
+        let contained =
+          List.filter_map
+            (fun (sp : Trace.span) ->
+              match sp.Trace.sp_phase with
+              | Trace.State_access | Trace.Mshr_wait ->
+                  let inside (a : Trace.span) =
+                    a.Trace.sp_ts <= sp.Trace.sp_ts
+                    && sp.Trace.sp_ts + sp.Trace.sp_dur <= a.Trace.sp_ts + a.Trace.sp_dur
+                  in
+                  if List.exists inside actions then None
+                  else
+                    Some
+                      (v "span-nesting"
+                         "unit %d: memory span at [%d,%d) lies outside every action span"
+                         unit sp.Trace.sp_ts
+                         (sp.Trace.sp_ts + sp.Trace.sp_dur))
+              | _ -> None)
+            sps
+        in
+        overlap @ contained @ acc)
+      by_unit []
+  end
+
+(* span-budget: the cycles the trace attributes (pull + action + prefetch
+   + switch + out-of-action memory traffic; no double counting) can never
+   exceed the cycles the run measured. *)
+let check_span_budget (tr : Trace.t) (run : Metrics.run) : violation list =
+  let attributed = Trace.attributed_cycles tr in
+  if attributed > run.Metrics.cycles then
+    [
+      v "span-budget" "trace attributes %d cycles but the run measured only %d"
+        attributed run.Metrics.cycles;
+    ]
+  else []
+
+(* span-memstats: the tap fires exactly once per demand line access, so
+   per-level serve counts must equal the run's Memstats delta. *)
+let check_span_memstats (tr : Trace.t) (run : Metrics.run) : violation list =
+  let m = run.Metrics.mem in
+  let expected =
+    [
+      (Trace.L1, m.Memsim.Memstats.l1_hits);
+      (Trace.L2, m.Memsim.Memstats.l2_hits);
+      (Trace.Llc, m.Memsim.Memstats.llc_hits);
+      (Trace.Dram, m.Memsim.Memstats.dram_fills);
+      (Trace.Inflight, m.Memsim.Memstats.mshr_waits);
+    ]
+  in
+  List.filter_map
+    (fun (level, want) ->
+      let got = Trace.level_count tr level in
+      if got <> want then
+        Some
+          (v "span-memstats" "%s serves: trace counted %d but memstats says %d"
+             (Trace.level_name level) got want)
+      else None)
+    expected
+
+(* All telemetry rules for a traced run. [?spans] overrides the span set
+   (the tamper tests inject doctored copies; the books are unaffected). *)
+let check_telemetry ?spans (tr : Trace.t) (run : Metrics.run) : violation list =
+  let spans = match spans with Some s -> s | None -> Trace.spans tr in
+  check_span_nesting ~spans ~dropped:(Trace.dropped tr)
+  @ check_span_budget tr run @ check_span_memstats tr run
+
 (* All invariants over every executor's observation of a case; the
    returned violations are tagged with the executor label. *)
 let check_case ?plan (case : Oracle.case) : (string * violation) list =

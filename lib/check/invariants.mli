@@ -14,6 +14,29 @@ val check_memstats : Oracle.observation -> violation list
 (** All of the above. *)
 val check : Oracle.observation -> violation list
 
+(** {2 Telemetry-plane rules}
+
+    Checked on a traced run: the span tree must be well-nested per packet
+    (action spans of one unit never overlap; memory spans attributed to a
+    unit lie inside one of its action spans — skipped when the ring
+    dropped spans), the attributed cycle total can never exceed the run's
+    measured cycles, and per-cache-level serve counts must equal the
+    run's Memstats delta. Each rule flags a tampered trace. *)
+
+(** Only when the ring kept every span ([dropped = 0]). *)
+val check_span_nesting :
+  spans:Gunfu.Trace.span array -> dropped:int -> violation list
+
+val check_span_budget : Gunfu.Trace.t -> Gunfu.Metrics.run -> violation list
+val check_span_memstats : Gunfu.Trace.t -> Gunfu.Metrics.run -> violation list
+
+(** All three telemetry rules. [?spans] overrides the span set so tamper
+    tests can inject doctored copies (the attribution books are
+    unaffected); defaults to [Trace.spans tr]. *)
+val check_telemetry :
+  ?spans:Gunfu.Trace.span array ->
+  Gunfu.Trace.t -> Gunfu.Metrics.run -> violation list
+
 (** Every executor over a fresh instance of the case; violations tagged
     with the executor label. [?plan] checks the invariants *under* a
     deterministic fault-injection schedule (conservation then reads

@@ -69,14 +69,16 @@ type divergence = {
 type executor = {
   x_name : string;
   x_run :
-    ?fault:Fault.t -> on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
-    Workload.source -> Metrics.run;
+    ?fault:Fault.t -> ?telemetry:Trace.t -> on_complete:(Nftask.t -> unit) ->
+    Worker.t -> Program.t -> Workload.source -> Metrics.run;
 }
 
 let reference =
   {
     x_name = "rtc";
-    x_run = (fun ?fault ~on_complete w p s -> Rtc.run ?fault ~on_complete w p s);
+    x_run =
+      (fun ?fault ?telemetry ~on_complete w p s ->
+        Rtc.run ?fault ?telemetry ~on_complete w p s);
   }
 
 let batch_sizes = [ 1; 8; 32 ]
@@ -88,8 +90,8 @@ let executors =
       {
         x_name = Printf.sprintf "batch-%d" b;
         x_run =
-          (fun ?fault ~on_complete w p s ->
-            Batch_rtc.run ~batch:b ?fault ~on_complete w p s);
+          (fun ?fault ?telemetry ~on_complete w p s ->
+            Batch_rtc.run ~batch:b ?fault ?telemetry ~on_complete w p s);
       })
     batch_sizes
   @ List.concat_map
@@ -98,16 +100,16 @@ let executors =
           {
             x_name = Printf.sprintf "rr-%d" n;
             x_run =
-              (fun ?fault ~on_complete w p s ->
-                Scheduler.run ~policy:Scheduler.Round_robin ?fault ~on_complete w p
-                  ~n_tasks:n s);
+              (fun ?fault ?telemetry ~on_complete w p s ->
+                Scheduler.run ~policy:Scheduler.Round_robin ?fault ?telemetry
+                  ~on_complete w p ~n_tasks:n s);
           };
           {
             x_name = Printf.sprintf "rf-%d" n;
             x_run =
-              (fun ?fault ~on_complete w p s ->
-                Scheduler.run ~policy:Scheduler.Ready_first ?fault ~on_complete w p
-                  ~n_tasks:n s);
+              (fun ?fault ?telemetry ~on_complete w p s ->
+                Scheduler.run ~policy:Scheduler.Ready_first ?fault ?telemetry
+                  ~on_complete w p ~n_tasks:n s);
           };
         ])
       task_counts
@@ -123,7 +125,7 @@ let packet_fingerprint (p : Netcore.Packet.t) =
       Fingerprint.feed_int fp p.Netcore.Packet.l3_off;
       Fingerprint.feed_int fp p.Netcore.Packet.l4_off)
 
-let observe ?plan (x : executor) (inst : instance) : observation =
+let observe ?plan ?telemetry (x : executor) (inst : instance) : observation =
   let ctx = Worker.ctx inst.worker in
   (* One fresh plane per run: the plan decides by pull index, so identical
      plans arm identical schedules in every executor. *)
@@ -169,7 +171,7 @@ let observe ?plan (x : executor) (inst : instance) : observation =
         inputs := (pid, item.Workload.flow_hint) :: !inputs)
       base_source
   in
-  let run = x.x_run ?fault:plane ~on_complete inst.worker inst.program source in
+  let run = x.x_run ?fault:plane ?telemetry ~on_complete inst.worker inst.program source in
   let mem = ctx.Exec_ctx.mem in
   {
     o_label = x.x_name;

@@ -61,8 +61,8 @@ type divergence = {
 type executor = {
   x_name : string;
   x_run :
-    ?fault:Fault.t -> on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
-    Workload.source -> Metrics.run;
+    ?fault:Fault.t -> ?telemetry:Trace.t -> on_complete:(Nftask.t -> unit) ->
+    Worker.t -> Program.t -> Workload.source -> Metrics.run;
 }
 
 val reference : executor
@@ -82,8 +82,10 @@ val packet_fingerprint : Netcore.Packet.t -> string
     instrumented with the plan's deterministic injection schedule (see
     {!Faultgen.instrument}) and the plane is handed to the executor — so
     two observations of the same case under the same plan see identical
-    fault schedules. *)
-val observe : ?plan:Faultgen.t -> executor -> instance -> observation
+    fault schedules. [?telemetry] attaches the span tracer for the run;
+    because its hooks never charge cycles, the observation is identical
+    with or without it (the inertness test pins this). *)
+val observe : ?plan:Faultgen.t -> ?telemetry:Trace.t -> executor -> instance -> observation
 
 (** First behavioural difference against the reference observation, or
     [None] when identical. Under faults this additionally diffs the

@@ -49,8 +49,8 @@ let prefix_of program =
   let first = Program.step program (Program.start program) Event.Packet_arrival in
   walk first [] 0
 
-let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
-    (program : Program.t) (source : Workload.source) =
+let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
+    (worker : Worker.t) (program : Program.t) (source : Workload.source) =
   if batch <= 0 then invalid_arg "Batch_rtc.run: batch must be positive";
   let label =
     Option.value label ~default:(Printf.sprintf "%s/batch-rtc" (Program.name program))
@@ -59,6 +59,10 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
   let cfg = worker.Worker.cfg in
   let snap = Worker.snapshot worker in
   let plane = match fault with Some p -> p | None -> Fault.create () in
+  (* Telemetry hooks: [tel] is a no-op without a plane and never charges
+     cycles, so traced and untraced runs are cycle-identical. *)
+  let tel f = match telemetry with Some tr -> f tr | None -> () in
+  (match telemetry with Some tr -> Exec_ctx.attach_trace ctx tr | None -> ());
   let packets = ref 0 in
   let drops = ref 0 in
   let wire_bytes = ref 0 in
@@ -81,6 +85,11 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
           task.Nftask.start_clock <- ctx.Exec_ctx.clock;
           Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
             ~instrs:cfg.Worker.rx_tx_instrs;
+          tel (fun tr ->
+              Trace.on_pull tr ~ts:task.Nftask.start_clock
+                ~dur:cfg.Worker.rx_tx_cycles ~task:task.Nftask.id
+                ~flow:task.Nftask.flow_hint;
+              Trace.on_parse tr ~ts:ctx.Exec_ctx.clock ~task:task.Nftask.id);
           (* Load-time quarantines are only *marked* here; the task is
              finalised by the processing pass, in slot order, so per-flow
              completion order matches the other executors. *)
@@ -92,6 +101,7 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
   let prefetch_pass n =
     for i = 0 to n - 1 do
       let task = tasks.(i) in
+      tel (fun tr -> Trace.set_task tr ~task:task.Nftask.id);
       if not (is_faulted task) then begin
         (* Packet headers are known: prefetch them. *)
         (match task.Nftask.packet with
@@ -105,12 +115,16 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
         let rec pre = function
           | [] -> ()
           | cs :: rest when cs = task.Nftask.cs -> (
-              match (Program.info program cs).Program.action with
+              let info = Program.info program cs in
+              match info.Program.action with
               | None -> ()
               | Some action ->
+                  tel (fun tr ->
+                      Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
+                        ~nf:info.Program.inst ~cs:info.Program.qname);
                   task.Nftask.event <-
-                    Fault.guard plane ~nf:(Program.info program cs).Program.inst
-                      action ctx task;
+                    Fault.guard plane ~nf:info.Program.inst action ctx task;
+                  tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
                   if not (is_faulted task) then begin
                     task.Nftask.cs <- Program.step program cs task.Nftask.event;
                     Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
@@ -129,19 +143,24 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
   let process_pass n =
     for i = 0 to n - 1 do
       let task = tasks.(i) in
+      tel (fun tr -> Trace.set_task tr ~task:task.Nftask.id);
       let rec go () =
         if is_faulted task then () (* quarantined; stop executing *)
         else
           let cs = task.Nftask.cs in
           if Program.is_done program cs then ()
           else
-            match (Program.info program cs).Program.action with
+            let info = Program.info program cs in
+            match info.Program.action with
             | None -> ()
             | Some action ->
                 Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                tel (fun tr ->
+                    Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
+                      ~nf:info.Program.inst ~cs:info.Program.qname);
                 task.Nftask.event <-
-                  Fault.guard plane ~nf:(Program.info program cs).Program.inst
-                    action ctx task;
+                  Fault.guard plane ~nf:info.Program.inst action ctx task;
+                tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
                 if not (is_faulted task) then
                   task.Nftask.cs <- Program.step program cs task.Nftask.event;
                 go ()
@@ -167,6 +186,10 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
             | None -> ());
           Metrics.Collector.record latencies
             (ctx.Exec_ctx.clock - task.Nftask.start_clock));
+      tel (fun tr ->
+          Trace.on_complete tr ~ts:ctx.Exec_ctx.clock ~task:task.Nftask.id
+            ~note:(Event.to_key task.Nftask.event)
+            ~latency:(ctx.Exec_ctx.clock - task.Nftask.start_clock));
       (match on_complete with Some f -> f task | None -> ());
       Nftask.retire task
     done
@@ -179,7 +202,10 @@ let run ?label ?(batch = default_batch) ?fault ?on_complete (worker : Worker.t)
       if n = batch then loop ()
     end
   in
-  loop ();
+  Fun.protect
+    ~finally:(fun () ->
+      match telemetry with Some _ -> Exec_ctx.detach_trace ctx | None -> ())
+    loop;
   Worker.finish
     ?latency:(Metrics.Collector.summarize latencies)
     ~faulted:!faulted ~faults:(Fault.counts plane) ~degraded:(Fault.degraded plane)

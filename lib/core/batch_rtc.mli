@@ -11,9 +11,11 @@ val default_batch : int
 
 (** [on_complete] observes each finished task just before it is retired —
     the differential oracle's tap. [fault] supplies the run's
-    fault-injection plane (a fresh empty plane when omitted).
+    fault-injection plane (a fresh empty plane when omitted). [telemetry]
+    attaches the span tracer for the duration of the run; its hooks never
+    charge cycles, so traced and untraced runs are cycle-identical.
     @raise Invalid_argument when [batch <= 0]. *)
 val run :
-  ?label:string -> ?batch:int -> ?fault:Fault.t ->
+  ?label:string -> ?batch:int -> ?fault:Fault.t -> ?telemetry:Trace.t ->
   ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
   Workload.source -> Metrics.run

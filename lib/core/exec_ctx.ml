@@ -9,6 +9,7 @@ type t = {
   mutable clock : int;   (* cycles *)
   mutable instrs : int;  (* retired instructions, for IPC *)
   cycles_by_class : int array;  (* memory cycles per Sref.state_class *)
+  mutable trace : Trace.t option;  (* telemetry plane, None = inert *)
 }
 
 let class_index = function
@@ -36,7 +37,31 @@ let create ?(mem_cfg = Memsim.Hierarchy.default_config) () =
     clock = 0;
     instrs = 0;
     cycles_by_class = Array.make n_classes 0;
+    trace = None;
   }
+
+(* Attach the telemetry plane: record it and tap the memory hierarchy so
+   every demand line access reports its serving level. Detach before the
+   worker is reused — executors pair these under [Fun.protect] so a raising
+   run cannot leak the tap into a later one. *)
+let attach_trace t tr =
+  t.trace <- Some tr;
+  Memsim.Hierarchy.set_tap t.mem
+    (Some
+       (fun ~now ~line:_ ~served ~cycles ->
+         let level =
+           match served with
+           | Memsim.Hierarchy.Served_l1 -> Trace.L1
+           | Memsim.Hierarchy.Served_l2 -> Trace.L2
+           | Memsim.Hierarchy.Served_llc -> Trace.Llc
+           | Memsim.Hierarchy.Served_dram -> Trace.Dram
+           | Memsim.Hierarchy.Served_inflight -> Trace.Inflight
+         in
+         Trace.on_mem tr ~ts:now ~cycles ~level))
+
+let detach_trace t =
+  t.trace <- None;
+  Memsim.Hierarchy.set_tap t.mem None
 
 (* Pure computation: advances the clock without memory traffic. *)
 let compute t ~cycles ~instrs =
@@ -46,14 +71,18 @@ let compute t ~cycles ~instrs =
 let charge_class t cls cycles =
   t.cycles_by_class.(class_index cls) <- t.cycles_by_class.(class_index cls) + cycles
 
-(* A demand load of [bytes] at [addr], classified as [cls] state. *)
+(* A demand load of [bytes] at [addr], classified as [cls] state. The
+   hierarchy tap fires during the access, so the class is published to the
+   trace first (a no-op without a plane). *)
 let read t ~cls ~addr ~bytes =
+  (match t.trace with Some tr -> Trace.set_cls tr (Some cls) | None -> ());
   let lat = Memsim.Hierarchy.read t.mem ~now:t.clock ~addr ~bytes in
   t.clock <- t.clock + lat;
   t.instrs <- t.instrs + 1;
   charge_class t cls lat
 
 let write t ~cls ~addr ~bytes =
+  (match t.trace with Some tr -> Trace.set_cls tr (Some cls) | None -> ());
   let lat = Memsim.Hierarchy.write t.mem ~now:t.clock ~addr ~bytes in
   t.clock <- t.clock + lat;
   t.instrs <- t.instrs + 1;
@@ -64,10 +93,14 @@ let read_sref t (s : Sref.t) = read t ~cls:s.Sref.cls ~addr:s.Sref.addr ~bytes:s
 (* Issue a software prefetch; costs one instruction and a cycle per issued
    line, never blocks. Returns the number of fills actually issued. *)
 let prefetch t ~addr ~bytes =
+  let start = t.clock in
   let issued = Memsim.Hierarchy.prefetch t.mem ~now:t.clock ~addr ~bytes in
   if issued > 0 then begin
     t.clock <- t.clock + issued;
-    t.instrs <- t.instrs + issued
+    t.instrs <- t.instrs + issued;
+    match t.trace with
+    | Some tr -> Trace.on_prefetch tr ~ts:start ~dur:issued ~lines:issued
+    | None -> ()
   end;
   issued
 

@@ -8,6 +8,7 @@ type t = {
   mutable clock : int;  (** cycles *)
   mutable instrs : int;  (** retired instructions, for IPC *)
   cycles_by_class : int array;  (** memory cycles per {!Sref.state_class} *)
+  mutable trace : Trace.t option;  (** telemetry plane, [None] = inert *)
 }
 
 val n_classes : int
@@ -15,6 +16,14 @@ val class_index : Sref.state_class -> int
 val class_of_index : int -> Sref.state_class
 
 val create : ?mem_cfg:Memsim.Hierarchy.config -> unit -> t
+
+(** Attach the telemetry plane: stores it and taps the memory hierarchy so
+    every demand line access reports its serving level to the trace.
+    Executors pair attach/detach under [Fun.protect], so a raising run
+    cannot leak the tap into a later one. *)
+val attach_trace : t -> Trace.t -> unit
+
+val detach_trace : t -> unit
 
 (** Pure computation: advance the clock without memory traffic. *)
 val compute : t -> cycles:int -> instrs:int -> unit

@@ -31,7 +31,9 @@ module Collector = struct
     else begin
       let sorted = Array.sub t.samples 0 t.n in
       Array.sort compare sorted;
-      let pct p = sorted.(min (t.n - 1) (p * t.n / 100)) in
+      (* Exact nearest-rank: the p-th percentile is the smallest sample
+         with at least ceil(p*n/100) samples <= it. *)
+      let pct p = sorted.(max 0 (((p * t.n) + 99) / 100 - 1)) in
       let sum = Array.fold_left ( + ) 0 sorted in
       Some
         {

@@ -7,7 +7,7 @@
    only the execution model differs — so comparisons isolate exactly the
    paper's variable. Prefetch policies are ignored. *)
 
-let run ?label ?fault ?on_complete (worker : Worker.t) (program : Program.t)
+let run ?label ?fault ?telemetry ?on_complete (worker : Worker.t) (program : Program.t)
     (source : Workload.source) =
   let label =
     Option.value label ~default:(Printf.sprintf "%s/rtc" (Program.name program))
@@ -16,6 +16,10 @@ let run ?label ?fault ?on_complete (worker : Worker.t) (program : Program.t)
   let cfg = worker.Worker.cfg in
   let snap = Worker.snapshot worker in
   let plane = match fault with Some p -> p | None -> Fault.create () in
+  (* Telemetry hooks: [tel] is a no-op without a plane and never charges
+     cycles, so traced and untraced runs are cycle-identical. *)
+  let tel f = match telemetry with Some tr -> f tr | None -> () in
+  (match telemetry with Some tr -> Exec_ctx.attach_trace ctx tr | None -> ());
   let task = Nftask.create 0 in
   let packets = ref 0 in
   let drops = ref 0 in
@@ -31,6 +35,10 @@ let run ?label ?fault ?on_complete (worker : Worker.t) (program : Program.t)
         task.Nftask.start_clock <- ctx.Exec_ctx.clock;
         Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
           ~instrs:cfg.Worker.rx_tx_instrs;
+        tel (fun tr ->
+            Trace.on_pull tr ~ts:task.Nftask.start_clock ~dur:cfg.Worker.rx_tx_cycles
+              ~task:0 ~flow:task.Nftask.flow_hint;
+            Trace.on_parse tr ~ts:ctx.Exec_ctx.clock ~task:0);
         let rec step () =
           match task.Nftask.event with
           | Event.Faulted _ -> () (* quarantined mid-run; stop executing *)
@@ -49,8 +57,12 @@ let run ?label ?fault ?on_complete (worker : Worker.t) (program : Program.t)
                         (Printf.sprintf "Rtc: control state %s has no action"
                            info.Program.qname)
                 in
+                tel (fun tr ->
+                    Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
+                      ~nf:info.Program.inst ~cs:info.Program.qname);
                 task.Nftask.event <-
                   Fault.guard plane ~nf:info.Program.inst action ctx task;
+                tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
                 step ()
               end
         in
@@ -76,11 +88,18 @@ let run ?label ?fault ?on_complete (worker : Worker.t) (program : Program.t)
               | None -> ());
             Metrics.Collector.record latencies
               (ctx.Exec_ctx.clock - task.Nftask.start_clock));
+        tel (fun tr ->
+            Trace.on_complete tr ~ts:ctx.Exec_ctx.clock ~task:0
+              ~note:(Event.to_key task.Nftask.event)
+              ~latency:(ctx.Exec_ctx.clock - task.Nftask.start_clock));
         (match on_complete with Some f -> f task | None -> ());
         Nftask.retire task;
         drain ()
   in
-  drain ();
+  Fun.protect
+    ~finally:(fun () ->
+      match telemetry with Some _ -> Exec_ctx.detach_trace ctx | None -> ())
+    drain;
   Worker.finish
     ?latency:(Metrics.Collector.summarize latencies)
     ~faulted:!faulted ~faults:(Fault.counts plane) ~degraded:(Fault.degraded plane)

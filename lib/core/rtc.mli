@@ -9,7 +9,10 @@
     flow hint) just before it is retired — the differential oracle's tap.
     [fault] supplies the run's fault-injection plane; when omitted a fresh
     empty plane is used, so containment is always on but behaviour is
-    byte-identical to a plane-less run. *)
+    byte-identical to a plane-less run. [telemetry] attaches the span
+    tracer for the duration of the run; its hooks never charge cycles, so
+    traced and untraced runs are cycle-identical. *)
 val run :
-  ?label:string -> ?fault:Fault.t -> ?on_complete:(Nftask.t -> unit) ->
-  Worker.t -> Program.t -> Workload.source -> Metrics.run
+  ?label:string -> ?fault:Fault.t -> ?telemetry:Trace.t ->
+  ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
+  Workload.source -> Metrics.run

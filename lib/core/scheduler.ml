@@ -19,8 +19,8 @@ type completion = { completed : int; dropped : int; wire_bytes : int; faulted : 
    immediate execution, trading a (charged) scan for fewer wasted visits. *)
 type policy = Round_robin | Ready_first
 
-let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
-    (program : Program.t) ~n_tasks (source : Workload.source) =
+let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
+    (worker : Worker.t) (program : Program.t) ~n_tasks (source : Workload.source) =
   if n_tasks <= 0 then invalid_arg "Scheduler.run: n_tasks must be positive";
   let label =
     Option.value label
@@ -31,6 +31,10 @@ let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
   let snap = Worker.snapshot worker in
   let tasks = Array.init n_tasks Nftask.create in
   let plane = match fault with Some p -> p | None -> Fault.create () in
+  (* Telemetry hooks: [tel] is a no-op without a plane and never charges
+     cycles, so traced and untraced runs are cycle-identical. *)
+  let tel f = match telemetry with Some tr -> f tr | None -> () in
+  (match telemetry with Some tr -> Exec_ctx.attach_trace ctx tr | None -> ());
   let exhausted = ref false in
   let stats = ref { completed = 0; dropped = 0; wire_bytes = 0; faulted = 0 } in
   let switches = ref 0 in
@@ -153,6 +157,10 @@ let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
             wire_bytes = !stats.wire_bytes + wire;
           };
         Metrics.Collector.record latencies (ctx.Exec_ctx.clock - task.Nftask.start_clock));
+    tel (fun tr ->
+        Trace.on_complete tr ~ts:ctx.Exec_ctx.clock ~task:task.Nftask.id
+          ~note:(Event.to_key task.Nftask.event)
+          ~latency:(ctx.Exec_ctx.clock - task.Nftask.start_clock));
     (match on_complete with Some f -> f task | None -> ());
     clear_inflight task.Nftask.flow_hint;
     Nftask.retire task;
@@ -180,6 +188,11 @@ let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
           task.Nftask.start_clock <- ctx.Exec_ctx.clock;
           Exec_ctx.compute ctx ~cycles:cfg.Worker.rx_tx_cycles
             ~instrs:cfg.Worker.rx_tx_instrs;
+          tel (fun tr ->
+              Trace.on_pull tr ~ts:task.Nftask.start_clock
+                ~dur:cfg.Worker.rx_tx_cycles ~task:task.Nftask.id
+                ~flow:task.Nftask.flow_hint;
+              Trace.on_parse tr ~ts:ctx.Exec_ctx.clock ~task:task.Nftask.id);
           (match Fault.on_load plane ~mem:ctx.Exec_ctx.mem ~now:ctx.Exec_ctx.clock task with
           | Some r ->
               (* Quarantined at load: finalise without executing anything
@@ -196,7 +209,8 @@ let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
   (* One scheduler visit (one iteration of Algorithm 1's inner loop). *)
   let visit (task : Nftask.t) =
     if not task.Nftask.active then ignore (load_new task)
-    else
+    else begin
+      tel (fun tr -> Trace.set_task tr ~task:task.Nftask.id);
       let ready_to_run =
         match task.Nftask.p_state with
         | Nftask.P_ready -> true
@@ -224,12 +238,17 @@ let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
                 (Printf.sprintf "Scheduler: control state %s has no action"
                    info.Program.qname)
         in
+        tel (fun tr ->
+            Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock ~nf:info.Program.inst
+              ~cs:info.Program.qname);
         task.Nftask.event <-
           Fault.guard plane ~nf:info.Program.inst action ctx task;
+        tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
         (match task.Nftask.event with
         | Event.Faulted _ -> ignore (finalize task)
         | _ -> ignore (transition_and_fetch task))
       end
+    end
   in
 
   let any_active () = Array.exists (fun t -> t.Nftask.active) tasks in
@@ -273,13 +292,31 @@ let run ?label ?(policy = Round_robin) ?fault ?on_complete (worker : Worker.t)
         idx := scan ((!idx + 1) mod n_tasks) 0
   in
   let continue_run = ref true in
-  while !continue_run do
-    visit tasks.(!idx);
-    Exec_ctx.compute ctx ~cycles:cfg.Worker.switch_cycles ~instrs:cfg.Worker.switch_instrs;
-    incr switches;
-    advance ();
-    if !exhausted && !stash = [] && not (any_active ()) then continue_run := false
-  done;
+  Fun.protect
+    ~finally:(fun () ->
+      match telemetry with Some _ -> Exec_ctx.detach_trace ctx | None -> ())
+    (fun () ->
+      while !continue_run do
+        let visited = tasks.(!idx).Nftask.id in
+        visit tasks.(!idx);
+        let switch_start = ctx.Exec_ctx.clock in
+        Exec_ctx.compute ctx ~cycles:cfg.Worker.switch_cycles
+          ~instrs:cfg.Worker.switch_instrs;
+        incr switches;
+        tel (fun tr ->
+            Trace.on_switch tr ~ts:switch_start ~dur:cfg.Worker.switch_cycles
+              ~task:visited;
+            Trace.on_occupancy tr ~ts:ctx.Exec_ctx.clock
+              ~active:
+                (Array.fold_left
+                   (fun acc t -> if t.Nftask.active then acc + 1 else acc)
+                   0 tasks)
+              ~mshr:
+                (Memsim.Hierarchy.mshr_pending_count ctx.Exec_ctx.mem
+                   ~now:ctx.Exec_ctx.clock));
+        advance ();
+        if !exhausted && !stash = [] && not (any_active ()) then continue_run := false
+      done);
   Worker.finish ?latency:(Metrics.Collector.summarize latencies)
     ~faulted:!stats.faulted ~faults:(Fault.counts plane)
     ~degraded:(Fault.degraded plane) worker snap ~label

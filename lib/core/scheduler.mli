@@ -16,9 +16,11 @@ type policy = Round_robin | Ready_first
 (** Run until the source drains; returns the measured run. [on_complete]
     observes each finished task just before it is retired — the
     differential oracle's tap. [fault] supplies the run's fault-injection
-    plane (a fresh empty plane when omitted).
+    plane (a fresh empty plane when omitted). [telemetry] attaches the span
+    tracer for the duration of the run; its hooks never charge cycles, so
+    traced and untraced runs are cycle-identical.
     @raise Invalid_argument when [n_tasks <= 0]. *)
 val run :
-  ?label:string -> ?policy:policy -> ?fault:Fault.t ->
+  ?label:string -> ?policy:policy -> ?fault:Fault.t -> ?telemetry:Trace.t ->
   ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t -> n_tasks:int ->
   Workload.source -> Metrics.run

@@ -48,6 +48,18 @@ let default_config =
     stream_den = 5;
   }
 
+(* Which level served a demand line access (the telemetry plane's
+   attribution key). [Served_inflight] means the line was found in an MSHR:
+   an earlier prefetch's fill was still in flight and the access paid the
+   residual wait. *)
+type served = Served_l1 | Served_l2 | Served_llc | Served_dram | Served_inflight
+
+(* Observation tap: called once per demand line access with the access
+   start time, the line, the serving level, and the cycles charged (post
+   stream discount). Purely observational — installing a tap must not
+   change any counter, latency, or replacement decision. *)
+type tap = now:int -> line:int -> served:served -> cycles:int -> unit
+
 type t = {
   cfg : config;
   l1 : Cache.t;
@@ -56,6 +68,7 @@ type t = {
   line_bits : int;
   mshr_line : int array;   (* -1 = free slot *)
   mshr_ready : int array;
+  mutable tap : tap option;
   mutable reads : int;
   mutable writes : int;
   mutable line_accesses : int;
@@ -90,6 +103,7 @@ let create ?(cfg = default_config) () =
     line_bits = log2_exact cfg.line_bytes;
     mshr_line = Array.make cfg.mshr_count (-1);
     mshr_ready = Array.make cfg.mshr_count 0;
+    tap = None;
     reads = 0;
     writes = 0;
     line_accesses = 0;
@@ -106,6 +120,7 @@ let create ?(cfg = default_config) () =
   }
 
 let config t = t.cfg
+let set_tap t f = t.tap <- f
 let line_bytes t = t.cfg.line_bytes
 let l1 t = t.l1
 let l2 t = t.l2
@@ -162,7 +177,8 @@ let mshr_clear t line =
   let i = mshr_find t line in
   if i >= 0 then t.mshr_line.(i) <- -1
 
-(* Serve one demand line access at time [now]; returns its latency. *)
+(* Serve one demand line access at time [now]; returns its latency and the
+   level that served it. *)
 let access_line t ~now line =
   t.line_accesses <- t.line_accesses + 1;
   match mshr_pending t ~now line with
@@ -174,29 +190,29 @@ let access_line t ~now line =
       mshr_clear t line;
       ignore (Cache.install_line t.l1 line);
       ignore (Cache.install_line t.l2 line);
-      wait + t.cfg.lat_l1
+      (wait + t.cfg.lat_l1, Served_inflight)
   | None ->
       if Cache.access_line t.l1 line then begin
         t.l1_hits <- t.l1_hits + 1;
-        t.cfg.lat_l1
+        (t.cfg.lat_l1, Served_l1)
       end
       else if Cache.access_line t.l2 line then begin
         t.l2_hits <- t.l2_hits + 1;
         ignore (Cache.install_line t.l1 line);
-        t.cfg.lat_l2
+        (t.cfg.lat_l2, Served_l2)
       end
       else if Cache.access_line t.llc line then begin
         t.llc_hits <- t.llc_hits + 1;
         ignore (Cache.install_line t.l1 line);
         ignore (Cache.install_line t.l2 line);
-        t.cfg.lat_llc
+        (t.cfg.lat_llc, Served_llc)
       end
       else begin
         t.dram_fills <- t.dram_fills + 1;
         ignore (Cache.install_line t.l1 line);
         ignore (Cache.install_line t.l2 line);
         ignore (Cache.install_line t.llc line);
-        t.cfg.lat_dram
+        (t.cfg.lat_dram, Served_dram)
       end
 
 let stream_discount t lat = max t.cfg.lat_l1 (lat * t.cfg.stream_num / t.cfg.stream_den)
@@ -207,7 +223,8 @@ let access_block t ~now ~addr ~bytes =
   let first_miss_seen = ref false in
   List.iter
     (fun line ->
-      let lat = access_line t ~now:(now + !total) line in
+      let start = now + !total in
+      let lat, served = access_line t ~now:start line in
       let lat =
         if lat > t.cfg.lat_l1 && !first_miss_seen then stream_discount t lat
         else begin
@@ -215,6 +232,9 @@ let access_block t ~now ~addr ~bytes =
           lat
         end
       in
+      (match t.tap with
+      | Some f -> f ~now:start ~line ~served ~cycles:lat
+      | None -> ());
       total := !total + lat)
     lines;
   !total
@@ -277,7 +297,7 @@ let resident t ~addr ~bytes =
 
 let counters t : Memstats.t =
   {
-    reads = t.reads;
+    Memstats.reads = t.reads;
     writes = t.writes;
     line_accesses = t.line_accesses;
     l1_hits = t.l1_hits;

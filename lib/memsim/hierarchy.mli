@@ -32,9 +32,24 @@ val default_config : config
 
 type t
 
+(** Which level served a demand line access. [Served_inflight] = the line
+    was found in an MSHR (an earlier prefetch's fill still in flight) and
+    the access paid the residual wait. *)
+type served = Served_l1 | Served_l2 | Served_llc | Served_dram | Served_inflight
+
+(** Observation tap, called once per demand line access with the access
+    start time, the line, the serving level, and the cycles charged (after
+    the stream discount). Purely observational: installing a tap changes no
+    counter, latency, or replacement decision — the telemetry plane's
+    inertness guarantee rests on this. *)
+type tap = now:int -> line:int -> served:served -> cycles:int -> unit
+
 val create : ?cfg:config -> unit -> t
 
 val config : t -> config
+
+(** Install ([Some f]) or remove ([None]) the access tap. *)
+val set_tap : t -> tap option -> unit
 val line_bytes : t -> int
 val l1 : t -> Cache.t
 val l2 : t -> Cache.t

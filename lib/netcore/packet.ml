@@ -46,15 +46,15 @@ let make ?(src_mac = 0x020000000001) ?(dst_mac = 0x020000000002) ~flow ~wire_len
   let l4_off = l3_off + Ipv4.header_bytes in
   if l4_is_udp then
     L4.encode_udp
-      { src_port = flow.Flow.src_port; dst_port = flow.Flow.dst_port;
-        length = max (ip_total - Ipv4.header_bytes) L4.udp_header_bytes }
+      L4.{ src_port = flow.Flow.src_port; dst_port = flow.Flow.dst_port;
+           length = max (ip_total - Ipv4.header_bytes) udp_header_bytes }
       buf ~off:l4_off
   else if flow.Flow.proto = Ipv4.proto_tcp then
     L4.encode_tcp
-      { src_port = flow.Flow.src_port; dst_port = flow.Flow.dst_port;
-        seq = 0l; ack_seq = 0l;
-        flags = { syn = false; ack = true; fin = false; rst = false };
-        window = 65535 }
+      L4.{ src_port = flow.Flow.src_port; dst_port = flow.Flow.dst_port;
+           seq = 0l; ack_seq = 0l;
+           flags = { syn = false; ack = true; fin = false; rst = false };
+           window = 65535 }
       buf ~off:l4_off;
   incr next_id;
   {
@@ -101,8 +101,8 @@ let encapsulate_gtpu t ~outer_src ~outer_dst ~teid =
   in
   Ipv4.encode outer_ip t.buf ~off:outer_ip_off;
   L4.encode_udp
-    { src_port = Gtpu.udp_port; dst_port = Gtpu.udp_port;
-      length = inner_len + L4.udp_header_bytes + Gtpu.header_bytes }
+    L4.{ src_port = Gtpu.udp_port; dst_port = Gtpu.udp_port;
+         length = inner_len + udp_header_bytes + Gtpu.header_bytes }
     t.buf ~off:outer_udp_off;
   Gtpu.encode (Gtpu.make ~teid ~length:inner_len ()) t.buf ~off:gtpu_off;
   t.l3_off <- t.l3_off + shift;

@@ -64,7 +64,7 @@ let establishment_request t ~ue_ip ~teid ~n_pdrs ~ran_ip =
       seq = fresh_seq t;
       payload =
         Netcore.Pfcp.Establishment_request
-          { cp_seid; cp_addr = t.smf_addr; ue_ip; pdrs; fars };
+          Netcore.Pfcp.{ cp_seid; cp_addr = t.smf_addr; ue_ip; pdrs; fars };
     }
 
 (* Drive a full establishment exchange against a UPF's N4 agent. *)

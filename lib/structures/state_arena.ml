@@ -60,7 +60,7 @@ let lines_per_entry t = round_up t.entry_bytes line_bytes / line_bytes
 
 (* ----- packed groups ----- *)
 
-type group = { arena : t; member_offsets : (string * int) array; member_bytes : (string * int) array }
+type group = { arena : t; member_bytes : (string * int) array }
 
 (* [create_group layout ~label ~members ~count ()] packs one entry per flow
    holding every member's state contiguously. Member [m] of flow [i] lives
@@ -79,11 +79,7 @@ let create_group layout ~label ~members ~count () =
     create_record layout ~label ~field_offsets:(List.rev offsets)
       ~record_bytes:total ~count ()
   in
-  {
-    arena;
-    member_offsets = Array.of_list (List.rev offsets);
-    member_bytes = Array.of_list members;
-  }
+  { arena; member_bytes = Array.of_list members }
 
 let group_arena g = g.arena
 

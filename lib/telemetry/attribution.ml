@@ -1,0 +1,126 @@
+(* The cycle-attribution profiler: folds a Trace's exact books into a
+   perf-report-style view — where did the cycles go, keyed by (nf, fsm
+   state, state class, serving cache level) — plus phase totals, the
+   latency histogram, the occupancy timeline summary, and an exact
+   reconciliation of per-level serve counts against the run's Memstats
+   delta. Works off the attribution books (never the ring), so the numbers
+   are exact even when the span ring overflowed. *)
+
+open Gunfu
+
+(* Per-level serve counts must equal the memory hierarchy's own counters:
+   the tap fires exactly once per demand line access, so any difference
+   means a tampered or mis-bracketed trace. *)
+let reconcile (tr : Trace.t) (mem : Memsim.Memstats.t) : (unit, string) result =
+  let expected =
+    [
+      (Trace.L1, mem.Memsim.Memstats.l1_hits);
+      (Trace.L2, mem.Memsim.Memstats.l2_hits);
+      (Trace.Llc, mem.Memsim.Memstats.llc_hits);
+      (Trace.Dram, mem.Memsim.Memstats.dram_fills);
+      (Trace.Inflight, mem.Memsim.Memstats.mshr_waits);
+    ]
+  in
+  let mismatches =
+    List.filter_map
+      (fun (level, want) ->
+        let got = Trace.level_count tr level in
+        if got <> want then
+          Some (Printf.sprintf "%s: trace %d vs memstats %d" (Trace.level_name level) got want)
+        else None)
+      expected
+  in
+  match mismatches with
+  | [] -> Ok ()
+  | ms -> Error (String.concat "; " ms)
+
+let pct part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let pp ?run ppf (tr : Trace.t) =
+  let line fmt = Fmt.pf ppf (fmt ^^ "@.") in
+  line "=== telemetry: cycle attribution ===";
+  line "packets: %d pulled, %d completed; spans: %d recorded, %d dropped from ring"
+    (Trace.pulls tr) (Trace.completes tr) (Trace.total_spans tr) (Trace.dropped tr);
+  line "";
+  (* state-access attribution, heaviest first *)
+  let mem_total = Trace.mem_cycles tr in
+  line "state access (demand traffic), by nf / state / class / level:";
+  line "  %-14s %-26s %-9s %-8s %10s %12s %6s" "nf" "state" "class" "level"
+    "serves" "cycles" "cyc%";
+  let rows =
+    Trace.mem_rows tr
+    |> List.sort (fun (_, _, _, _, _, a) (_, _, _, _, _, b) -> compare b a)
+  in
+  List.iter
+    (fun (nf, cs, cls, level, serves, cycles) ->
+      line "  %-14s %-26s %-9s %-8s %10d %12d %5.1f%%"
+        (if nf = "" then "(runtime)" else nf)
+        (if cs = "" then "-" else cs)
+        cls (Trace.level_name level) serves cycles (pct cycles mem_total))
+    rows;
+  line "  %-14s %-26s %-9s %-8s %10s %12d 100.0%%" "total" "" "" "" "" mem_total;
+  line "";
+  (* per-level summary *)
+  line "serving level summary:";
+  List.iter
+    (fun level ->
+      line "  %-8s %10d serves %12d cycles" (Trace.level_name level)
+        (Trace.level_count tr level) (Trace.level_cycles tr level))
+    [ Trace.L1; Trace.L2; Trace.Llc; Trace.Dram; Trace.Inflight ];
+  (match run with
+  | Some (r : Metrics.run) ->
+      (match reconcile tr r.Metrics.mem with
+      | Ok () -> line "  memstats reconciliation: OK (per-level serves match exactly)"
+      | Error e -> line "  memstats reconciliation: MISMATCH — %s" e)
+  | None -> ());
+  line "";
+  (* action table *)
+  line "actions:";
+  line "  %-42s %10s %12s %10s" "nf.state" "execs" "cycles" "cyc/exec";
+  let arows =
+    Trace.action_rows tr |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+  in
+  List.iter
+    (fun (nf, cs, execs, cycles) ->
+      let name = if cs = "" then nf else cs in
+      line "  %-42s %10d %12d %10.1f" name execs cycles
+        (if execs = 0 then 0.0 else float_of_int cycles /. float_of_int execs))
+    arows;
+  line "";
+  (* phase totals *)
+  line "phase totals (cycles):";
+  line "  pull=%d action=%d prefetch=%d switch=%d mem-outside-action=%d"
+    (Trace.pull_cycles tr) (Trace.action_cycles tr) (Trace.prefetch_cycles tr)
+    (Trace.switch_cycles tr) (Trace.mem_outside_cycles tr);
+  (match run with
+  | Some r ->
+      line "  attributed=%d of run=%d (%.1f%% coverage)" (Trace.attributed_cycles tr)
+        r.Metrics.cycles
+        (pct (Trace.attributed_cycles tr) r.Metrics.cycles)
+  | None -> line "  attributed=%d" (Trace.attributed_cycles tr));
+  line "";
+  (* latency *)
+  let h = Trace.latencies tr in
+  if Trace.Hist.count h > 0 then
+    line
+      "latency (cycles): count=%d mean=%.0f p50=%d p90=%d p99=%d max=%d (HDR log-linear)"
+      (Trace.Hist.count h) (Trace.Hist.mean h)
+      (Trace.Hist.percentile h 50) (Trace.Hist.percentile h 90)
+      (Trace.Hist.percentile h 99) (Trace.Hist.max_value h);
+  (* occupancy *)
+  let occ = Trace.occupancy tr in
+  if Array.length occ > 0 then begin
+    let n = Array.length occ in
+    let sum f = Array.fold_left (fun acc o -> acc + f o) 0 occ in
+    let maxi f = Array.fold_left (fun acc o -> max acc (f o)) 0 occ in
+    line
+      "occupancy (%d samples): active tasks avg=%.1f max=%d; MSHRs in flight avg=%.1f max=%d"
+      n
+      (float_of_int (sum (fun o -> o.Trace.oc_active)) /. float_of_int n)
+      (maxi (fun o -> o.Trace.oc_active))
+      (float_of_int (sum (fun o -> o.Trace.oc_mshr)) /. float_of_int n)
+      (maxi (fun o -> o.Trace.oc_mshr))
+  end
+
+let report ?run tr = Fmt.str "%a" (pp ?run) tr

@@ -1,0 +1,169 @@
+(* Machine-readable bench baselines: a stable JSON schema for the key
+   series of every bench figure, so each PR commits a perf trajectory
+   (BENCH_<pr>.json) that later PRs can diff against. The schema is
+   deliberately flat — figures hold labelled series of (x, metric map)
+   points — so new metrics can be added without breaking old readers. *)
+
+open Gunfu
+
+let schema_id = "gunfu-bench-baseline/1"
+
+type point = { x : float; metrics : (string * float) list }
+type series = { s_label : string; points : point list }
+type figure = { f_name : string; f_title : string; series : series list }
+type t = { pr : string; figures : figure list }
+
+(* The standard metric set extracted from a measured run. *)
+let metrics_of_run (r : Metrics.run) =
+  [
+    ("mpps", Metrics.mpps r);
+    ("gbps", Metrics.gbps r);
+    ("ipc", Metrics.ipc r);
+    ("cycles_per_packet", Metrics.cycles_per_packet r);
+    ("l1_misses_per_packet", Metrics.l1_misses_per_packet r);
+    ("l2_misses_per_packet", Metrics.l2_misses_per_packet r);
+    ("llc_misses_per_packet", Metrics.llc_misses_per_packet r);
+  ]
+
+let point_of_run ~x r = { x; metrics = metrics_of_run r }
+
+(* ----- JSON ----- *)
+
+let json_of_point p =
+  Json_lite.Obj
+    [
+      ("x", Json_lite.Num p.x);
+      ("metrics", Json_lite.Obj (List.map (fun (k, v) -> (k, Json_lite.Num v)) p.metrics));
+    ]
+
+let json_of_series s =
+  Json_lite.Obj
+    [
+      ("label", Json_lite.Str s.s_label);
+      ("points", Json_lite.Arr (List.map json_of_point s.points));
+    ]
+
+let json_of_figure f =
+  Json_lite.Obj
+    [
+      ("name", Json_lite.Str f.f_name);
+      ("title", Json_lite.Str f.f_title);
+      ("series", Json_lite.Arr (List.map json_of_series f.series));
+    ]
+
+let to_json t =
+  Json_lite.Obj
+    [
+      ("schema", Json_lite.Str schema_id);
+      ("pr", Json_lite.Str t.pr);
+      ("figures", Json_lite.Arr (List.map json_of_figure t.figures));
+    ]
+
+let to_string t = Json_lite.to_string ~indent:true (to_json t)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv ctx json =
+  match Option.bind (Json_lite.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or ill-typed %S" ctx name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let point_of_json json =
+  let* x = field "x" Json_lite.to_float "point" json in
+  let* metrics_obj = field "metrics" (fun j -> Some j) "point" json in
+  match metrics_obj with
+  | Json_lite.Obj fields ->
+      let* metrics =
+        map_result
+          (fun (k, v) ->
+            match Json_lite.to_float v with
+            | Some f -> Ok (k, f)
+            | None -> Error (Printf.sprintf "point: metric %S is not a number" k))
+          fields
+      in
+      Ok { x; metrics }
+  | _ -> Error "point: metrics is not an object"
+
+let series_of_json json =
+  let* s_label = field "label" Json_lite.to_str "series" json in
+  let* points_json = field "points" Json_lite.to_list "series" json in
+  let* points = map_result point_of_json points_json in
+  Ok { s_label; points }
+
+let figure_of_json json =
+  let* f_name = field "name" Json_lite.to_str "figure" json in
+  let* f_title = field "title" Json_lite.to_str "figure" json in
+  let* series_json = field "series" Json_lite.to_list "figure" json in
+  let* series = map_result series_of_json series_json in
+  Ok { f_name; f_title; series }
+
+let of_json json =
+  let* schema = field "schema" Json_lite.to_str "baseline" json in
+  if schema <> schema_id then
+    Error (Printf.sprintf "unsupported schema %S (want %S)" schema schema_id)
+  else
+    let* pr = field "pr" Json_lite.to_str "baseline" json in
+    let* figures_json = field "figures" Json_lite.to_list "baseline" json in
+    let* figures = map_result figure_of_json figures_json in
+    Ok { pr; figures }
+
+let of_string s =
+  let* json = Json_lite.of_string s in
+  of_json json
+
+let equal (a : t) (b : t) = a = b
+
+(* ----- collection during a bench run ----- *)
+
+(* Figures register points as they print their tables; the collector keeps
+   insertion order for figures and series so the emitted JSON is stable
+   across runs. *)
+type collector = {
+  mutable figs : (string * string * (string * point list ref) list ref) list;
+}
+
+let collector () = { figs = [] }
+
+let record c ~fig ~title ~series ~x metrics =
+  let serieses =
+    match List.find_opt (fun (name, _, _) -> name = fig) c.figs with
+    | Some (_, _, s) -> s
+    | None ->
+        let s = ref [] in
+        c.figs <- c.figs @ [ (fig, title, s) ];
+        s
+  in
+  let points =
+    match List.assoc_opt series !serieses with
+    | Some p -> p
+    | None ->
+        let p = ref [] in
+        serieses := !serieses @ [ (series, p) ];
+        p
+  in
+  points := !points @ [ { x; metrics } ]
+
+let record_run c ~fig ~title ~series ~x r =
+  record c ~fig ~title ~series ~x (metrics_of_run r)
+
+let to_baseline c ~pr =
+  {
+    pr;
+    figures =
+      List.map
+        (fun (f_name, f_title, serieses) ->
+          {
+            f_name;
+            f_title;
+            series =
+              List.map (fun (s_label, points) -> { s_label; points = !points }) !serieses;
+          })
+        c.figs;
+  }

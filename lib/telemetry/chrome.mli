@@ -1,0 +1,21 @@
+(** Chrome [trace_event] exporter: turns a {!Gunfu.Trace} ring into the
+    JSON Array Format that chrome://tracing and ui.perfetto.dev load
+    directly. One thread per NFTask slot (tid 0 = runtime), complete
+    ("X") events for spans with duration, instants ("i") for markers,
+    counter ("C") events for the occupancy timeline. Timestamps are
+    simulated cycles. *)
+
+(** Export as a trace object; events sorted by (ts, -dur) so timestamps
+    are non-decreasing and enclosing spans precede their children. *)
+val export : ?pid:int -> Gunfu.Trace.t -> Json_lite.t
+
+(** {!export} rendered with indentation. *)
+val export_string : ?pid:int -> Gunfu.Trace.t -> string
+
+(** Structural check: a [traceEvents] array whose entries carry
+    name/ph/ts, durations non-negative, timestamps non-decreasing in
+    array order. Returns the event count. *)
+val validate : Json_lite.t -> (int, string) result
+
+(** Parse then {!validate}. *)
+val validate_string : string -> (int, string) result

@@ -1,0 +1,269 @@
+(* Minimal JSON: an AST, a deterministic printer, and a recursive-descent
+   parser. Self-contained so the telemetry exporters need no external
+   dependency; print-then-parse is the identity on the AST (numbers are
+   printed with enough digits to round-trip exactly). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ----- printing ----- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Integers print as integers; other floats with the fewest digits that
+   still parse back to the same value — this is what makes the printer
+   idempotent under print-parse round trips. *)
+let number_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let rec print_value b ~indent ~level v =
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char b '\n' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num v ->
+      if not (Float.is_finite v) then
+        (* NaN/inf are not valid JSON; emit null rather than garbage. *)
+        Buffer.add_string b "null"
+      else Buffer.add_string b (number_string v)
+  | Str s -> escape_string b s
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr items ->
+      Buffer.add_char b '[';
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            newline ()
+          end;
+          pad (level + 1);
+          print_value b ~indent ~level:(level + 1) item)
+        items;
+      newline ();
+      pad level;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      Buffer.add_char b '{';
+      newline ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            newline ()
+          end;
+          pad (level + 1);
+          escape_string b k;
+          Buffer.add_char b ':';
+          if indent then Buffer.add_char b ' ';
+          print_value b ~indent ~level:(level + 1) item)
+        fields;
+      newline ();
+      pad level;
+      Buffer.add_char b '}'
+
+let to_string ?(indent = false) v =
+  let b = Buffer.create 4096 in
+  print_value b ~indent ~level:0 v;
+  if indent then Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ----- parsing ----- *)
+
+exception Parse_error of string
+
+let of_string s : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail "expected '%c' at offset %d, got '%c'" c !pos d
+    | None -> fail "expected '%c' at offset %d, got end of input" c !pos
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail "invalid literal at offset %d" !pos
+  in
+  let utf8_of_code b code =
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | 'u' ->
+                 if !pos + 4 > n then fail "truncated \\u escape"
+                 else begin
+                   let hex = String.sub s !pos 4 in
+                   pos := !pos + 4;
+                   match int_of_string_opt ("0x" ^ hex) with
+                   | Some code -> utf8_of_code b code
+                   | None -> fail "invalid \\u escape %s" hex
+                 end
+             | c -> fail "invalid escape '\\%c'" c);
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some v -> Num v
+    | None -> fail "invalid number %S at offset %d" text start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}' at offset %d" !pos
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']' at offset %d" !pos
+          in
+          Arr (items [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+(* ----- accessors ----- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None
+let to_float = function Num v -> Some v | _ -> None
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,26 @@
+(** Minimal JSON: AST, deterministic printer, recursive-descent parser.
+    Self-contained (no external dependency); print-then-parse is the
+    identity on the AST — numbers are printed with enough digits to
+    round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Serialize. [indent] pretty-prints with two-space indentation (and a
+    trailing newline); the default is compact. NaN/infinity print as
+    [null]. *)
+val to_string : ?indent:bool -> t -> string
+
+val of_string : string -> (t, string) result
+
+(** Field of an object, [None] on missing key or non-object. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

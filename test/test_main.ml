@@ -32,4 +32,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("invariants", Test_invariants.suite);
       ("fault", Test_fault.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
