@@ -9,6 +9,22 @@ open Gunfu
 let default_packets = 50_000
 let warmup_packets = 5_000
 
+(* --specialize: run every figure through the compile-and-specialize hot
+   path (fused action closures, dense FSM dispatch) and feed sources from
+   a zero-alloc packet arena. Simulated metrics are byte-identical either
+   way — combine with --check-baseline to prove it — only host wall-clock
+   changes. *)
+let specialize = ref false
+
+(* Applied to every program an env builder compiles. *)
+let prep program =
+  if !specialize then Specialize.install program;
+  program
+
+(* Fresh per env: sized well beyond any executor's in-flight packet count
+   (max is the scheduler at 16 tasks + 64 stashed items). *)
+let arena () = if !specialize then Some (Netcore.Packet.Arena.create ()) else None
+
 type model = Rtc_model | Interleaved of int
 
 let model_name = function
@@ -37,8 +53,9 @@ let nat_env ?(n_flows = 131072) () =
   let pool = Netcore.Packet.Pool.create layout ~count:1024 in
   let nat = Nfs.Nat.create layout ~name:"nat" ~n_flows () in
   Nfs.Nat.populate nat (Traffic.Flowgen.flows gen);
-  let program = Nfs.Nat.program nat in
-  (worker, program, fun ~count -> Workload.of_flowgen gen ~pool ~count)
+  let program = prep (Nfs.Nat.program nat) in
+  let arena = arena () in
+  (worker, program, fun ~count -> Workload.of_flowgen ?arena gen ~pool ~count)
 
 let upf_env ?(n_sessions = 131072) ?(n_pdrs = 16) ?(wire_len = 128) () =
   let worker = Worker.create ~id:0 () in
@@ -49,8 +66,9 @@ let upf_env ?(n_sessions = 131072) ?(n_pdrs = 16) ?(wire_len = 128) () =
     Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs ()
   in
   Nfs.Upf.populate upf;
-  let program = Nfs.Upf.program upf in
-  (worker, program, fun ~count -> Workload.of_mgw_downlink mgw ~pool ~count)
+  let program = prep (Nfs.Upf.program upf) in
+  let arena = arena () in
+  (worker, program, fun ~count -> Workload.of_mgw_downlink ?arena mgw ~pool ~count)
 
 let amf_env ?(n_ues = 131072) ?(packed = false) ?only_msg () =
   let worker = Worker.create ~id:0 () in
@@ -59,17 +77,18 @@ let amf_env ?(n_ues = 131072) ?(packed = false) ?only_msg () =
   let pool = Netcore.Packet.Pool.create layout ~count:1024 in
   let amf = Nfs.Amf.create layout ~name:"amf" ~packed ~n_ues () in
   Nfs.Amf.populate amf;
-  let program = Nfs.Amf.program amf in
+  let program = prep (Nfs.Amf.program amf) in
+  let arena = arena () in
   let source ~count =
     match only_msg with
-    | None -> Workload.of_amf gen ~pool ~count
+    | None -> Workload.of_amf ?arena gen ~pool ~count
     | Some msg ->
         (* Homogeneous stream of one message type across random UEs — used
            to attribute cost per message (Fig 3). *)
         let rng = Memsim.Rng.create 17 in
         Workload.limited count (fun () ->
             let ue = Memsim.Rng.int rng n_ues in
-            let pkt = Workload.amf_packet ~ue ~msg in
+            let pkt = Workload.amf_packet ?arena ~ue ~msg () in
             Netcore.Packet.Pool.assign pool pkt;
             {
               Workload.packet = Some pkt;
@@ -87,8 +106,9 @@ let sfc_env ?(n_flows = 131072) ?(length = 6) ?(packed = false)
   let pool = Netcore.Packet.Pool.create layout ~count:1024 in
   let sfc = Nfs.Sfc.create layout ~length ~packed ~n_flows () in
   Nfs.Sfc.populate sfc (Traffic.Flowgen.flows gen);
-  let program = Nfs.Sfc.program ~opts sfc in
-  (worker, program, fun ~count -> Workload.of_flowgen gen ~pool ~count)
+  let program = prep (Nfs.Sfc.program ~opts sfc) in
+  let arena = arena () in
+  (worker, program, fun ~count -> Workload.of_flowgen ?arena gen ~pool ~count)
 
 (* ----- machine-readable baseline ----- *)
 

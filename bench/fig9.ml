@@ -34,12 +34,13 @@ let trivial_program () =
       i_key_kind = None;
     }
   in
-  Compiler.compile ~name:"noop" [ inst ]
-    {
-      Spec.n_name = "noop";
-      n_modules = [ ("noop", "noop") ];
-      n_transitions = [ { Spec.src = "noop"; event = "packet"; dst = Spec.end_state } ];
-    }
+  Bench_common.prep
+    (Compiler.compile ~name:"noop" [ inst ]
+       {
+         Spec.n_name = "noop";
+         n_modules = [ ("noop", "noop") ];
+         n_transitions = [ { Spec.src = "noop"; event = "packet"; dst = Spec.end_state } ];
+       })
 
 let packets_per_run = 20_000
 

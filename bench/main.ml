@@ -23,7 +23,10 @@ let figures =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [figN|micro ...]";
+  print_endline "usage: main.exe [--specialize] [--check-baseline FILE] [figN|micro ...]";
+  print_endline "  --specialize          run with the specialized hot path + packet arena";
+  print_endline "  --check-baseline FILE compare collected series against FILE (exact);";
+  print_endline "                        exits non-zero on drift, writes nothing";
   print_endline "available targets:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) figures
 
@@ -33,20 +36,70 @@ let usage () =
 let baseline_pr = "PR4"
 let baseline_path = "BENCH_" ^ baseline_pr ^ ".json"
 
+(* Metrics whose values are host wall-clock measurements (fig9's bechamel
+   rates): present in every baseline but meaningless to compare exactly. *)
+let wallclock_metric = function
+  | "switches_per_s" | "ns_per_switch" -> true
+  | _ -> false
+
+let check_baseline path =
+  let contents =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Telemetry.Baseline.of_string contents with
+  | Error e ->
+      Printf.printf "\ncheck-baseline: cannot read %s: %s\n" path e;
+      exit 2
+  | Ok expected -> (
+      let actual =
+        Telemetry.Baseline.to_baseline Bench_common.baseline
+          ~pr:expected.Telemetry.Baseline.pr
+      in
+      match Telemetry.Baseline.diff ~expected ~actual ~skip:wallclock_metric with
+      | [] ->
+          Printf.printf "\ncheck-baseline: %s matches (%d figures, 0.0 tolerance)\n"
+            path
+            (List.length actual.Telemetry.Baseline.figures)
+      | drifts ->
+          Printf.printf "\ncheck-baseline: %d drift(s) against %s:\n" (List.length drifts)
+            path;
+          List.iter (fun d -> Printf.printf "  %s\n" d) drifts;
+          exit 1)
+
 let () =
-  (match Array.to_list Sys.argv with
-  | _ :: [] ->
-      Printf.printf "GuNFu-OCaml benchmark harness - regenerating all figures\n";
+  let check = ref None in
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--specialize" :: rest ->
+        Bench_common.specialize := true;
+        parse rest
+    | "--check-baseline" :: path :: rest ->
+        check := Some path;
+        parse rest
+    | "--check-baseline" :: [] ->
+        Printf.printf "--check-baseline needs a file argument\n";
+        usage ();
+        exit 1
+    | arg :: rest ->
+        (match List.find_opt (fun (name, _, _) -> name = arg) figures with
+        | Some target -> targets := !targets @ [ target ]
+        | None ->
+            Printf.printf "unknown target %S\n" arg;
+            usage ();
+            exit 1);
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !targets with
+  | [] ->
+      Printf.printf "GuNFu-OCaml benchmark harness - regenerating all figures%s\n"
+        (if !Bench_common.specialize then " (specialized hot path)" else "");
       List.iter (fun (_, _, run) -> run ()) figures
-  | _ :: args ->
-      List.iter
-        (fun arg ->
-          match List.find_opt (fun (name, _, _) -> name = arg) figures with
-          | Some (_, _, run) -> run ()
-          | None ->
-              Printf.printf "unknown target %S\n" arg;
-              usage ();
-              exit 1)
-        args
-  | [] -> usage ());
-  Bench_common.write_baseline ~pr:baseline_pr ~path:baseline_path
+  | targets -> List.iter (fun (_, _, run) -> run ()) targets);
+  match !check with
+  | Some path -> check_baseline path
+  | None -> Bench_common.write_baseline ~pr:baseline_pr ~path:baseline_path

@@ -119,13 +119,14 @@ let execute model worker program source ~packets =
 
 (* ----- run command ----- *)
 
-let run_cmd nf model flows packets cores packed match_removal no_prefetch =
+let run_cmd nf model flows packets cores packed match_removal no_prefetch specialize =
   let opts =
     {
       Gunfu.Compiler.match_removal;
       prefetch_dedup = true;
       prefetching = not no_prefetch;
       lint = `Off;
+      specialize;
     }
   in
   if cores = 1 then begin
@@ -158,7 +159,7 @@ let run_cmd nf model flows packets cores packed match_removal no_prefetch =
 (* ----- inspect command ----- *)
 
 let inspect_cmd nf match_removal =
-  let opts = { Gunfu.Compiler.default_opts with match_removal } in
+  let opts = { Gunfu.Compiler.default_opts with Gunfu.Compiler.match_removal } in
   let worker = Gunfu.Worker.create ~id:0 () in
   let program, _ = build nf ~flows:1024 ~packed:false ~opts worker in
   Fmt.pr "%a@." Gunfu.Program.pp program;
@@ -237,8 +238,16 @@ let compose_cmd nf_file specs_dir model flows packets =
 
 (* ----- check command: the differential execution oracle ----- *)
 
-let check_cmd programs seed packets profile spec specs_dir no_minimize =
+let check_cmd programs seed packets profile spec specs_dir no_minimize specialize =
   try
+    (* Interpreted scan runs all 14 executors (reference included);
+       --specialize widens to the 28-way matrix: every executor additionally
+       runs under the compiled hot path, diffed against the interpreted
+       reference. *)
+    let n_variants =
+      List.length Check.Oracle.executor_names
+      + if specialize then List.length Check.Oracle.executor_names else 0
+    in
     let cases =
       match spec with
       | Some "all" -> Check.Progen.spec_cases ~specs_dir ~seed ~packets ()
@@ -261,7 +270,7 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize =
     List.iter
       (fun (case : Check.Oracle.case) ->
         let diverged =
-          match Check.Oracle.check_case ~minimized:(not no_minimize) case with
+          match Check.Oracle.check_case ~minimized:(not no_minimize) ~specialize case with
           | Some d ->
               incr divergences;
               Fmt.pr "%a@." Check.Oracle.pp_divergence d;
@@ -277,14 +286,13 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize =
               (case.Check.Oracle.c_repro ~packets:case.Check.Oracle.c_packets))
           viols;
         if (not diverged) && viols = [] then
-          Fmt.pr "case %-18s seed %-6d profile %-8s %d packets x %d executors: agree@."
+          Fmt.pr "case %-18s seed %-6d profile %-8s %d packets x %d variants: agree@."
             case.Check.Oracle.c_name case.Check.Oracle.c_seed
-            case.Check.Oracle.c_profile case.Check.Oracle.c_packets
-            (List.length Check.Oracle.executor_names))
+            case.Check.Oracle.c_profile case.Check.Oracle.c_packets n_variants)
       cases;
     if !divergences = 0 && !violations = 0 then begin
-      Fmt.pr "oracle: %d cases, %d executors each, no divergence@." (List.length cases)
-        (List.length Check.Oracle.executor_names);
+      Fmt.pr "oracle: %d cases, %d variants each, no divergence@." (List.length cases)
+        n_variants;
       `Ok ()
     end
     else
@@ -579,12 +587,18 @@ let mr_arg =
 let nopf_arg =
   Arg.(value & flag & info [ "no-prefetch" ] ~doc:"Compile without prefetch policies")
 
+let specialize_arg =
+  Arg.(
+    value & flag
+    & info [ "specialize" ]
+        ~doc:"Compile with the specialized hot path (fused actions, dense dispatch)")
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an NF under an execution model and report metrics")
     Term.(
       ret
         (const run_cmd $ nf_arg $ model_arg $ flows_arg $ packets_arg $ cores_arg
-       $ packed_arg $ mr_arg $ nopf_arg))
+       $ packed_arg $ mr_arg $ nopf_arg $ specialize_arg))
 
 let inspect_t =
   Cmd.v (Cmd.info "inspect" ~doc:"Print the compiled control-logic FSM and prefetch policy")
@@ -623,7 +637,15 @@ let check_t =
             & info [ "spec" ]
                 ~doc:"Check a specs/ composition (nat, sfc4, upf_downlink or all) instead of generated programs")
         $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
-        $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")))
+        $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")
+        $ Arg.(
+            value & flag
+            & info [ "specialize" ]
+                ~doc:
+                  "Widen the scan to the 28-way matrix: every executor \
+                   additionally runs under the compiled hot path (fused \
+                   actions, dense dispatch) and must match the interpreted \
+                   reference byte-for-byte")))
 
 let chaos_t =
   Cmd.v

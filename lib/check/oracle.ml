@@ -125,7 +125,15 @@ let packet_fingerprint (p : Netcore.Packet.t) =
       Fingerprint.feed_int fp p.Netcore.Packet.l3_off;
       Fingerprint.feed_int fp p.Netcore.Packet.l4_off)
 
-let observe ?plan ?telemetry (x : executor) (inst : instance) : observation =
+let observe ?(specialize = false) ?plan ?telemetry (x : executor) (inst : instance) :
+    observation =
+  (* The specialization axis: attach (or strip) the compiled hot path on
+     this instance's program before the run. Stripping matters when a
+     caller reuses one program across observations — the interpreted
+     baseline must genuinely interpret. *)
+  if specialize then Specialize.install inst.program
+  else Specialize.remove inst.program;
+  let label = if specialize then x.x_name ^ "+spec" else x.x_name in
   let ctx = Worker.ctx inst.worker in
   (* One fresh plane per run: the plan decides by pull index, so identical
      plans arm identical schedules in every executor. *)
@@ -174,7 +182,7 @@ let observe ?plan ?telemetry (x : executor) (inst : instance) : observation =
   let run = x.x_run ?fault:plane ?telemetry ~on_complete inst.worker inst.program source in
   let mem = ctx.Exec_ctx.mem in
   {
-    o_label = x.x_name;
+    o_label = label;
     o_run = run;
     o_emits = List.rev !emits;
     o_inputs = List.rev !inputs;
@@ -300,39 +308,51 @@ let diff_observations ~(reference : observation) (obs : observation) : string op
 
 (* ----- checking and minimization ----- *)
 
-let diverges ?plan case exec ~packets =
+let diverges ?plan ?specialize case exec ~packets =
   let ref_obs = observe ?plan reference (case.c_build ~packets) in
-  let obs = observe ?plan exec (case.c_build ~packets) in
+  let obs = observe ?specialize ?plan exec (case.c_build ~packets) in
   diff_observations ~reference:ref_obs obs
 
 (* Smallest workload prefix still showing a divergence, by binary search
    (assumes monotonicity — the usual delta-debugging simplification; the
    result is a repro aid, not a proof of minimality). *)
-let minimize ?plan case exec ~packets =
+let minimize ?plan ?specialize case exec ~packets =
   let rec go lo hi =
     (* Invariant: [hi] diverges; [lo] does not. *)
     if hi - lo <= 1 then hi
     else
       let mid = (lo + hi) / 2 in
-      if diverges ?plan case exec ~packets:mid <> None then go lo mid else go mid hi
+      if diverges ?plan ?specialize case exec ~packets:mid <> None then go lo mid
+      else go mid hi
   in
   if packets <= 1 then packets else go 0 packets
 
-let check_case ?(minimized = true) ?plan (case : case) : divergence option =
+let check_case ?(minimized = true) ?(specialize = false) ?plan (case : case) :
+    divergence option =
   let ref_obs = observe ?plan reference (case.c_build ~packets:case.c_packets) in
+  (* The comparison matrix: every non-reference executor interpreted and —
+     with [specialize] — every executor (reference included) under the
+     compiled hot path, all against the interpreted RTC reference. *)
+  let variants =
+    List.map (fun x -> (x, false)) executors
+    @ (if specialize then List.map (fun x -> (x, true)) (reference :: executors) else [])
+  in
   let rec scan = function
     | [] -> None
-    | exec :: rest -> (
-        let obs = observe ?plan exec (case.c_build ~packets:case.c_packets) in
+    | (exec, spec) :: rest -> (
+        let obs =
+          observe ~specialize:spec ?plan exec (case.c_build ~packets:case.c_packets)
+        in
         match diff_observations ~reference:ref_obs obs with
         | None -> scan rest
         | Some detail ->
             let packets =
-              if minimized then minimize ?plan case exec ~packets:case.c_packets
+              if minimized then
+                minimize ?plan ~specialize:spec case exec ~packets:case.c_packets
               else case.c_packets
             in
             let detail =
-              match diverges ?plan case exec ~packets with
+              match diverges ?plan ~specialize:spec case exec ~packets with
               | Some d when minimized -> d
               | _ -> detail
             in
@@ -341,16 +361,16 @@ let check_case ?(minimized = true) ?plan (case : case) : divergence option =
                 d_case = case.c_name;
                 d_seed = case.c_seed;
                 d_profile = case.c_profile;
-                d_exec = exec.x_name;
+                d_exec = (if spec then exec.x_name ^ "+spec" else exec.x_name);
                 d_packets = packets;
                 d_detail = detail;
                 d_repro = case.c_repro ~packets;
               })
   in
-  scan executors
+  scan variants
 
-let check_cases ?minimized ?plan cases =
-  List.filter_map (check_case ?minimized ?plan) cases
+let check_cases ?minimized ?specialize ?plan cases =
+  List.filter_map (check_case ?minimized ?specialize ?plan) cases
 
 let pp_divergence ppf d =
   Fmt.pf ppf

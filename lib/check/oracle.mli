@@ -78,14 +78,20 @@ val task_counts : int list
 val packet_fingerprint : Netcore.Packet.t -> string
 
 (** Run one executor over a fresh instance, recording all observables.
-    With [?plan], a fresh fault plane is created for the run, the source is
-    instrumented with the plan's deterministic injection schedule (see
-    {!Faultgen.instrument}) and the plane is handed to the executor — so
-    two observations of the same case under the same plan see identical
+    With [~specialize:true] the compiled hot path (see {!Specialize}) is
+    installed on the instance's program before the run and the label gains
+    a ["+spec"] suffix; with [false] (the default) any payload is stripped,
+    so the interpreted baseline genuinely interprets even on a shared
+    program. With [?plan], a fresh fault plane is created for the run, the
+    source is instrumented with the plan's deterministic injection schedule
+    (see {!Faultgen.instrument}) and the plane is handed to the executor —
+    so two observations of the same case under the same plan see identical
     fault schedules. [?telemetry] attaches the span tracer for the run;
     because its hooks never charge cycles, the observation is identical
     with or without it (the inertness test pins this). *)
-val observe : ?plan:Faultgen.t -> ?telemetry:Trace.t -> executor -> instance -> observation
+val observe :
+  ?specialize:bool -> ?plan:Faultgen.t -> ?telemetry:Trace.t -> executor -> instance ->
+  observation
 
 (** First behavioural difference against the reference observation, or
     [None] when identical. Under faults this additionally diffs the
@@ -93,18 +99,29 @@ val observe : ?plan:Faultgen.t -> ?telemetry:Trace.t -> executor -> instance -> 
     per-reason taxonomy. *)
 val diff_observations : reference:observation -> observation -> string option
 
-(** Rebuild + rerun reference and [exec] on a [packets]-long prefix. *)
-val diverges : ?plan:Faultgen.t -> case -> executor -> packets:int -> string option
+(** Rebuild + rerun reference and [exec] on a [packets]-long prefix. The
+    reference is always interpreted; [?specialize] applies to [exec]. *)
+val diverges :
+  ?plan:Faultgen.t -> ?specialize:bool -> case -> executor -> packets:int ->
+  string option
 
 (** Smallest prefix length still diverging (binary search; repro aid, not
     a minimality proof). *)
-val minimize : ?plan:Faultgen.t -> case -> executor -> packets:int -> int
+val minimize :
+  ?plan:Faultgen.t -> ?specialize:bool -> case -> executor -> packets:int -> int
 
 (** Run the case through every executor; [Some] on the first divergence
-    (minimized unless [~minimized:false]). [?plan] runs the whole
-    comparison under that injection schedule — the chaos mode: executors
-    must agree even while faulting. *)
-val check_case : ?minimized:bool -> ?plan:Faultgen.t -> case -> divergence option
+    (minimized unless [~minimized:false]). With [~specialize:true] the scan
+    widens to the full 28-way matrix: all 14 executors interpreted plus all
+    14 under the specialized hot path (the reference included), every one
+    diffed against the interpreted reference; diverging specialized
+    variants are reported with a ["+spec"] suffix on [d_exec]. [?plan] runs
+    the whole comparison under that injection schedule — the chaos mode:
+    executors must agree even while faulting. *)
+val check_case :
+  ?minimized:bool -> ?specialize:bool -> ?plan:Faultgen.t -> case -> divergence option
 
-val check_cases : ?minimized:bool -> ?plan:Faultgen.t -> case list -> divergence list
+val check_cases :
+  ?minimized:bool -> ?specialize:bool -> ?plan:Faultgen.t -> case list ->
+  divergence list
 val pp_divergence : Format.formatter -> divergence -> unit

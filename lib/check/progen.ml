@@ -152,6 +152,10 @@ let random_opts rng =
     prefetch_dedup = Rng.bool rng;
     prefetching = Rng.bool rng;
     lint = `Error;
+    (* Specialization is exercised by the oracle's explicit axis, not
+       randomized here: cases must stay interpreted by default so the
+       interp-vs-spec cross-check has a genuine baseline. *)
+    specialize = false;
   }
 
 let build_chain ~rng ~seed ~profile ~packets =

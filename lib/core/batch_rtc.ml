@@ -63,6 +63,31 @@ let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
      cycles, so traced and untraced runs are cycle-identical. *)
   let tel f = match telemetry with Some tr -> f tr | None -> () in
   (match telemetry with Some tr -> Exec_ctx.attach_trace ctx tr | None -> ());
+  (* Specialized hot path (see rtc.ml): dense Δ dispatch always, fused
+     runners only while untraced so span hooks keep their interpreted
+     ordering. This executor treats action-less states as pass-ends rather
+     than errors, so the fast path consults [has_action] before running a
+     fused closure (which would raise). *)
+  let spec = Specialize.get program in
+  let step_fn =
+    match spec with
+    | Some sp -> fun cs ev -> Specialize.step sp cs ev
+    | None -> fun cs ev -> Program.step program cs ev
+  in
+  let fast_runners =
+    match (spec, telemetry) with
+    | Some sp, None ->
+        Some
+          (Specialize.runners sp plane ~err:(fun q ->
+               Printf.sprintf "Batch_rtc: control state %s has no action" q))
+    | _ -> None
+  in
+  let has_action =
+    match fast_runners with
+    | Some _ ->
+        Array.map (fun ci -> Option.is_some ci.Program.action) program.Program.info
+    | None -> [||]
+  in
   let packets = ref 0 in
   let drops = ref 0 in
   let wire_bytes = ref 0 in
@@ -111,7 +136,7 @@ let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
         (* Pre-run the pure prefix (key + first hash) to resolve the first
            bucket, then prefetch it. The prefix's compute is charged here;
            the processing pass will not repeat it. *)
-        task.Nftask.cs <- Program.step program (Program.start program) Event.Packet_arrival;
+        task.Nftask.cs <- step_fn (Program.start program) Event.Packet_arrival;
         let rec pre = function
           | [] -> ()
           | cs :: rest when cs = task.Nftask.cs -> (
@@ -119,14 +144,17 @@ let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
               match info.Program.action with
               | None -> ()
               | Some action ->
-                  tel (fun tr ->
-                      Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
-                        ~nf:info.Program.inst ~cs:info.Program.qname);
-                  task.Nftask.event <-
-                    Fault.guard plane ~nf:info.Program.inst action ctx task;
-                  tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
+                  (match fast_runners with
+                  | Some r -> task.Nftask.event <- r.(cs) ctx task
+                  | None ->
+                      tel (fun tr ->
+                          Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
+                            ~nf:info.Program.inst ~cs:info.Program.qname);
+                      task.Nftask.event <-
+                        Fault.guard plane ~nf:info.Program.inst action ctx task;
+                      tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock));
                   if not (is_faulted task) then begin
-                    task.Nftask.cs <- Program.step program cs task.Nftask.event;
+                    task.Nftask.cs <- step_fn cs task.Nftask.event;
                     Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
                     pre rest
                   end)
@@ -150,20 +178,30 @@ let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
           let cs = task.Nftask.cs in
           if Program.is_done program cs then ()
           else
-            let info = Program.info program cs in
-            match info.Program.action with
-            | None -> ()
-            | Some action ->
-                Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
-                tel (fun tr ->
-                    Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
-                      ~nf:info.Program.inst ~cs:info.Program.qname);
-                task.Nftask.event <-
-                  Fault.guard plane ~nf:info.Program.inst action ctx task;
-                tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
-                if not (is_faulted task) then
-                  task.Nftask.cs <- Program.step program cs task.Nftask.event;
-                go ()
+            match fast_runners with
+            | Some r ->
+                if has_action.(cs) then begin
+                  Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                  task.Nftask.event <- r.(cs) ctx task;
+                  if not (is_faulted task) then
+                    task.Nftask.cs <- step_fn cs task.Nftask.event;
+                  go ()
+                end
+            | None -> (
+                let info = Program.info program cs in
+                match info.Program.action with
+                | None -> ()
+                | Some action ->
+                    Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
+                    tel (fun tr ->
+                        Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
+                          ~nf:info.Program.inst ~cs:info.Program.qname);
+                    task.Nftask.event <-
+                      Fault.guard plane ~nf:info.Program.inst action ctx task;
+                    tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
+                    if not (is_faulted task) then
+                      task.Nftask.cs <- step_fn cs task.Nftask.event;
+                    go ())
       in
       go ();
       incr packets;

@@ -29,10 +29,17 @@ type opts = {
   prefetch_dedup : bool;
   prefetching : bool;  (* false: compile with empty prefetch policies *)
   lint : lint_level;  (* run the static analyzer on every compile *)
+  specialize : bool;  (* attach the specialized hot path (Specialize.install) *)
 }
 
 let default_opts =
-  { match_removal = false; prefetch_dedup = true; prefetching = true; lint = `Off }
+  {
+    match_removal = false;
+    prefetch_dedup = true;
+    prefetching = true;
+    lint = `Off;
+    specialize = false;
+  }
 
 (* ----- redundant matching removal ----- *)
 
@@ -350,10 +357,15 @@ let compile ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
             name));
   if opts.prefetch_dedup && opts.prefetching then
     ignore (remove_redundant_prefetch v.li_info v.li_fsm ~start:v.li_start);
-  {
-    Program.p_name = name;
-    fsm = v.li_fsm;
-    info = v.li_info;
-    start = v.li_start;
-    done_cs = v.li_done;
-  }
+  let program =
+    {
+      Program.p_name = name;
+      fsm = v.li_fsm;
+      info = v.li_info;
+      start = v.li_start;
+      done_cs = v.li_done;
+      payload = None;
+    }
+  in
+  if opts.specialize then Specialize.install program;
+  program

@@ -31,9 +31,13 @@ type opts = {
   prefetch_dedup : bool;
   prefetching : bool;  (** [false]: compile with empty prefetch policies *)
   lint : lint_level;
+  specialize : bool;
+      (** attach the specialized hot path ({!Specialize.install}) to the
+          compiled program *)
 }
 
-(** prefetching on, dedup on, match removal off, lint off. *)
+(** prefetching on, dedup on, match removal off, lint off, specialize
+    off. *)
 val default_opts : opts
 
 (** What the analyzer sees: the compile pipeline stopped just before

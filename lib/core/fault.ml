@@ -169,6 +169,22 @@ let guard t ~nf (action : Action.t) (ctx : Exec_ctx.t) (task : Nftask.t) =
     | (Stack_overflow | Out_of_memory) as e -> raise e
     | _ -> fire Action_raise nf
 
+(* Whether any injection machinery could influence a guarded action. Armed
+   countdowns exist only for injected packet ids and injections are never
+   removed, so a plane with an empty injection table is inert: {!guard} on
+   it behaves exactly like the bare exception barrier. The specialized
+   executors re-check per action (injections arm at source-pull time, so a
+   plane can go live mid-run) and skip the per-action hashtable probe while
+   the plane is inert. *)
+let live t = Hashtbl.length t.injections > 0 || Hashtbl.length t.armed > 0
+
+(* The conversion {!guard} applies to a caught fault, exposed so the
+   specializer's fused runners can inline the barrier: count under [nf] and
+   quarantine with the reason's wire key. *)
+let convert t ~nf reason =
+  count t ~nf reason;
+  Event.Faulted (reason_to_key reason)
+
 (* Completion hook: every finishing task passes through here exactly once.
    [faulted] is the reason the task already faulted with (from its
    [Event.Faulted] event or a load-time quarantine), [None] for a normal

@@ -90,6 +90,19 @@ val on_load : t -> mem:Memsim.Hierarchy.t -> now:int -> Nftask.t -> reason optio
     re-raised. *)
 val guard : t -> nf:string -> Action.t -> Exec_ctx.t -> Nftask.t -> Event.t
 
+(** [true] when the plane's injection machinery could influence a guarded
+    action (any injection registered or countdown armed). On an inert plane
+    {!guard} degenerates to the bare exception barrier; the specialized
+    executors re-check per action (planes can go live mid-run as the
+    generator arms injections at pull time) and skip the per-action
+    hashtable probe while inert. *)
+val live : t -> bool
+
+(** The conversion {!guard} applies to a caught fault: count the reason
+    under [nf] and return the quarantine event. Exposed for the
+    specializer's fused runners, which inline the exception barrier. *)
+val convert : t -> nf:string -> reason -> Event.t
+
 (** Completion hook, called exactly once per finishing task. [faulted] is
     the reason the task already faulted with ([None] for a normal
     completion); the result is the final disposition after poisoning — a

@@ -10,12 +10,17 @@ type cs_info = {
   mutable prefetch : Prefetch.target list;
 }
 
+(* Optimization passes attach compiled artifacts (e.g. the specializer's
+   dense dispatch tables) here without this module depending on them. *)
+type payload = ..
+
 type t = {
   p_name : string;
   fsm : Fsm.t;
   info : cs_info array;
   start : int;
   done_cs : int;
+  mutable payload : payload option;
 }
 
 let name t = t.p_name

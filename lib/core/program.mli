@@ -10,12 +10,18 @@ type cs_info = {
   mutable prefetch : Prefetch.target list;
 }
 
+(** Extension point for compiled artifacts attached by optimization passes
+    (the specializer's dense dispatch tables); keeps this module free of a
+    dependency on the passes themselves. *)
+type payload = ..
+
 type t = {
   p_name : string;
   fsm : Fsm.t;
   info : cs_info array;
   start : int;
   done_cs : int;
+  mutable payload : payload option;
 }
 
 val name : t -> string

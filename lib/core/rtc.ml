@@ -20,6 +20,25 @@ let run ?label ?fault ?telemetry ?on_complete (worker : Worker.t) (program : Pro
      cycles, so traced and untraced runs are cycle-identical. *)
   let tel f = match telemetry with Some tr -> f tr | None -> () in
   (match telemetry with Some tr -> Exec_ctx.attach_trace ctx tr | None -> ());
+  (* Specialized hot path, when the compiler attached one: dense Δ dispatch
+     always; fused action runners only while untraced — a traced run keeps
+     the interpreted action body so span hooks and error ordering are
+     untouched (the runner is guard-equivalent either way, so observations
+     match regardless). *)
+  let spec = Specialize.get program in
+  let step_fn =
+    match spec with
+    | Some sp -> fun cs ev -> Specialize.step sp cs ev
+    | None -> fun cs ev -> Program.step program cs ev
+  in
+  let fast_runners =
+    match (spec, telemetry) with
+    | Some sp, None ->
+        Some
+          (Specialize.runners sp plane ~err:(fun q ->
+               Printf.sprintf "Rtc: control state %s has no action" q))
+    | _ -> None
+  in
   let task = Nftask.create 0 in
   let packets = ref 0 in
   let drops = ref 0 in
@@ -43,26 +62,29 @@ let run ?label ?fault ?telemetry ?on_complete (worker : Worker.t) (program : Pro
           match task.Nftask.event with
           | Event.Faulted _ -> () (* quarantined mid-run; stop executing *)
           | _ ->
-              let next = Program.step program task.Nftask.cs task.Nftask.event in
+              let next = step_fn task.Nftask.cs task.Nftask.event in
               if Program.is_done program next then ()
               else begin
                 task.Nftask.cs <- next;
                 Exec_ctx.compute ctx ~cycles:cfg.Worker.rtc_dispatch_cycles ~instrs:2;
-                let info = Program.info program next in
-                let action =
-                  match info.Program.action with
-                  | Some a -> a
-                  | None ->
-                      invalid_arg
-                        (Printf.sprintf "Rtc: control state %s has no action"
-                           info.Program.qname)
-                in
-                tel (fun tr ->
-                    Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
-                      ~nf:info.Program.inst ~cs:info.Program.qname);
-                task.Nftask.event <-
-                  Fault.guard plane ~nf:info.Program.inst action ctx task;
-                tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
+                (match fast_runners with
+                | Some r -> task.Nftask.event <- r.(next) ctx task
+                | None ->
+                    let info = Program.info program next in
+                    let action =
+                      match info.Program.action with
+                      | Some a -> a
+                      | None ->
+                          invalid_arg
+                            (Printf.sprintf "Rtc: control state %s has no action"
+                               info.Program.qname)
+                    in
+                    tel (fun tr ->
+                        Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock
+                          ~nf:info.Program.inst ~cs:info.Program.qname);
+                    task.Nftask.event <-
+                      Fault.guard plane ~nf:info.Program.inst action ctx task;
+                    tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock));
                 step ()
               end
         in

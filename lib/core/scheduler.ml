@@ -35,6 +35,23 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
      cycles, so traced and untraced runs are cycle-identical. *)
   let tel f = match telemetry with Some tr -> f tr | None -> () in
   (match telemetry with Some tr -> Exec_ctx.attach_trace ctx tr | None -> ());
+  (* Specialized hot path (see rtc.ml): dense Δ dispatch always, fused
+     runners only while untraced so span hooks keep their interpreted
+     ordering. *)
+  let spec = Specialize.get program in
+  let step_fn =
+    match spec with
+    | Some sp -> fun cs ev -> Specialize.step sp cs ev
+    | None -> fun cs ev -> Program.step program cs ev
+  in
+  let fast_runners =
+    match (spec, telemetry) with
+    | Some sp, None ->
+        Some
+          (Specialize.runners sp plane ~err:(fun q ->
+               Printf.sprintf "Scheduler: control state %s has no action" q))
+    | _ -> None
+  in
   let exhausted = ref false in
   let stats = ref { completed = 0; dropped = 0; wire_bytes = 0; faulted = 0 } in
   let switches = ref 0 in
@@ -169,7 +186,7 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
   (* Transition (Δ) + Fetch; returns [false] when the task reached the
      terminal state and was retired. *)
   and transition_and_fetch (task : Nftask.t) =
-    let next = Program.step program task.Nftask.cs task.Nftask.event in
+    let next = step_fn task.Nftask.cs task.Nftask.event in
     Exec_ctx.compute ctx ~cycles:cfg.Worker.fetch_cycles ~instrs:cfg.Worker.fetch_instrs;
     if Program.is_done program next then finalize task
     else begin
@@ -229,21 +246,24 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
             end
       in
       if ready_to_run then begin
-        let info = Program.info program task.Nftask.cs in
-        let action =
-          match info.Program.action with
-          | Some a -> a
-          | None ->
-              invalid_arg
-                (Printf.sprintf "Scheduler: control state %s has no action"
-                   info.Program.qname)
-        in
-        tel (fun tr ->
-            Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock ~nf:info.Program.inst
-              ~cs:info.Program.qname);
-        task.Nftask.event <-
-          Fault.guard plane ~nf:info.Program.inst action ctx task;
-        tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock);
+        (match fast_runners with
+        | Some r -> task.Nftask.event <- r.(task.Nftask.cs) ctx task
+        | None ->
+            let info = Program.info program task.Nftask.cs in
+            let action =
+              match info.Program.action with
+              | Some a -> a
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Scheduler: control state %s has no action"
+                       info.Program.qname)
+            in
+            tel (fun tr ->
+                Trace.on_action_start tr ~ts:ctx.Exec_ctx.clock ~nf:info.Program.inst
+                  ~cs:info.Program.qname);
+            task.Nftask.event <-
+              Fault.guard plane ~nf:info.Program.inst action ctx task;
+            tel (fun tr -> Trace.on_action_end tr ~ts:ctx.Exec_ctx.clock));
         (match task.Nftask.event with
         | Event.Faulted _ -> ignore (finalize task)
         | _ -> ignore (transition_and_fetch task))

@@ -1,0 +1,51 @@
+(** Compile-and-specialize pass: fused action closures and dense FSM
+    dispatch attached to a compiled {!Program} through its payload
+    extension point.
+
+    The artifacts change only host-side dispatch work; every simulated
+    charge (cycles, instructions, memory accesses, fault accounting)
+    reaches the execution context exactly as on the interpreted path, so
+    observations and metrics are byte-identical. Executors consult
+    {!get} once per run and fall back to the interpreter when the pass
+    was not installed. *)
+
+type t
+
+type Program.payload += P of t
+
+(** Build the specialized artifacts for [p] and attach them to its
+    payload slot. Idempotent: an already-specialized program is left
+    untouched. *)
+val install : Program.t -> unit
+
+(** The specialized artifacts, if {!install} ran on this program. *)
+val get : Program.t -> t option
+
+(** Detach the pass from [p] (no-op when absent). The differential oracle
+    uses this to guarantee interpreted baselines on shared program
+    instances. *)
+val remove : Program.t -> unit
+
+val installed : Program.t -> bool
+
+(** Δ through the dense jump table. Semantically identical to
+    {!Program.step}: dead table cells and events without a dense class
+    (quarantine markers) defer to the interpreter, including its
+    undefined-transition [Invalid_argument]. *)
+val step : t -> int -> Event.t -> int
+
+(** One fused runner per control state, binding the action's base charge,
+    body, instance attribution and the fault-plane exception barrier.
+    While [plane] is inert ({!Fault.live} false, re-checked per call) the
+    armed-countdown probe is skipped; conversions are byte-identical to
+    {!Fault.guard}. States without an action raise [Invalid_argument]
+    with [err qname] — each executor supplies its own message so error
+    text is preserved. *)
+val runners :
+  t -> Fault.t -> err:(string -> string) -> (Exec_ctx.t -> Nftask.t -> Event.t) array
+
+(** Width of the dense table: 5 builtin classes + interned user keys. *)
+val n_classes : t -> int
+
+(** The interned user event keys with their classes, sorted by class. *)
+val user_classes : t -> (string * int) list

@@ -97,16 +97,16 @@ let of_pcap (records : Pcap.record list) ~pool : source =
   next
 
 (* Generic flows (NAT / LB / FW / NM / SFC experiments). *)
-let of_flowgen gen ~pool ~count : source =
+let of_flowgen ?arena gen ~pool ~count : source =
   limited count (fun () ->
-      let idx, pkt = Traffic.Flowgen.next_with_idx gen in
+      let idx, pkt = Traffic.Flowgen.next_with_idx ?arena gen in
       Packet.Pool.assign pool pkt;
       { packet = Some pkt; aux = 0; flow_hint = idx })
 
 (* UPF downlink (MGW workload): flow_hint is the PFCP session index. *)
-let of_mgw_downlink mgw ~pool ~count : source =
+let of_mgw_downlink ?arena mgw ~pool ~count : source =
   limited count (fun () ->
-      let si, _pdr, pkt = Traffic.Mgw.next_downlink mgw in
+      let si, _pdr, pkt = Traffic.Mgw.next_downlink ?arena mgw in
       Packet.Pool.assign pool pkt;
       { packet = Some pkt; aux = 0; flow_hint = si })
 
@@ -161,7 +161,7 @@ let msg_of_nas_type ty =
 (* Build the NGAP/NAS signalling packet for (ue, msg): real TCP/SCTP-port
    headers with a genuine NAS-lite PDU as payload — the AMF's dispatch
    action parses it back out of the bytes. *)
-let amf_packet ~ue ~msg =
+let amf_packet ?arena ~ue ~msg () =
   let flow =
     Flow.make
       ~src_ip:(Int32.of_int (0x0A640000 lor (ue land 0xFFFF)))
@@ -169,7 +169,7 @@ let amf_packet ~ue ~msg =
       ~src_port:(38412 + (ue mod 1000))
       ~dst_port:38412 ~proto:Ipv4.proto_tcp
   in
-  let pkt = Packet.make ~flow ~wire_len:120 () in
+  let pkt = Packet.make ?arena ~flow ~wire_len:120 () in
   let nas =
     { Nas.msg_type = nas_type_of_msg msg; ue_id = ue; payload_len = 64 }
   in
@@ -177,9 +177,9 @@ let amf_packet ~ue ~msg =
   pkt.Packet.hdr_len <- pkt.Packet.hdr_len + Nas.encoded_bytes;
   pkt
 
-let of_amf gen ~pool ~count : source =
+let of_amf ?arena gen ~pool ~count : source =
   limited count (fun () ->
       let ue, msg = Traffic.Mgw.amf_next gen in
-      let pkt = amf_packet ~ue ~msg in
+      let pkt = amf_packet ?arena ~ue ~msg () in
       Packet.Pool.assign pool pkt;
       { packet = Some pkt; aux = amf_msg_code msg; flow_hint = ue })

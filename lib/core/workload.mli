@@ -30,10 +30,14 @@ val take : int -> source -> source
 val of_pcap : Netcore.Pcap.record list -> pool:Netcore.Packet.Pool.pool -> source
 
 (** Generic flows (NAT / LB / FW / NM / SFC). *)
-val of_flowgen : Traffic.Flowgen.t -> pool:Netcore.Packet.Pool.pool -> count:int -> source
+val of_flowgen :
+  ?arena:Netcore.Packet.Arena.t -> Traffic.Flowgen.t ->
+  pool:Netcore.Packet.Pool.pool -> count:int -> source
 
 (** UPF downlink; [flow_hint] is the PFCP session index. *)
-val of_mgw_downlink : Traffic.Mgw.t -> pool:Netcore.Packet.Pool.pool -> count:int -> source
+val of_mgw_downlink :
+  ?arena:Netcore.Packet.Arena.t -> Traffic.Mgw.t ->
+  pool:Netcore.Packet.Pool.pool -> count:int -> source
 
 val amf_msg_code : Traffic.Mgw.amf_msg -> int
 
@@ -47,7 +51,11 @@ val msg_of_nas_type : int -> Traffic.Mgw.amf_msg option
 
 (** Signalling packet for (ue, msg): real headers plus an encoded NAS-lite
     PDU the AMF parses back out of the bytes. *)
-val amf_packet : ue:int -> msg:Traffic.Mgw.amf_msg -> Netcore.Packet.t
+val amf_packet :
+  ?arena:Netcore.Packet.Arena.t -> ue:int -> msg:Traffic.Mgw.amf_msg -> unit ->
+  Netcore.Packet.t
 
 (** AMF signalling; [aux] carries the message code, [flow_hint] the UE. *)
-val of_amf : Traffic.Mgw.amf_gen -> pool:Netcore.Packet.Pool.pool -> count:int -> source
+val of_amf :
+  ?arena:Netcore.Packet.Arena.t -> Traffic.Mgw.amf_gen ->
+  pool:Netcore.Packet.Pool.pool -> count:int -> source

@@ -68,6 +68,8 @@ and parse_map lines indent acc =
   | ({ indent = i; _ } as line) :: rest when i = indent -> (
       match split_key line with
       | None -> error line.num ("expected 'key:' or 'key: value', got: " ^ line.content)
+      | Some (key, _) when List.mem_assoc key acc ->
+          error line.num (Printf.sprintf "duplicate key %S" key)
       | Some (key, "") ->
           (* Block value: everything more indented; an immediately following
              list at the same indent also belongs to this key (the common

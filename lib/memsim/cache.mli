@@ -29,6 +29,16 @@ val access : t -> int -> bool
 (** As [access], keyed directly by line number. *)
 val access_line : t -> int -> bool
 
+(** Fused miss-path probe: identical to [access_line] in counters and
+    recency effects, but returns [1] on hit and [-(valid_ways + 1)] on miss
+    so a following [fill_line] can install without re-scanning the set. *)
+val probe_line : t -> int -> int
+
+(** [fill_line t line valid_ways] installs [line] into the set a
+    [probe_line] just missed with [valid_ways] valid entries (no intervening
+    operation on [t]). Same eviction decision and return as [install_line]. *)
+val fill_line : t -> int -> int -> int option
+
 (** Presence test without touching LRU state or counters. *)
 val contains : t -> int -> bool
 

@@ -68,6 +68,7 @@ type t = {
   line_bits : int;
   mshr_line : int array;   (* -1 = free slot *)
   mshr_ready : int array;
+  mutable mshr_used : bool;  (* false until the first slot is occupied *)
   mutable tap : tap option;
   mutable reads : int;
   mutable writes : int;
@@ -103,6 +104,7 @@ let create ?(cfg = default_config) () =
     line_bits = log2_exact cfg.line_bytes;
     mshr_line = Array.make cfg.mshr_count (-1);
     mshr_ready = Array.make cfg.mshr_count 0;
+    mshr_used = false;
     tap = None;
     reads = 0;
     writes = 0;
@@ -138,12 +140,17 @@ let lines_of t ~addr ~bytes =
     go [] last
   end
 
-(* MSHR helpers; slots whose deadline has passed are reclaimed lazily. *)
+(* MSHR helpers; slots whose deadline has passed are reclaimed lazily.
+   [mshr_used] stays false until the first prefetch or stall occupies a
+   slot, letting demand-only executors (per-packet RTC) skip the scan on
+   every line access. *)
 
 let mshr_find t line =
-  let n = Array.length t.mshr_line in
-  let rec go i = if i = n then -1 else if t.mshr_line.(i) = line then i else go (i + 1) in
-  go 0
+  if not t.mshr_used then -1
+  else
+    let n = Array.length t.mshr_line in
+    let rec go i = if i = n then -1 else if t.mshr_line.(i) = line then i else go (i + 1) in
+    go 0
 
 let mshr_free_slot t ~now =
   let n = Array.length t.mshr_line in
@@ -177,9 +184,18 @@ let mshr_clear t line =
   let i = mshr_find t line in
   if i >= 0 then t.mshr_line.(i) <- -1
 
-(* Serve one demand line access at time [now]; returns its latency and the
-   level that served it. *)
-let access_line t ~now line =
+(* Serve one demand line access at time [now]. The result is packed as
+   [latency lsl 3 lor served_code] so the per-line hot path allocates
+   nothing; the tap (telemetry only) unpacks the code back to {!served}. *)
+
+let served_of_code = function
+  | 0 -> Served_l1
+  | 1 -> Served_l2
+  | 2 -> Served_llc
+  | 3 -> Served_dram
+  | _ -> Served_inflight
+
+let access_line_coded t ~now line =
   t.line_accesses <- t.line_accesses + 1;
   match mshr_pending t ~now line with
   | Some ready ->
@@ -190,41 +206,58 @@ let access_line t ~now line =
       mshr_clear t line;
       ignore (Cache.install_line t.l1 line);
       ignore (Cache.install_line t.l2 line);
-      (wait + t.cfg.lat_l1, Served_inflight)
+      ((wait + t.cfg.lat_l1) lsl 3) lor 4
   | None ->
-      if Cache.access_line t.l1 line then begin
+      (* Each level is probed once; on a miss the probe also reports the
+         set's valid-way count so the fill below skips the second scan. *)
+      let p1 = Cache.probe_line t.l1 line in
+      if p1 > 0 then begin
         t.l1_hits <- t.l1_hits + 1;
-        (t.cfg.lat_l1, Served_l1)
-      end
-      else if Cache.access_line t.l2 line then begin
-        t.l2_hits <- t.l2_hits + 1;
-        ignore (Cache.install_line t.l1 line);
-        (t.cfg.lat_l2, Served_l2)
-      end
-      else if Cache.access_line t.llc line then begin
-        t.llc_hits <- t.llc_hits + 1;
-        ignore (Cache.install_line t.l1 line);
-        ignore (Cache.install_line t.l2 line);
-        (t.cfg.lat_llc, Served_llc)
+        t.cfg.lat_l1 lsl 3
       end
       else begin
-        t.dram_fills <- t.dram_fills + 1;
-        ignore (Cache.install_line t.l1 line);
-        ignore (Cache.install_line t.l2 line);
-        ignore (Cache.install_line t.llc line);
-        (t.cfg.lat_dram, Served_dram)
+        let e1 = -p1 - 1 in
+        let p2 = Cache.probe_line t.l2 line in
+        if p2 > 0 then begin
+          t.l2_hits <- t.l2_hits + 1;
+          ignore (Cache.fill_line t.l1 line e1);
+          (t.cfg.lat_l2 lsl 3) lor 1
+        end
+        else begin
+          let e2 = -p2 - 1 in
+          let p3 = Cache.probe_line t.llc line in
+          if p3 > 0 then begin
+            t.llc_hits <- t.llc_hits + 1;
+            ignore (Cache.fill_line t.l1 line e1);
+            ignore (Cache.fill_line t.l2 line e2);
+            (t.cfg.lat_llc lsl 3) lor 2
+          end
+          else begin
+            let e3 = -p3 - 1 in
+            t.dram_fills <- t.dram_fills + 1;
+            ignore (Cache.fill_line t.l1 line e1);
+            ignore (Cache.fill_line t.l2 line e2);
+            ignore (Cache.fill_line t.llc line e3);
+            (t.cfg.lat_dram lsl 3) lor 3
+          end
+        end
       end
 
 let stream_discount t lat = max t.cfg.lat_l1 (lat * t.cfg.stream_num / t.cfg.stream_den)
 
+(* Iterates the block's lines directly — same order and timing as mapping
+   over {!lines_of}, without materialising the list. *)
 let access_block t ~now ~addr ~bytes =
-  let lines = lines_of t ~addr ~bytes in
-  let total = ref 0 in
-  let first_miss_seen = ref false in
-  List.iter
-    (fun line ->
+  if bytes <= 0 then 0
+  else begin
+    let first = line_of t addr in
+    let last = line_of t (addr + bytes - 1) in
+    let total = ref 0 in
+    let first_miss_seen = ref false in
+    for line = first to last do
       let start = now + !total in
-      let lat, served = access_line t ~now:start line in
+      let coded = access_line_coded t ~now:start line in
+      let lat = coded lsr 3 in
       let lat =
         if lat > t.cfg.lat_l1 && !first_miss_seen then stream_discount t lat
         else begin
@@ -233,11 +266,12 @@ let access_block t ~now ~addr ~bytes =
         end
       in
       (match t.tap with
-      | Some f -> f ~now:start ~line ~served ~cycles:lat
+      | Some f -> f ~now:start ~line ~served:(served_of_code (coded land 7)) ~cycles:lat
       | None -> ());
-      total := !total + lat)
-    lines;
-  !total
+      total := !total + lat
+    done;
+    !total
+  end
 
 let read t ~now ~addr ~bytes =
   t.reads <- t.reads + 1;
@@ -253,9 +287,12 @@ let write t ~now ~addr ~bytes =
    resident or pending). Lines are installed immediately so they contend for
    cache space from the moment of issue. *)
 let prefetch t ~now ~addr ~bytes =
-  let issued = ref 0 in
-  List.iter
-    (fun line ->
+  if bytes <= 0 then 0
+  else begin
+    let first = line_of t addr in
+    let last = line_of t (addr + bytes - 1) in
+    let issued = ref 0 in
+    for line = first to last do
       if Cache.contains_line t.l1 line || Cache.contains_line t.l2 line then
         t.prefetch_redundant <- t.prefetch_redundant + 1
       else
@@ -275,25 +312,41 @@ let prefetch t ~now ~addr ~bytes =
                 ignore (Cache.install_line t.l1 line);
                 t.mshr_line.(slot) <- line;
                 t.mshr_ready.(slot) <- now + lat;
+                t.mshr_used <- true;
                 t.prefetch_issued <- t.prefetch_issued + 1;
-                incr issued))
-    (lines_of t ~addr ~bytes);
-  !issued
+                incr issued)
+    done;
+    !issued
+  end
 
 (* A block is "ready" when every line is resident in L1 or L2 and no fetch
    for it is still in flight. Prefetched lines that were evicted before use
    therefore report not-ready and must be re-prefetched. *)
 let ready t ~now ~addr ~bytes =
-  List.for_all
-    (fun line ->
-      (match mshr_pending t ~now line with Some _ -> false | None -> true)
-      && (Cache.contains_line t.l1 line || Cache.contains_line t.l2 line))
-    (lines_of t ~addr ~bytes)
+  if bytes <= 0 then true
+  else begin
+    let first = line_of t addr in
+    let last = line_of t (addr + bytes - 1) in
+    let rec go line =
+      line > last
+      || (match mshr_pending t ~now line with Some _ -> false | None -> true)
+         && (Cache.contains_line t.l1 line || Cache.contains_line t.l2 line)
+         && go (line + 1)
+    in
+    go first
+  end
 
 let resident t ~addr ~bytes =
-  List.for_all
-    (fun line -> Cache.contains_line t.l1 line || Cache.contains_line t.l2 line)
-    (lines_of t ~addr ~bytes)
+  if bytes <= 0 then true
+  else begin
+    let first = line_of t addr in
+    let last = line_of t (addr + bytes - 1) in
+    let rec go line =
+      line > last
+      || (Cache.contains_line t.l1 line || Cache.contains_line t.l2 line) && go (line + 1)
+    in
+    go first
+  end
 
 let counters t : Memstats.t =
   {
@@ -328,6 +381,7 @@ let stall_mshrs t ~now ~cycles =
       incr stalled
     end
   done;
+  if !stalled > 0 then t.mshr_used <- true;
   t.mshr_stalls <- t.mshr_stalls + !stalled;
   !stalled
 
@@ -335,4 +389,5 @@ let clear t =
   Cache.clear t.l1;
   Cache.clear t.l2;
   Cache.clear t.llc;
-  Array.fill t.mshr_line 0 (Array.length t.mshr_line) (-1)
+  Array.fill t.mshr_line 0 (Array.length t.mshr_line) (-1);
+  t.mshr_used <- false

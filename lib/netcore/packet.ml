@@ -9,7 +9,7 @@
      so that header accesses are charged to the cache model. *)
 
 type t = {
-  id : int;
+  mutable id : int;  (* mutable only for arena reuse; fresh per [make] *)
   mutable buf : Bytes.t;
   mutable hdr_len : int;    (* valid bytes at the front of [buf] *)
   mutable l3_off : int;     (* offset of the (innermost) IPv4 header *)
@@ -23,10 +23,11 @@ let max_header_bytes = 128
 
 let next_id = ref 0
 
-(* Build a plain Eth/IPv4/L4 packet for [flow] with the headers actually
-   encoded into [buf]. *)
-let make ?(src_mac = 0x020000000001) ?(dst_mac = 0x020000000002) ~flow ~wire_len () =
-  let buf = Bytes.make max_header_bytes '\000' in
+(* Encode the Eth/IPv4/L4 headers for [flow] into [buf] (assumed zeroed);
+   returns (l3_off, l4_off, hdr_len, wire_len). Shared by fresh
+   construction and arena reuse so the two produce byte-identical
+   packets. *)
+let encode_headers ~src_mac ~dst_mac ~flow ~wire_len buf =
   let eth = Ethernet.{ dst = dst_mac; src = src_mac; ethertype = ethertype_ipv4 } in
   Ethernet.encode eth buf ~off:0;
   let l3_off = Ethernet.header_bytes in
@@ -56,17 +57,74 @@ let make ?(src_mac = 0x020000000001) ?(dst_mac = 0x020000000002) ~flow ~wire_len
            flags = { syn = false; ack = true; fin = false; rst = false };
            window = 65535 }
       buf ~off:l4_off;
-  incr next_id;
-  {
-    id = !next_id;
-    buf;
-    hdr_len = l4_off + l4_len;
-    l3_off;
-    l4_off;
-    wire_len = max wire_len (l4_off + l4_len);
-    flow;
-    sim_addr = -1;
-  }
+  (l3_off, l4_off, l4_off + l4_len, max wire_len (l4_off + l4_len))
+
+(* Zero-alloc packet arena: a ring of packet records recycled in place.
+   Reuse resets every field to the exact state a fresh [make] would
+   produce — same global id counter, zeroed buffer, unassigned
+   [sim_addr] — so an arena-fed run is byte-identical to a fresh-allocation
+   run. The caller must size the ring beyond its maximum in-flight packet
+   count (executors retire a packet before its slot comes around again at
+   the default size). *)
+module Arena = struct
+  type packet = t
+  type t = { slots : packet option array; mutable next : int }
+
+  let default_size = 1024
+
+  let create ?(size = default_size) () =
+    if size <= 0 then invalid_arg "Packet.Arena.create: size must be positive";
+    { slots = Array.make size None; next = 0 }
+
+  let size a = Array.length a.slots
+
+  (* The slot the next packet will occupy, advancing the ring. *)
+  let take a =
+    let i = a.next in
+    a.next <- (i + 1) mod Array.length a.slots;
+    i
+end
+
+(* Build a plain Eth/IPv4/L4 packet for [flow] with the headers actually
+   encoded into [buf]. With [arena], recycle the ring's next record in
+   place instead of allocating. *)
+let make ?(src_mac = 0x020000000001) ?(dst_mac = 0x020000000002) ?arena ~flow
+    ~wire_len () =
+  let fresh () =
+    let buf = Bytes.make max_header_bytes '\000' in
+    let l3_off, l4_off, hdr_len, wire_len =
+      encode_headers ~src_mac ~dst_mac ~flow ~wire_len buf
+    in
+    incr next_id;
+    { id = !next_id; buf; hdr_len; l3_off; l4_off; wire_len; flow; sim_addr = -1 }
+  in
+  match arena with
+  | None -> fresh ()
+  | Some a -> (
+      let slot = Arena.take a in
+      match a.Arena.slots.(slot) with
+      | None ->
+          let p = fresh () in
+          a.Arena.slots.(slot) <- Some p;
+          p
+      | Some p ->
+          (* GTP-U encapsulation can have grown the buffer; restore the
+             canonical geometry before re-encoding. *)
+          if Bytes.length p.buf <> max_header_bytes then
+            p.buf <- Bytes.make max_header_bytes '\000'
+          else Bytes.fill p.buf 0 max_header_bytes '\000';
+          let l3_off, l4_off, hdr_len, wire_len =
+            encode_headers ~src_mac ~dst_mac ~flow ~wire_len p.buf
+          in
+          incr next_id;
+          p.id <- !next_id;
+          p.hdr_len <- hdr_len;
+          p.l3_off <- l3_off;
+          p.l4_off <- l4_off;
+          p.wire_len <- wire_len;
+          p.flow <- flow;
+          p.sim_addr <- -1;
+          p)
 
 let ipv4 t = Ipv4.decode t.buf ~off:t.l3_off
 

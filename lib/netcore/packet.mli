@@ -4,7 +4,7 @@
     to the cache model. *)
 
 type t = {
-  id : int;
+  mutable id : int;  (** unique per construction (arena reuse re-stamps) *)
   mutable buf : Bytes.t;  (** header bytes *)
   mutable hdr_len : int;  (** valid bytes at the front of [buf] *)
   mutable l3_off : int;  (** offset of the (innermost) IPv4 header *)
@@ -16,8 +16,28 @@ type t = {
 
 val max_header_bytes : int
 
-(** Build an Eth/IPv4/UDP-or-TCP packet for [flow], encoding real headers. *)
-val make : ?src_mac:Ethernet.mac -> ?dst_mac:Ethernet.mac -> flow:Flow.t -> wire_len:int -> unit -> t
+(** Zero-alloc packet arena: a ring of packet records recycled in place by
+    {!make}. Reuse resets every field to the exact state a fresh
+    construction would produce (same global id counter, zeroed buffer,
+    unassigned address), so arena-fed runs are byte-identical to
+    fresh-allocation runs. Size the ring beyond the maximum number of
+    packets simultaneously in flight. *)
+module Arena : sig
+  type t
+
+  val default_size : int
+
+  (** @raise Invalid_argument when [size <= 0]. *)
+  val create : ?size:int -> unit -> t
+
+  val size : t -> int
+end
+
+(** Build an Eth/IPv4/UDP-or-TCP packet for [flow], encoding real headers.
+    With [arena], recycle the ring's next record instead of allocating. *)
+val make :
+  ?src_mac:Ethernet.mac -> ?dst_mac:Ethernet.mac -> ?arena:Arena.t -> flow:Flow.t ->
+  wire_len:int -> unit -> t
 
 (** Decode the (innermost) IPv4 header from the actual bytes. *)
 val ipv4 : t -> Ipv4.t

@@ -35,6 +35,7 @@ type insert_result =
 type t = {
   mask : int;  (* nbuckets - 1 *)
   keys : int64 array;  (* nbuckets * slots; slot empty when vals.(i) < 0 *)
+  fps : int array;  (* cached fingerprint of keys.(i); valid where vals.(i) >= 0 *)
   vals : int array;
   stamps : int array;  (* per-slot insertion stamp; LRU-ish eviction order *)
   base_addr : int;  (* bucket array: fingerprints + value indices *)
@@ -66,6 +67,7 @@ let create layout ~label ~capacity () =
   {
     mask = nbuckets - 1;
     keys = Array.make nslots 0L;
+    fps = Array.make nslots 0;
     vals = Array.make nslots (-1);
     stamps = Array.make nslots 0;
     base_addr;
@@ -80,18 +82,24 @@ let create layout ~label ~capacity () =
 let nbuckets t = t.mask + 1
 let population t = t.population
 
-let mix64 seed k =
+(* [hash1]/[hash2] are the finalizer of splitmix64 flattened into a single arithmetic chain so
+   the native compiler keeps every Int64 intermediate unboxed — these run on
+   every table probe of every packet. *)
+let hash1 t key =
   let open Int64 in
-  let z = mul (logxor k seed) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor key t.seed1) 0xFF51AFD7ED558CCDL in
   let z = logxor z (shift_right_logical z 33) in
   let z = mul z 0xC4CEB9FE1A85EC53L in
-  logxor z (shift_right_logical z 33)
-
-let hash1 t key = Int64.to_int (mix64 t.seed1 key) land t.mask
+  to_int (logxor z (shift_right_logical z 33)) land t.mask
 
 (* Partial-key style alternate bucket: derived from the key so that it can
    be recomputed from either bucket. *)
-let hash2 t key = Int64.to_int (mix64 t.seed2 key) land t.mask
+let hash2 t key =
+  let open Int64 in
+  let z = mul (logxor key t.seed2) 0xFF51AFD7ED558CCDL in
+  let z = logxor z (shift_right_logical z 33) in
+  let z = mul z 0xC4CEB9FE1A85EC53L in
+  to_int (logxor z (shift_right_logical z 33)) land t.mask
 
 let bucket_addr t bucket = t.base_addr + (bucket * bucket_bytes)
 
@@ -109,13 +117,15 @@ let fingerprint key =
 let slot_base bucket = bucket * slots_per_bucket
 
 (* Slots of [bucket] whose stored fingerprint matches [key]'s — what the
-   bucket_check action can decide from the bucket line alone. *)
+   bucket_check action can decide from the bucket line alone. Resident
+   fingerprints come from the [fps] cache maintained at every key write, so
+   the probe does one multiply instead of one per occupied slot. *)
 let candidates t ~bucket ~key =
   let fp = fingerprint key in
   let b = slot_base bucket in
   let rec go i acc =
     if i < 0 then acc
-    else if t.vals.(b + i) >= 0 && fingerprint t.keys.(b + i) = fp then go (i - 1) (i :: acc)
+    else if t.vals.(b + i) >= 0 && t.fps.(b + i) = fp then go (i - 1) (i :: acc)
     else go (i - 1) acc
   in
   go (slots_per_bucket - 1) []
@@ -149,6 +159,7 @@ let try_place t ~key ~value bucket =
   match empty_slot_in t bucket with
   | Some slot ->
       t.keys.(slot) <- key;
+      t.fps.(slot) <- fingerprint key;
       t.vals.(slot) <- value;
       t.stamps.(slot) <- t.tick;
       true
@@ -183,6 +194,7 @@ let walk_place t ~key ~value ~stamp ~bucket =
     (match empty_slot_in t bucket with
     | Some slot ->
         t.keys.(slot) <- key;
+        t.fps.(slot) <- fingerprint key;
         t.vals.(slot) <- value;
         t.stamps.(slot) <- stamp;
         true
@@ -196,6 +208,7 @@ let walk_place t ~key ~value ~stamp ~bucket =
             let vstamp = t.stamps.(victim) in
             undo := (victim, vkey, vval, vstamp) :: !undo;
             t.keys.(victim) <- key;
+            t.fps.(victim) <- fingerprint key;
             t.vals.(victim) <- value;
             t.stamps.(victim) <- stamp;
             let alt =
@@ -210,6 +223,7 @@ let walk_place t ~key ~value ~stamp ~bucket =
     List.iter
       (fun (slot, k, v, s) ->
         t.keys.(slot) <- k;
+        t.fps.(slot) <- fingerprint k;
         t.vals.(slot) <- v;
         t.stamps.(slot) <- s)
       !undo;
@@ -262,6 +276,7 @@ let insert_policy t ~policy ~key ~value =
         | slot ->
             let victim_key = t.keys.(slot) and victim_value = t.vals.(slot) in
             t.keys.(slot) <- key;
+            t.fps.(slot) <- fingerprint key;
             t.vals.(slot) <- value;
             t.stamps.(slot) <- t.tick;
             (* one out, one in: population unchanged *)

@@ -120,6 +120,53 @@ let of_string s =
 
 let equal (a : t) (b : t) = a = b
 
+(* ----- drift check ----- *)
+
+(* Compare a freshly collected baseline against an expected one, exact
+   (0.0 tolerance: the series are simulated, so any drift is a behaviour
+   change). Only the figures that actually ran are compared — a partial
+   bench run checks its slice. [skip] names metrics whose *values* are
+   host wall-clock measurements (their presence is still required); pass
+   [fun _ -> false] to compare everything. Returns human-readable drift
+   lines, empty when clean. *)
+let diff ~expected ~actual ~skip =
+  let out = ref [] in
+  let drift fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let check_point ctx (e : point) (a : point) =
+    if e.x <> a.x then drift "%s: x %g <> %g" ctx e.x a.x;
+    let keys l = List.map fst l in
+    if keys e.metrics <> keys a.metrics then
+      drift "%s (x=%g): metric keys [%s] <> [%s]" ctx e.x
+        (String.concat "," (keys e.metrics))
+        (String.concat "," (keys a.metrics))
+    else
+      List.iter2
+        (fun (k, ev) (_, av) ->
+          if (not (skip k)) && ev <> av then
+            drift "%s (x=%g): %s %.17g <> %.17g" ctx e.x k ev av)
+        e.metrics a.metrics
+  in
+  let check_series fig (e : series) (a : series) =
+    let ctx = Printf.sprintf "%s/%s" fig e.s_label in
+    if List.length e.points <> List.length a.points then
+      drift "%s: %d points expected, %d measured" ctx (List.length e.points)
+        (List.length a.points)
+    else List.iter2 (check_point ctx) e.points a.points
+  in
+  List.iter
+    (fun (a : figure) ->
+      match List.find_opt (fun (e : figure) -> e.f_name = a.f_name) expected.figures with
+      | None -> drift "%s: not in expected baseline" a.f_name
+      | Some e ->
+          let labels (f : figure) = List.map (fun s -> s.s_label) f.series in
+          if labels e <> labels a then
+            drift "%s: series [%s] <> [%s]" a.f_name
+              (String.concat "," (labels e))
+              (String.concat "," (labels a))
+          else List.iter2 (check_series a.f_name) e.series a.series)
+    actual.figures;
+  List.rev !out
+
 (* ----- collection during a bench run ----- *)
 
 (* Figures register points as they print their tables; the collector keeps

@@ -83,10 +83,10 @@ let sample_size t =
 
 (* Fresh packet for a sampled flow; returns the flow index too so callers
    can cross-check state lookups. *)
-let next_with_idx t =
+let next_with_idx ?arena t =
   let i = sample_flow_idx t in
   let wire_len = sample_size t in
-  (i, Packet.make ~flow:t.flows.(i) ~wire_len ())
+  (i, Packet.make ?arena ~flow:t.flows.(i) ~wire_len ())
 
 let next t = snd (next_with_idx t)
 

@@ -25,7 +25,7 @@ val flows : t -> Netcore.Flow.t array
 val flow : t -> int -> Netcore.Flow.t
 
 (** Fresh packet for a sampled flow, with the flow's universe index. *)
-val next_with_idx : t -> int * Netcore.Packet.t
+val next_with_idx : ?arena:Netcore.Packet.Arena.t -> t -> int * Netcore.Packet.t
 
 val next : t -> Netcore.Packet.t
 

@@ -55,7 +55,7 @@ let sample_session_idx t =
   | Some z -> Zipf.sample z t.rng
 
 (* A downlink packet towards a sampled UE, hitting a sampled PDR. *)
-let next_downlink t =
+let next_downlink ?arena t =
   let si = sample_session_idx t in
   let s = t.sessions.(si) in
   let pdr = Memsim.Rng.int t.rng s.n_pdrs in
@@ -67,7 +67,7 @@ let next_downlink t =
       ~dst_ip:s.ue_ip ~src_port ~dst_port:(10000 + (si mod 1000))
       ~proto:Ipv4.proto_udp
   in
-  (si, pdr, Packet.make ~flow ~wire_len:t.wire_len ())
+  (si, pdr, Packet.make ?arena ~flow ~wire_len:t.wire_len ())
 
 (* An uplink packet: UE -> data network, GTP-U encapsulated by the RAN
    towards the UPF's N3 address. *)

@@ -25,7 +25,7 @@ val session : t -> int -> session
 
 (** Downlink (N6 -> UE) packet hitting a sampled (session, PDR):
     [(session_idx, pdr_idx, packet)]. *)
-val next_downlink : t -> int * int * Netcore.Packet.t
+val next_downlink : ?arena:Netcore.Packet.Arena.t -> t -> int * int * Netcore.Packet.t
 
 (** Uplink (UE -> N6) packet, GTP-U encapsulated by the RAN towards the
     UPF: [(session_idx, packet)]. *)

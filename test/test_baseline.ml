@@ -1,0 +1,239 @@
+(* The machine-readable bench baseline (schema gunfu-bench-baseline/1):
+   JSON round-trips losslessly, the collector preserves insertion order,
+   rejects are errors not exceptions, and the exact-drift checker behind
+   `bench --check-baseline` flags value/shape changes at 0.0 tolerance
+   while waiving only the *values* of skip-listed wall-clock metrics. *)
+
+open Telemetry
+
+let sample () =
+  let c = Baseline.collector () in
+  Baseline.record c ~fig:"fig2" ~title:"UPF concurrency" ~series:"RTC" ~x:1.0
+    [ ("mpps", 1.25); ("cycles_per_packet", 812.5) ];
+  Baseline.record c ~fig:"fig2" ~title:"UPF concurrency" ~series:"RTC" ~x:2.0
+    [ ("mpps", 1.5); ("cycles_per_packet", 700.0) ];
+  Baseline.record c ~fig:"fig2" ~title:"UPF concurrency" ~series:"IL-16" ~x:1.0
+    [ ("mpps", 3.75); ("cycles_per_packet", 300.25) ];
+  Baseline.record c ~fig:"fig9" ~title:"context switches" ~series:"nftask" ~x:0.0
+    [ ("switches_per_s", 7.5e8); ("ns_per_switch", 1.33) ];
+  Baseline.to_baseline c ~pr:"PRX"
+
+let test_schema_pinned () =
+  Alcotest.(check string) "schema id" "gunfu-bench-baseline/1" Baseline.schema_id
+
+let test_roundtrip () =
+  let b = sample () in
+  match Baseline.of_string (Baseline.to_string b) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok b' ->
+      Alcotest.(check bool) "to_string |> of_string is the identity" true
+        (Baseline.equal b b');
+      (* Order is part of the schema: figures and series come back in
+         insertion order. *)
+      Alcotest.(check (list string)) "figure order" [ "fig2"; "fig9" ]
+        (List.map (fun f -> f.Baseline.f_name) b'.Baseline.figures);
+      let fig2 = List.hd b'.Baseline.figures in
+      Alcotest.(check (list string)) "series order" [ "RTC"; "IL-16" ]
+        (List.map (fun s -> s.Baseline.s_label) fig2.Baseline.series)
+
+let test_committed_baseline_roundtrips () =
+  (* The baseline committed at the repo root must parse under the current
+     schema and survive a round-trip. *)
+  let path = "../BENCH_PR4.json" in
+  let contents =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Baseline.of_string contents with
+  | Error e -> Alcotest.failf "committed BENCH_PR4.json does not parse: %s" e
+  | Ok b ->
+      Alcotest.(check string) "pr tag" "PR4" b.Baseline.pr;
+      Alcotest.(check bool) "has figures" true (b.Baseline.figures <> []);
+      (match Baseline.of_string (Baseline.to_string b) with
+      | Ok b' -> Alcotest.(check bool) "round-trips" true (Baseline.equal b b')
+      | Error e -> Alcotest.failf "re-parse failed: %s" e);
+      Alcotest.(check (list string)) "self-diff is clean" []
+        (Baseline.diff ~expected:b ~actual:b ~skip:(fun _ -> false))
+
+let test_rejects () =
+  List.iter
+    (fun (label, s) ->
+      match Baseline.of_string s with
+      | Ok _ -> Alcotest.failf "%s accepted" label
+      | Error _ -> ())
+    [
+      ("garbage", "not json");
+      ("wrong shape", "[1,2,3]");
+      ( "wrong schema",
+        {|{"schema":"gunfu-bench-baseline/999","pr":"PRX","figures":[]}|} );
+    ]
+
+let no_skip = fun _ -> false
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let expect_drift label ~expected ~actual ~skip needle =
+  match Baseline.diff ~expected ~actual ~skip with
+  | [] -> Alcotest.failf "%s: drift not detected" label
+  | lines ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" label (String.concat "; " lines) needle)
+        true
+        (List.exists (fun l -> contains l needle) lines)
+
+(* Rebuild the sample with one value nudged. *)
+let tweaked delta =
+  let b = sample () in
+  {
+    b with
+    Baseline.figures =
+      List.map
+        (fun f ->
+          if f.Baseline.f_name <> "fig2" then f
+          else
+            {
+              f with
+              Baseline.series =
+                List.map
+                  (fun s ->
+                    if s.Baseline.s_label <> "RTC" then s
+                    else
+                      {
+                        s with
+                        Baseline.points =
+                          List.map
+                            (fun (p : Baseline.point) ->
+                              if p.Baseline.x <> 1.0 then p
+                              else
+                                {
+                                  p with
+                                  Baseline.metrics =
+                                    List.map
+                                      (fun (k, v) ->
+                                        if k = "mpps" then (k, v +. delta) else (k, v))
+                                      p.Baseline.metrics;
+                                })
+                            s.Baseline.points;
+                      })
+                  f.Baseline.series;
+            })
+        b.Baseline.figures;
+  }
+
+let test_diff_exact_tolerance () =
+  let b = sample () in
+  Alcotest.(check (list string)) "identical baselines are clean" []
+    (Baseline.diff ~expected:b ~actual:b ~skip:no_skip);
+  (* 0.0 tolerance: even an ulp-scale nudge is drift. *)
+  expect_drift "tiny value drift" ~expected:b ~actual:(tweaked 1e-12) ~skip:no_skip
+    "mpps";
+  (* ... unless the metric is skip-listed. *)
+  Alcotest.(check (list string)) "skip waives the value comparison" []
+    (Baseline.diff ~expected:b ~actual:(tweaked 1e-12) ~skip:(fun k -> k = "mpps"))
+
+let test_diff_shapes () =
+  let b = sample () in
+  (* A partial run (subset of expected figures) is clean... *)
+  let partial =
+    { b with Baseline.figures = [ List.hd b.Baseline.figures ] }
+  in
+  Alcotest.(check (list string)) "partial run checks its slice" []
+    (Baseline.diff ~expected:b ~actual:partial ~skip:no_skip);
+  (* ... but a figure the expected baseline has never seen is drift. *)
+  let renamed =
+    {
+      b with
+      Baseline.figures =
+        List.map
+          (fun f ->
+            if f.Baseline.f_name = "fig9" then { f with Baseline.f_name = "fig99" }
+            else f)
+          b.Baseline.figures;
+    }
+  in
+  expect_drift "unknown figure" ~expected:b ~actual:renamed ~skip:no_skip
+    "not in expected baseline";
+  (* Series label sets must match exactly. *)
+  let dropped_series =
+    {
+      b with
+      Baseline.figures =
+        List.map
+          (fun f ->
+            if f.Baseline.f_name = "fig2" then
+              { f with Baseline.series = [ List.hd f.Baseline.series ] }
+            else f)
+          b.Baseline.figures;
+    }
+  in
+  expect_drift "missing series" ~expected:b ~actual:dropped_series ~skip:no_skip
+    "series";
+  (* Point counts per series must match. *)
+  let dropped_point =
+    {
+      b with
+      Baseline.figures =
+        List.map
+          (fun f ->
+            {
+              f with
+              Baseline.series =
+                List.map
+                  (fun s ->
+                    if s.Baseline.s_label = "RTC" then
+                      { s with Baseline.points = [ List.hd s.Baseline.points ] }
+                    else s)
+                  f.Baseline.series;
+            })
+          b.Baseline.figures;
+    }
+  in
+  expect_drift "missing point" ~expected:b ~actual:dropped_point ~skip:no_skip
+    "points";
+  (* A skip-listed metric's *presence* is still required. *)
+  let key_dropped =
+    {
+      b with
+      Baseline.figures =
+        List.map
+          (fun f ->
+            {
+              f with
+              Baseline.series =
+                List.map
+                  (fun s ->
+                    {
+                      s with
+                      Baseline.points =
+                        List.map
+                          (fun (p : Baseline.point) ->
+                            {
+                              p with
+                              Baseline.metrics =
+                                List.filter (fun (k, _) -> k <> "mpps") p.Baseline.metrics;
+                            })
+                          s.Baseline.points;
+                    })
+                  f.Baseline.series;
+            })
+          b.Baseline.figures;
+    }
+  in
+  expect_drift "skip does not waive key presence" ~expected:b ~actual:key_dropped
+    ~skip:(fun k -> k = "mpps") "metric keys"
+
+let suite =
+  [
+    Alcotest.test_case "schema id pinned" `Quick test_schema_pinned;
+    Alcotest.test_case "round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "committed BENCH_PR4.json round-trips" `Quick
+      test_committed_baseline_roundtrips;
+    Alcotest.test_case "malformed inputs rejected" `Quick test_rejects;
+    Alcotest.test_case "diff: exact tolerance + skip" `Quick test_diff_exact_tolerance;
+    Alcotest.test_case "diff: shape changes flagged" `Quick test_diff_shapes;
+  ]

@@ -8,6 +8,7 @@ let no_opt =
     prefetch_dedup = false;
     prefetching = true;
     lint = `Off;
+    specialize = false;
   }
 
 let test_flatten_structure () =
@@ -98,7 +99,7 @@ let count_states_with_prefix p prefix =
   !n
 
 let test_match_removal_prunes_classifiers () =
-  let with_mr = { Compiler.default_opts with match_removal = true } in
+  let with_mr = { Compiler.default_opts with Compiler.match_removal = true } in
   let s = Helpers.sfc_setup ~length:4 ~opts:with_mr () in
   let p = s.Helpers.s_program in
   (* Only the first classifier (lb_cls) survives; nat/nm/fw classifiers are
@@ -118,7 +119,7 @@ let test_match_removal_keeps_different_keys () =
     Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs:4 ()
   in
   Nfs.Upf.populate upf;
-  let p = Nfs.Upf.program ~opts:{ Compiler.default_opts with match_removal = true } upf in
+  let p = Nfs.Upf.program ~opts:{ Compiler.default_opts with Compiler.match_removal = true } upf in
   Alcotest.(check bool) "session classifier kept" true
     (count_states_with_prefix p "upf_cls." > 0);
   Alcotest.(check bool) "pdr matcher kept" true (count_states_with_prefix p "upf_pdr." > 0)
@@ -133,7 +134,7 @@ let test_match_removal_preserves_behaviour () =
     (r, s)
   in
   let r_plain, s_plain = run Compiler.default_opts in
-  let r_mr, s_mr = run { Compiler.default_opts with match_removal = true } in
+  let r_mr, s_mr = run { Compiler.default_opts with Compiler.match_removal = true } in
   Alcotest.(check int) "same packet count" r_plain.Metrics.packets r_mr.Metrics.packets;
   Alcotest.(check int) "same drops" r_plain.Metrics.drops r_mr.Metrics.drops;
   (* Monitor accounting must agree flow-by-flow (same seed => same traffic). *)
@@ -149,7 +150,7 @@ let test_match_removal_faster () =
       (Workload.of_flowgen s.Helpers.s_gen ~pool:s.Helpers.s_pool ~count:20_000)
   in
   let plain = run Compiler.default_opts in
-  let mr = run { Compiler.default_opts with match_removal = true } in
+  let mr = run { Compiler.default_opts with Compiler.match_removal = true } in
   Alcotest.(check bool) "MR at least 1.5x faster on len-6 SFC" true
     (Metrics.mpps mr > 1.5 *. Metrics.mpps plain)
 
@@ -198,7 +199,7 @@ let test_prefetch_dedup_off () =
     (has_header "nat_cls.get_key")
 
 let test_prefetching_disabled () =
-  let opts = { Compiler.default_opts with prefetching = false } in
+  let opts = { Compiler.default_opts with Compiler.prefetching = false } in
   let s = Helpers.nat_setup ~opts () in
   let p = s.Helpers.program in
   for i = 0 to Program.n_states p - 1 do

@@ -289,6 +289,36 @@ let test_disabled_injection_identical () =
       Alcotest.(check int) "no faults" 0 zero.Oracle.o_run.Metrics.faulted)
     [ Oracle.reference; List.hd Oracle.executors; List.nth Oracle.executors 5 ]
 
+(* The specialized hot path's exception barrier must be byte-identical to
+   Fault.guard: under a 1-2% injected schedule, every executor running
+   specialized agrees with the interpreted reference — same faulted
+   counts, same taxonomy, same per-flow streams, same state digests. *)
+let test_specialized_agrees_under_faults () =
+  List.iter
+    (fun profile ->
+      let case = Progen.case ~seed:19 ~profile ~packets:96 in
+      let plan = Faultgen.create ~rate_ppm:15_000 ~seed:19 () in
+      Alcotest.(check bool)
+        (profile ^ ": 1.5% schedule actually injects")
+        true
+        (Faultgen.planned plan ~packets:96 > 0);
+      let ref_obs = observe_with ~plan Oracle.reference case in
+      assert_invariants ("rtc/" ^ profile) ref_obs;
+      List.iter
+        (fun exec ->
+          let obs =
+            Oracle.observe ~specialize:true ~plan exec
+              (case.Oracle.c_build ~packets:case.Oracle.c_packets)
+          in
+          (match Oracle.diff_observations ~reference:ref_obs obs with
+          | None -> ()
+          | Some d ->
+              Alcotest.failf "%s diverges under faults (%s): %s" obs.Oracle.o_label
+                profile d);
+          assert_invariants (obs.Oracle.o_label ^ "/" ^ profile) obs)
+        (Oracle.reference :: Oracle.executors))
+    [ "uniform"; "zipf" ]
+
 (* Property: for any seed, profile and executor, a moderate injected
    schedule never produces a cross-executor divergence. *)
 let prop_no_divergence_under_faults =
@@ -302,6 +332,19 @@ let prop_no_divergence_under_faults =
       let plan = Faultgen.create ~rate_ppm:120_000 ~seed:(seed + 1) () in
       let exec = List.nth Oracle.executors xi in
       Oracle.diverges ~plan case exec ~packets:48 = None)
+
+(* Same property with the executor under test specialized. *)
+let prop_specialized_no_divergence_under_faults =
+  QCheck.Test.make ~name:"specialized path agrees under injected faults" ~count:15
+    QCheck.(
+      triple (int_bound 1_000) (int_bound 3)
+        (int_bound (List.length Oracle.executors - 1)))
+    (fun (seed, pi, xi) ->
+      let profile = List.nth Progen.profiles pi in
+      let case = Progen.case ~seed:(seed + 1) ~profile ~packets:48 in
+      let plan = Faultgen.create ~rate_ppm:120_000 ~seed:(seed + 1) () in
+      let exec = List.nth Oracle.executors xi in
+      Oracle.diverges ~plan ~specialize:true case exec ~packets:48 = None)
 
 let suite =
   [
@@ -322,5 +365,8 @@ let suite =
     Alcotest.test_case "heavy faults poison flows" `Quick test_heavy_faults_poison_flows;
     Alcotest.test_case "disabled injection is identical" `Quick
       test_disabled_injection_identical;
+    Alcotest.test_case "specialized path agrees under faults" `Slow
+      test_specialized_agrees_under_faults;
     Helpers.qcheck prop_no_divergence_under_faults;
+    Helpers.qcheck prop_specialized_no_divergence_under_faults;
   ]

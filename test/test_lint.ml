@@ -269,7 +269,7 @@ let cold_instance () =
 let cold_nf = { Spec.n_name = "coldnf"; n_modules = [ ("c", "bad_cold") ]; n_transitions = [] }
 
 let test_lint_error_fails_compilation () =
-  let opts = { Compiler.default_opts with lint = `Error } in
+  let opts = { Compiler.default_opts with Compiler.lint = `Error } in
   match Compiler.compile ~opts ~name:"coldnf" [ cold_instance () ] cold_nf with
   | exception Compiler.Compile_error msg ->
       Alcotest.(check bool) "error names the analyzer" true
@@ -277,12 +277,12 @@ let test_lint_error_fails_compilation () =
   | _ -> Alcotest.fail "lint = `Error must fail compilation on a cold access"
 
 let test_lint_warn_compiles () =
-  let opts = { Compiler.default_opts with lint = `Warn } in
+  let opts = { Compiler.default_opts with Compiler.lint = `Warn } in
   let p = Compiler.compile ~opts ~name:"coldnf" [ cold_instance () ] cold_nf in
   Alcotest.(check bool) "program still built" true (Program.n_states p > 0)
 
 let test_lint_clean_program_compiles_strictly () =
-  let opts = { Compiler.default_opts with lint = `Error } in
+  let opts = { Compiler.default_opts with Compiler.lint = `Error } in
   let p = Compiler.compile ~opts ~name:"toy" [ toy_sd_instance () ] toy_nf in
   (* Info-severity findings (the short-distance note) never fail. *)
   Alcotest.(check bool) "clean program compiles under `Error" true (Program.n_states p > 0)

@@ -33,4 +33,6 @@ let () =
       ("invariants", Test_invariants.suite);
       ("fault", Test_fault.suite);
       ("telemetry", Test_telemetry.suite);
+      ("specialize", Test_specialize.suite);
+      ("baseline", Test_baseline.suite);
     ]

@@ -32,7 +32,7 @@ let test_msg_type_mapping_bijective () =
     (Option.map (fun _ -> ()) (Workload.msg_of_nas_type 0xEE))
 
 let test_amf_packet_carries_nas () =
-  let pkt = Workload.amf_packet ~ue:42 ~msg:Traffic.Mgw.Registration_request in
+  let pkt = Workload.amf_packet ~ue:42 ~msg:Traffic.Mgw.Registration_request () in
   let off = pkt.Netcore.Packet.l4_off + Netcore.L4.tcp_header_bytes in
   let nas = Netcore.Nas.decode pkt.Netcore.Packet.buf ~off in
   Alcotest.(check int) "nas carries the UE id" 42 nas.Netcore.Nas.ue_id;
@@ -48,7 +48,7 @@ let test_dispatch_parses_bytes_not_aux () =
   let amf = Nfs.Amf.create layout ~name:"amf" ~n_ues:4 () in
   Nfs.Amf.populate amf;
   let program = Nfs.Amf.program amf in
-  let pkt = Workload.amf_packet ~ue:0 ~msg:Traffic.Mgw.Registration_request in
+  let pkt = Workload.amf_packet ~ue:0 ~msg:Traffic.Mgw.Registration_request () in
   Netcore.Packet.Pool.assign pool pkt;
   (* aux lies: it says Security_mode_complete. *)
   let item =

@@ -14,7 +14,7 @@ let sample_establishment () =
     payload =
       Netcore.Pfcp.Establishment_request
         {
-          cp_seid = 42L;
+          Netcore.Pfcp.cp_seid = 42L;
           cp_addr = Netcore.Ipv4.addr_of_string "10.250.1.1";
           ue_ip = Netcore.Ipv4.addr_of_string "100.64.0.5";
           pdrs;
@@ -210,7 +210,7 @@ let qcheck_codec_roundtrip =
           payload =
             Netcore.Pfcp.Establishment_request
               {
-                cp_seid = Int64.of_int ue_i;
+                Netcore.Pfcp.cp_seid = Int64.of_int ue_i;
                 cp_addr = 1l;
                 ue_ip = Int32.of_int ue_i;
                 pdrs;

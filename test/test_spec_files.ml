@@ -69,10 +69,171 @@ let test_sfc4_file_matches_builder () =
   Alcotest.(check (list (triple string string string))) "same wiring"
     (norm built.Spec.n_transitions) (norm on_disk.Spec.n_transitions)
 
+(* --- Malformed-input pins -------------------------------------------------
+   Every rejection path in the Yaml_lite -> Spec -> Nfc pipeline must
+   surface as the domain exception (Spec_error / Nfc_error) with a
+   message naming the problem — never a bare Failure / Invalid_argument
+   / Not_found escaping an internal helper. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let expect_spec_error label needle f =
+  match f () with
+  | _ -> Alcotest.failf "%s: malformed input accepted" label
+  | exception Spec.Spec_error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" label m needle)
+        true (contains m needle)
+  | exception e ->
+      Alcotest.failf "%s: bare %s escaped (want Spec_error)" label
+        (Printexc.to_string e)
+
+let expect_nfc_error label needle f =
+  match f () with
+  | _ -> Alcotest.failf "%s: malformed input accepted" label
+  | exception Nfc.Nfc_error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" label m needle)
+        true (contains m needle)
+  | exception e ->
+      Alcotest.failf "%s: bare %s escaped (want Nfc_error)" label
+        (Printexc.to_string e)
+
+let test_malformed_module_inputs () =
+  List.iter
+    (fun (label, src, needle) ->
+      expect_spec_error label needle (fun () -> Spec.module_spec_of_string src))
+    [
+      ("empty document", "", "missing scalar field");
+      ("tab indentation", "\tmodule: x", "tab characters");
+      ("empty key", ": x", "empty key");
+      ("list item without key", "- a\n- b", "missing scalar field");
+      ("line without colon", "module x", "expected 'key:'");
+      ( "transitions as scalar",
+        "module: x\ncategory: c\ntransitions: 5",
+        "expected a list of transitions" );
+      ( "transition missing arrow",
+        "module: x\ncategory: c\ntransitions:\n- Start\n",
+        "malformed transition" );
+      ( "transition empty destination",
+        "module: x\ncategory: c\ntransitions:\n- a,b->\n",
+        "malformed transition" );
+      ( "fetching as list",
+        "module: x\ncategory: c\ntransitions:\n- Start,p->End\nfetching:\n- a",
+        "fetching must be a map" );
+      ( "states as list",
+        "module: x\ncategory: c\ntransitions:\n- Start,p->End\nstates:\n- a",
+        "states must be a map" );
+      ( "nfc as list",
+        "module: x\ncategory: c\ntransitions:\n- Start,p->End\nnfc:\n- a",
+        "nfc must be a map" );
+      ( "outdent past the document root",
+        "  a: 1\nb: 2",
+        "unexpected trailing content" );
+    ];
+  expect_spec_error "nf spec: empty document" "missing 'nf' field" (fun () ->
+      Spec.nf_spec_of_string "");
+  expect_spec_error "nf spec: modules as scalar" "missing modules map" (fun () ->
+      Spec.nf_spec_of_string "nf: x\nmodules: 5");
+  (* validate_module: structural errors on syntactically fine specs. *)
+  expect_spec_error "validate: no Start transition" "no transition from Start"
+    (fun () ->
+      Spec.validate_module
+        (Spec.module_spec_of_string "module: x\ncategory: c\ntransitions:\n- a,p->End"));
+  expect_spec_error "validate: non-deterministic" "non-deterministic" (fun () ->
+      Spec.validate_module
+        (Spec.module_spec_of_string
+           "module: x\ncategory: c\ntransitions:\n- Start,p->a\n- Start,p->b\n\
+            - a,q->End\n- b,q->End"));
+  (* An unparseable NFC body parses as a scalar but is rejected — as a
+     Spec_error naming the state, not a bare Nfc_error — at validation. *)
+  expect_spec_error "validate: invalid nfc body" "nfc.work" (fun () ->
+      Spec.validate_module
+        (Spec.module_spec_of_string
+           "module: x\ncategory: c\ntransitions:\n- Start,p->work\n\
+            - work,p->End\nnfc:\n  work: garbage !!"))
+
+let test_duplicate_keys_rejected () =
+  (* Silent first-wins on a duplicate key used to drop the second value
+     without a word; now the parser rejects it with the line number. *)
+  expect_spec_error "duplicate top-level key" "duplicate key \"module\"" (fun () ->
+      Spec.module_spec_of_string
+        "module: x\nmodule: y\ncategory: c\ntransitions:\n- Start,p->End");
+  expect_spec_error "duplicate nested key" "duplicate key \"work\"" (fun () ->
+      Spec.module_spec_of_string
+        "module: x\ncategory: c\ntransitions:\n- Start,p->work\n- work,p->End\n\
+         nfc:\n  work: NFAction(a) { Drop(); }\n  work: NFAction(b) { Drop(); }");
+  (* Distinct keys at different nesting levels are not duplicates. *)
+  let m =
+    Spec.module_spec_of_string
+      "module: x\ncategory: c\ntransitions:\n- Start,p->End\nstates:\n  x: packet"
+  in
+  Alcotest.(check string) "same name at two levels is fine" "x" m.Spec.m_name
+
+let test_crlf_line_endings_accepted () =
+  (* Windows-edited spec files: the \r must be stripped, not folded into
+     field values. *)
+  let m =
+    Spec.module_spec_of_string
+      "module: x\r\ncategory: c\r\ntransitions:\r\n- Start,p->End\r\n"
+  in
+  Alcotest.(check string) "name clean" "x" m.Spec.m_name;
+  Alcotest.(check string) "category clean" "c" m.Spec.m_category;
+  match m.Spec.m_transitions with
+  | [ { Spec.src; event; dst } ] ->
+      Alcotest.(check (list string)) "transition fields clean"
+        [ "Start"; "p"; "End" ] [ src; event; dst ]
+  | l -> Alcotest.failf "expected 1 transition, got %d" (List.length l)
+
+let test_malformed_nfc_inputs () =
+  List.iter
+    (fun (label, src, needle) ->
+      expect_nfc_error label needle (fun () -> ignore (Nfc.parse src)))
+    [
+      ("empty program", "", "must start with NFAction");
+      ("missing action name", "NFAction() {}", "expected an identifier");
+      ("numeric action name", "NFAction(5) {}", "expected an identifier");
+      ("unterminated block", "NFAction(a) { Drop();", "unterminated block");
+      ("trailing brace", "NFAction(a) { } }", "trailing tokens");
+      ("unknown state scope", "NFAction(a) { Foo.x = 1; }", "unknown state keyword");
+      ("missing semicolon", "NFAction(a) { Packet.x = 1 }", "expected \";\"");
+      ( "oversized int literal",
+        "NFAction(a) { Packet.x = 99999999999999999999; }",
+        "integer literal" );
+      ("stray character", "NFAction(a) { Packet.x = 1 @ 2; }", "lexical error");
+      ("if without parens", "NFAction(a) { if 1 { } }", "expected \"(\"");
+      ( "else-if is not in the grammar",
+        "NFAction(a) { if (1) { } else if (2) { } }",
+        "expected \"{\"" );
+    ]
+
+let test_bad_fixtures_still_parse () =
+  (* specs/bad/ holds nflint fixtures: semantically wrong, syntactically
+     fine. The parser hardening above must not start rejecting them. *)
+  List.iter
+    (fun file ->
+      let m = Spec.module_spec_of_string (read (Filename.concat "bad" file)) in
+      Alcotest.(check bool) (file ^ ": has transitions") true
+        (m.Spec.m_transitions <> []))
+    [ "cold_access.yaml"; "control_race.yaml"; "temp_escape.yaml"; "unreachable.yaml" ]
+
 let suite =
   [
     Alcotest.test_case "module files parse+validate" `Quick test_module_files_parse_and_validate;
     Alcotest.test_case "module files match builtins" `Quick test_module_files_match_builtins;
     Alcotest.test_case "nf files parse+validate" `Quick test_nf_files_parse_and_validate;
     Alcotest.test_case "sfc4 file matches builder" `Quick test_sfc4_file_matches_builder;
+    Alcotest.test_case "malformed module/nf inputs rejected" `Quick
+      test_malformed_module_inputs;
+    Alcotest.test_case "duplicate yaml keys rejected" `Quick
+      test_duplicate_keys_rejected;
+    Alcotest.test_case "crlf line endings accepted" `Quick
+      test_crlf_line_endings_accepted;
+    Alcotest.test_case "malformed nfc inputs rejected" `Quick
+      test_malformed_nfc_inputs;
+    Alcotest.test_case "bad/ lint fixtures still parse" `Quick
+      test_bad_fixtures_still_parse;
   ]

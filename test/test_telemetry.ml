@@ -45,6 +45,46 @@ let test_attached_tracer_identical () =
         traced.Oracle.o_run.Metrics.packets (Trace.completes tr))
     [ Oracle.reference; List.hd Oracle.executors; List.nth Oracle.executors 5 ]
 
+(* Satellite of the compile-and-specialize pass: with the tracer armed the
+   specialized path must stay observation- AND span-identical — same pulls,
+   completions, attributed cycles and span stream as the interpreted run,
+   and the budget/memstats invariants must still reconcile. *)
+let test_specialized_traced_identical () =
+  List.iter
+    (fun exec ->
+      let case = Progen.case ~seed:29 ~profile:"mix" ~packets:256 in
+      let tr_i = Trace.create () in
+      let interp =
+        Oracle.observe ~telemetry:tr_i exec (case.Oracle.c_build ~packets:256)
+      in
+      let tr_s = Trace.create () in
+      let spec =
+        Oracle.observe ~specialize:true ~telemetry:tr_s exec
+          (case.Oracle.c_build ~packets:256)
+      in
+      let label = spec.Oracle.o_label in
+      (match Oracle.diff_observations ~reference:interp spec with
+      | None -> ()
+      | Some d -> Alcotest.failf "%s diverges when traced: %s" label d);
+      Alcotest.(check int) (label ^ ": pulls equal") (Trace.pulls tr_i)
+        (Trace.pulls tr_s);
+      Alcotest.(check int) (label ^ ": completions equal") (Trace.completes tr_i)
+        (Trace.completes tr_s);
+      Alcotest.(check int)
+        (label ^ ": attributed cycle budget equal")
+        (Trace.attributed_cycles tr_i) (Trace.attributed_cycles tr_s);
+      Alcotest.(check bool) (label ^ ": span streams identical") true
+        (Trace.spans tr_i = Trace.spans tr_s);
+      (match Invariants.check_telemetry tr_s spec.Oracle.o_run with
+      | [] -> ()
+      | viol :: _ ->
+          Alcotest.failf "%s traced run violates %s: %s" label viol.Invariants.v_rule
+            viol.Invariants.v_detail);
+      match Telemetry.Attribution.reconcile tr_s spec.Oracle.o_run.Metrics.mem with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: attribution does not reconcile: %s" label e)
+    [ Oracle.reference; List.hd Oracle.executors; List.nth Oracle.executors 5 ]
+
 (* ----- a traced run to dissect ----- *)
 
 let traced_run ?(packets = 10_000) ?(exec = Oracle.reference) () =
@@ -243,6 +283,8 @@ let suite =
   [
     Alcotest.test_case "attached tracer changes nothing" `Quick
       test_attached_tracer_identical;
+    Alcotest.test_case "specialized traced run identical" `Quick
+      test_specialized_traced_identical;
     Alcotest.test_case "10k-packet trace reconciles with memstats" `Slow
       test_reconciles_with_memstats;
     Alcotest.test_case "scheduler trace clean" `Quick test_scheduler_trace_clean;
