@@ -126,6 +126,7 @@ let run_cmd nf model flows packets cores packed match_removal no_prefetch specia
       prefetch_dedup = true;
       prefetching = not no_prefetch;
       lint = `Off;
+      verify_passes = `Off;
       specialize;
     }
   in
@@ -453,6 +454,88 @@ let lint_cmd spec all_specs specs_dir json strict =
   | Invalid_argument msg -> `Error (false, msg)
   | Sys_error msg -> `Error (false, msg)
 
+(* ----- verifyeq command: translation validation ----- *)
+
+(* One symbolic check over one compiled input; returns (refuted, unknowns). *)
+let verifyeq_one ~json label (vi : Gunfu.Compiler.verify_input) =
+  let r = Analysis.Symcheck.check vi in
+  let refuted =
+    List.filter
+      (fun f -> f.Analysis.Report.severity = Analysis.Report.Error)
+      r.Analysis.Symcheck.findings
+  in
+  if not json then begin
+    List.iter
+      (fun f -> Fmt.pr "%a@." Analysis.Report.pp_finding f)
+      r.Analysis.Symcheck.findings;
+    if refuted = [] then
+      Fmt.pr "verifyeq: %s: proved {%s}%s@." label
+        (String.concat ", " r.Analysis.Symcheck.proved)
+        (if r.Analysis.Symcheck.unknowns = 0 then ""
+         else
+           Printf.sprintf " with %d unknown(s) left to the dynamic oracle"
+             r.Analysis.Symcheck.unknowns)
+    else Fmt.pr "verifyeq: %s: REFUTED (%d finding(s))@." label (List.length refuted)
+  end;
+  (r.Analysis.Symcheck.findings, List.length refuted, r.Analysis.Symcheck.unknowns)
+
+let verifyeq_cmd spec programs seed specs_dir json strict =
+  try
+    let spec_targets =
+      match spec with
+      | Some "all" -> Check.Progen.spec_names
+      | Some name ->
+          if List.mem name Check.Progen.spec_names then [ name ]
+          else
+            invalid_arg
+              (Printf.sprintf "unknown composition %S (expected %s or all)" name
+                 (String.concat ", " Check.Progen.spec_names))
+      | None -> []
+    in
+    if spec_targets = [] && programs = 0 then
+      `Error (true, "pass --spec NAME|all and/or --programs N")
+    else begin
+      let inputs =
+        List.map
+          (fun name ->
+            ( "spec " ^ name,
+              fun () -> Check.Progen.spec_verify_input ~specs_dir ~name () ))
+          spec_targets
+        @ List.init programs (fun i ->
+              ( Printf.sprintf "gen seed=%d" (seed + i),
+                fun () -> Check.Progen.gen_verify_input ~seed:(seed + i) ))
+      in
+      let findings = ref [] and refuted = ref 0 and unknowns = ref 0 in
+      List.iter
+        (fun (label, mk) ->
+          let fs, r, u = verifyeq_one ~json label (mk ()) in
+          findings := !findings @ fs;
+          refuted := !refuted + r;
+          unknowns := !unknowns + u)
+        inputs;
+      if json then Fmt.pr "%s@." (Analysis.Report.to_json (Analysis.Report.sort !findings));
+      let failing = !refuted > 0 || (strict && !unknowns > 0) in
+      if not failing then begin
+        if not json then
+          Fmt.pr "verifyeq: %d program(s) proved, 0 refuted, %d unknown(s)@."
+            (List.length inputs) !unknowns;
+        `Ok ()
+      end
+      else
+        `Error
+          ( false,
+            Printf.sprintf "verifyeq: %d refuted finding(s), %d unknown(s)%s"
+              !refuted !unknowns
+              (if !refuted = 0 then " (--strict demands a full static proof)" else "")
+          )
+    end
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
 (* ----- profile / trace commands: the telemetry plane ----- *)
 
 (* Build the system under test — a built-in NF (--nf) or an on-disk
@@ -705,6 +788,34 @@ let lint_t =
             & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json")
         $ Arg.(value & flag & info [ "strict" ] ~doc:"Fail on warnings too")))
 
+let verifyeq_t =
+  Cmd.v
+    (Cmd.info "verifyeq"
+       ~doc:
+         "Translation validation: symbolically prove that each compiler pass \
+          (match removal, prefetch dedup, specialize) preserved the \
+          program's observable behavior, for on-disk compositions \
+          ($(b,--spec) nat|sfc4|upf_downlink|all) and/or generated programs \
+          ($(b,--programs) N). A refuted pass prints a path witness and \
+          exits non-zero; $(b,--strict) also fails on symbolic Unknown \
+          fallbacks, demanding a full static proof.")
+    Term.(
+      ret
+        (const verifyeq_cmd
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "spec" ] ~docv:"NAME"
+                ~doc:"Validate a specs/ composition (nat, sfc4, upf_downlink or all)")
+        $ Arg.(value & opt int 0 & info [ "programs" ] ~doc:"Also validate N generated programs")
+        $ Arg.(value & opt int 100 & info [ "seed" ] ~doc:"Base seed for generated programs")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ Arg.(
+            value
+            & opt (enum [ ("text", false); ("json", true) ]) false
+            & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json")
+        $ Arg.(value & flag & info [ "strict" ] ~doc:"Fail on Unknown fallbacks too")))
+
 let nf_opt_arg =
   Arg.(
     value
@@ -795,5 +906,5 @@ let () =
        (Cmd.group (Cmd.info "gunfu" ~doc)
           [
             run_t; inspect_t; check_spec_t; check_t; chaos_t; compose_t; lint_t;
-            profile_t; trace_t; bench_t; list_t;
+            verifyeq_t; profile_t; trace_t; bench_t; list_t;
           ]))

@@ -29,7 +29,7 @@ let () =
   (* Show the compiled control-logic FSM once, with match removal, so the
      pruning is visible. *)
   let _, program_mr, _ =
-    build ~packed:true ~opts:{ Gunfu.Compiler.default_opts with match_removal = true }
+    build ~packed:true ~opts:{ Gunfu.Compiler.default_opts with Gunfu.Compiler.match_removal = true }
   in
   Printf.printf "compiled program after redundant-matching removal:\n%s\n"
     (Fmt.str "%a" Gunfu.Program.pp program_mr);
@@ -42,7 +42,7 @@ let () =
       ( "interleaved + DP + MR",
         `Il,
         true,
-        { Gunfu.Compiler.default_opts with match_removal = true } );
+        { Gunfu.Compiler.default_opts with Gunfu.Compiler.match_removal = true } );
     ]
   in
   let baseline = ref 0.0 in

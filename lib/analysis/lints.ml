@@ -59,6 +59,7 @@ type view = {
   v_exit : int option;
   v_name : int -> string;  (* display name ("cs" or "inst.cs") *)
   v_eff : (int * Effects.t) list;  (* states carrying NF-C, program order *)
+  v_nfc : (int * Nfc.t) list;  (* the same states' parsed NF-C bodies *)
   v_real : int -> bool;  (* excludes Start/End/__start/__done *)
   v_check_cold : bool;  (* false when compiling with prefetching off *)
   v_coverage : int -> cls list;  (* classes fetched for the state's action *)
@@ -157,6 +158,28 @@ let run_view v add =
             []
       | _ -> ())
     fields;
+  (* constant-condition: an If whose condition the symbolic simplifier
+     decides to the same truth value on every path reaching it — one
+     branch is dead and the test is wasted cycles. *)
+  List.iter
+    (fun (id, prog) ->
+      let summary = Sym.summarize prog in
+      List.iter
+        (fun (_, cond, truth) ->
+          let rec sym_of = function
+            | Nfc.Int v -> Sym.Const v
+            | Nfc.Ref (s, f) -> Sym.Var (s, f)
+            | Nfc.Bin (op, a, b) -> Sym.SBin (op, sym_of a, sym_of b)
+          in
+          add "constant-condition" Report.Warning (v.v_name id)
+            (Fmt.str
+               "the branch condition %a at %s is always %s: the %s branch is dead code"
+               Sym.pp_sexpr (sym_of cond) (v.v_name id)
+               (if truth then "true" else "false")
+               (if truth then "else" else "then"))
+            (witness id))
+        summary.Sym.s_decided)
+    v.v_nfc;
   (* missing-transition: the body can raise an event Δ does not define. *)
   List.iter
     (fun (id, eff) ->
@@ -257,6 +280,14 @@ let of_module (m : Spec.module_spec) : Report.finding list =
               None)
       m.Spec.m_nfc
   in
+  let nfc =
+    List.filter_map
+      (fun (cs, src) ->
+        match Nfc.parse src with
+        | prog -> Option.map (fun id -> (id, prog)) (Fsm.index fsm cs)
+        | exception Nfc.Nfc_error _ -> None (* already an nfc-syntax finding *))
+      m.Spec.m_nfc
+  in
   let decl_classes cs =
     match List.assoc_opt cs m.Spec.m_fetching with
     | None -> []
@@ -308,6 +339,7 @@ let of_module (m : Spec.module_spec) : Report.finding list =
           v_exit = Fsm.index fsm Spec.end_state;
           v_name = Fsm.name fsm;
           v_eff = eff;
+          v_nfc = nfc;
           v_real =
             (fun id ->
               let n = Fsm.name fsm id in
@@ -353,6 +385,20 @@ let of_build (li : Compiler.lint_input) : Report.finding list =
           i.Compiler.i_spec.Spec.m_nfc)
       li.Compiler.li_instances
   in
+  let nfc =
+    List.concat_map
+      (fun (i : Compiler.instance) ->
+        List.filter_map
+          (fun (cs, src) ->
+            match Fsm.index fsm (i.Compiler.i_name ^ "." ^ cs) with
+            | None -> None
+            | Some id -> (
+                match Nfc.parse src with
+                | prog -> Some (id, prog)
+                | exception Nfc.Nfc_error _ -> None))
+          i.Compiler.i_spec.Spec.m_nfc)
+      li.Compiler.li_instances
+  in
   let avail = Compiler.prefetch_availability info fsm ~start:li.Compiler.li_start in
   let classes_of targets =
     List.fold_left (fun acc t -> cls_union acc [ (Prefetch.class_of t :> cls) ]) [] targets
@@ -382,6 +428,7 @@ let of_build (li : Compiler.lint_input) : Report.finding list =
       v_exit = Some li.Compiler.li_done;
       v_name = name;
       v_eff = eff;
+      v_nfc = nfc;
       v_real = (fun id -> info.(id).Program.action <> None);
       (* With prefetching compiled out every access is cold by design. *)
       v_check_cold = prefetching;

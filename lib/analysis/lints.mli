@@ -27,6 +27,9 @@
     - [unreachable-state] / [no-done-path] (warning): FSM hygiene.
     - [dead-edge] (warning): a transition labelled with an event the
       source state's body can never emit.
+    - [constant-condition] (warning): an [If] whose condition the
+      symbolic simplifier ({!Sym}) decides to the same truth value on
+      every path reaching it — one branch is dead code.
     - [short-distance] (info, build-level only): a prefetch issued on
       the transition into the very state whose action first uses it —
       too late to hide DRAM latency within one stream — while a

@@ -31,10 +31,36 @@ let hook (li : Compiler.lint_input) =
                   (if List.length errors = 1 then "" else "s")
                   Report.pp_finding first)))
 
+(* Translation validation. Refutations are Error findings; Unknown
+   verdicts are Warnings and never fail the compile — those programs are
+   exactly the ones the dynamic oracle exists for. *)
+let verify_hook (vi : Compiler.verify_input) =
+  match vi.Compiler.vi_opts.Compiler.verify_passes with
+  | `Off -> ()
+  | `Warn -> print_findings (Symcheck.check vi).Symcheck.findings
+  | `Error -> (
+      let result = Symcheck.check vi in
+      let errors, rest =
+        List.partition
+          (fun f -> f.Report.severity = Report.Error)
+          result.Symcheck.findings
+      in
+      print_findings rest;
+      match Report.sort errors with
+      | [] -> ()
+      | first :: _ ->
+          raise
+            (Compiler.Compile_error
+               (Fmt.str "nf %s: verifyeq: %d refuted pass finding%s, first: %a"
+                  vi.Compiler.vi_name (List.length errors)
+                  (if List.length errors = 1 then "" else "s")
+                  Report.pp_finding first)))
+
 let installed = ref false
 
 let install () =
   if not !installed then begin
     installed := true;
-    Compiler.set_lint_hook hook
+    Compiler.set_lint_hook hook;
+    Compiler.set_verify_hook verify_hook
   end

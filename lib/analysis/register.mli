@@ -5,8 +5,12 @@
     archives, so an executable that wants linted compiles must call
     {!install} (idempotent) once at startup. *)
 
-(** Install {!Lints.of_build} as the compiler's lint hook. Under
-    [opts.lint = `Warn] findings of warning severity and above are
-    printed to stderr; under [`Error], error-severity findings
-    additionally raise {!Gunfu.Compiler.Compile_error}. *)
+(** Install {!Lints.of_build} as the compiler's lint hook and
+    {!Symcheck.check} as its translation-validation hook. Under
+    [opts.lint = `Warn] (resp. [opts.verify_passes = `Warn]) findings of
+    warning severity and above are printed to stderr; under [`Error],
+    error-severity findings (lint errors, refuted passes) additionally
+    raise {!Gunfu.Compiler.Compile_error}. Unknown verifier verdicts are
+    warnings at either level — those programs fall back to the dynamic
+    oracle. *)
 val install : unit -> unit

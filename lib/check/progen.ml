@@ -152,19 +152,29 @@ let random_opts rng =
     prefetch_dedup = Rng.bool rng;
     prefetching = Rng.bool rng;
     lint = `Error;
+    (* Every fuzz program is symbolically validated before the oracle
+       runs, so the 28-way matrix carries a static proof axis too. *)
+    verify_passes = `Error;
     (* Specialization is exercised by the oracle's explicit axis, not
        randomized here: cases must stay interpreted by default so the
        interp-vs-spec cross-check has a genuine baseline. *)
     specialize = false;
   }
 
-let build_chain ~rng ~seed ~profile ~packets =
+(* The chain shape's draws, shared between the oracle cases and the
+   standalone translation-validation axis. Draw order is part of seed
+   reproducibility — do not reorder. *)
+let chain_params ~rng =
   let len = Rng.int_in_range rng ~lo:1 ~hi:3 in
   let families =
     List.init len (fun _ -> all_families.(Rng.int rng (Array.length all_families)))
   in
   let n_flows = [| 8; 32; 128 |].(Rng.int rng 3) in
   let opts = random_opts rng in
+  (families, n_flows, opts)
+
+let build_chain ~rng ~seed ~profile ~packets =
+  let families, n_flows, opts = chain_params ~rng in
   let nf = chain_spec families in
   fun ~packets:budget ->
     let worker = fresh_worker () in
@@ -201,7 +211,19 @@ type sstate = { s_hi : int option; s_drop : bool }
 
 let seq_reg = 7 (* NFTask temp register holding the flow-local sequence no. *)
 
-let build_synthetic ~rng ~seed ~profile ~packets =
+(* The synthetic shape's draws plus the module spec they determine. Draw
+   order is part of seed reproducibility — do not reorder. *)
+type syn_shape = {
+  syn_k : int;
+  syn_states : sstate array;
+  syn_mspec : Spec.module_spec;
+  syn_flows : int;
+  syn_opts : Compiler.opts;
+}
+
+let state_name i = Printf.sprintf "s%d" i
+
+let synthetic_shape ~rng =
   let k = Rng.int_in_range rng ~lo:2 ~hi:5 in
   let shape =
     Array.init k (fun i ->
@@ -220,7 +242,6 @@ let build_synthetic ~rng ~seed ~profile ~packets =
   let fetch_kind = Array.init k (fun _ -> Rng.int rng 4) in
   let n_flows = [| 8; 32; 128 |].(Rng.int rng 3) in
   let opts = random_opts rng in
-  let state_name i = Printf.sprintf "s%d" i in
   let transitions =
     List.concat
       (List.init k (fun i ->
@@ -270,90 +291,107 @@ let build_synthetic ~rng ~seed ~profile ~packets =
     }
   in
   Spec.validate_module mspec;
+  { syn_k = k; syn_states = shape; syn_mspec = mspec; syn_flows = n_flows; syn_opts = opts }
+
+(* The synthetic unit behind the shape: real classifier, state arena and
+   per-state actions. [flows] populates the classifier (empty for
+   compile-only uses like translation validation). Returns the unit plus
+   the observable-state digest for the oracle. *)
+let synthetic_unit layout ~seed ~(sh : syn_shape) ~flows =
+  let k = sh.syn_k in
+  let shape = sh.syn_states in
+  let n_flows = sh.syn_flows in
+  let classifier =
+    Nfs.Classifier.create layout ~name:"syn_cls" ~key_kind:"five_tuple"
+      ~key_fn:Nfs.Classifier.five_tuple_key ~capacity:n_flows ()
+  in
+  let (_shed : int) =
+    Nfs.Classifier.populate classifier
+      (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
+  in
+  let arena =
+    Structures.State_arena.create layout ~label:"syn.per_flow" ~entry_bytes:16
+      ~count:n_flows ()
+  in
+  let seqs = Array.make n_flows 0 in
+  let scratch = Array.make n_flows 0 in
+  let total = ref 0 in
+  let action i =
+    let s = shape.(i) in
+    Action.make ~base_cycles:10 ~base_instrs:8 ~name:(Printf.sprintf "syn.s%d" i)
+      (fun ctx task ->
+        let flow = Nfs.Nf_common.per_flow_read ctx task arena ~name:"syn" in
+        if i = 0 then begin
+          seqs.(flow) <- seqs.(flow) + 1;
+          task.Nftask.temps.Nftask.regs.(seq_reg) <- seqs.(flow)
+        end;
+        let seq = task.Nftask.temps.Nftask.regs.(seq_reg) in
+        let h = mix seed flow seq i in
+        (* Per-flow state: order-dependent only within its own flow.
+           Global total: addition, commutative across flows. *)
+        scratch.(flow) <- (scratch.(flow) * 31) + (h land 0xffff);
+        total := !total + (h land 0xff);
+        ignore (Nfs.Nf_common.per_flow_write ctx task arena ~name:"syn");
+        Nfs.Nf_common.packet_read ctx task ~bytes:64;
+        (match task.Nftask.packet with
+        | Some p when p.Netcore.Packet.hdr_len > 0 ->
+            Bytes.set p.Netcore.Packet.buf
+              (p.Netcore.Packet.hdr_len - 1)
+              (Char.chr (h land 0xff))
+        | Some _ | None -> ());
+        if i = k - 1 then
+          if h mod 7 = 0 then Event.Drop_packet else Event.Emit_packet
+        else if s.s_drop && h mod 13 = 0 then Event.Drop_packet
+        else
+          match s.s_hi with
+          | Some _ when h mod 3 = 0 -> Event.User "hi"
+          | _ -> Event.User "lo")
+  in
+  let syn_inst =
+    {
+      Compiler.i_name = "syn_dag0";
+      i_spec = sh.syn_mspec;
+      i_actions = List.init k (fun i -> (state_name i, action i));
+      i_bindings =
+        [
+          ("scratch", Prefetch.Per_flow (arena, []));
+          ("pkt", Prefetch.Packet_header 64);
+        ];
+      i_key_kind = None;
+    }
+  in
+  let unit =
+    {
+      Nfs.Nf_unit.instances = [ Nfs.Classifier.instance classifier; syn_inst ];
+      entry = "syn_cls";
+      exits = [ ("syn_dag0", "EMIT"); ("syn_dag0", "DROP") ];
+      internal =
+        [ { Spec.src = "syn_cls"; event = "MATCH_SUCCESS"; dst = "syn_dag0" } ];
+    }
+  in
+  let digest fp =
+    Fingerprint.feed_int_array fp scratch;
+    Fingerprint.feed_int_array fp seqs;
+    Fingerprint.feed_int fp !total
+  in
+  (unit, digest)
+
+let build_synthetic ~rng ~seed ~profile ~packets =
+  let sh = synthetic_shape ~rng in
   fun ~packets:budget ->
     let worker = fresh_worker () in
     let layout = Worker.layout worker in
-    let gen = flowgen_for ~profile ~seed ~n_flows in
-    let classifier =
-      Nfs.Classifier.create layout ~name:"syn_cls" ~key_kind:"five_tuple"
-        ~key_fn:Nfs.Classifier.five_tuple_key ~capacity:n_flows ()
+    let gen = flowgen_for ~profile ~seed ~n_flows:sh.syn_flows in
+    let unit, digest =
+      synthetic_unit layout ~seed ~sh ~flows:(Traffic.Flowgen.flows gen)
     in
-    let (_shed : int) =
-      Nfs.Classifier.populate classifier
-        (Array.to_list
-           (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) (Traffic.Flowgen.flows gen)))
-    in
-    let arena =
-      Structures.State_arena.create layout ~label:"syn.per_flow" ~entry_bytes:16
-        ~count:n_flows ()
-    in
-    let seqs = Array.make n_flows 0 in
-    let scratch = Array.make n_flows 0 in
-    let total = ref 0 in
-    let action i =
-      let s = shape.(i) in
-      Action.make ~base_cycles:10 ~base_instrs:8 ~name:(Printf.sprintf "syn.s%d" i)
-        (fun ctx task ->
-          let flow = Nfs.Nf_common.per_flow_read ctx task arena ~name:"syn" in
-          if i = 0 then begin
-            seqs.(flow) <- seqs.(flow) + 1;
-            task.Nftask.temps.Nftask.regs.(seq_reg) <- seqs.(flow)
-          end;
-          let seq = task.Nftask.temps.Nftask.regs.(seq_reg) in
-          let h = mix seed flow seq i in
-          (* Per-flow state: order-dependent only within its own flow.
-             Global total: addition, commutative across flows. *)
-          scratch.(flow) <- (scratch.(flow) * 31) + (h land 0xffff);
-          total := !total + (h land 0xff);
-          ignore (Nfs.Nf_common.per_flow_write ctx task arena ~name:"syn");
-          Nfs.Nf_common.packet_read ctx task ~bytes:64;
-          (match task.Nftask.packet with
-          | Some p when p.Netcore.Packet.hdr_len > 0 ->
-              Bytes.set p.Netcore.Packet.buf
-                (p.Netcore.Packet.hdr_len - 1)
-                (Char.chr (h land 0xff))
-          | Some _ | None -> ());
-          if i = k - 1 then
-            if h mod 7 = 0 then Event.Drop_packet else Event.Emit_packet
-          else if s.s_drop && h mod 13 = 0 then Event.Drop_packet
-          else
-            match s.s_hi with
-            | Some _ when h mod 3 = 0 -> Event.User "hi"
-            | _ -> Event.User "lo")
-    in
-    let syn_inst =
-      {
-        Compiler.i_name = "syn_dag0";
-        i_spec = mspec;
-        i_actions = List.init k (fun i -> (state_name i, action i));
-        i_bindings =
-          [
-            ("scratch", Prefetch.Per_flow (arena, []));
-            ("pkt", Prefetch.Packet_header 64);
-          ];
-        i_key_kind = None;
-      }
-    in
-    let unit =
-      {
-        Nfs.Nf_unit.instances = [ Nfs.Classifier.instance classifier; syn_inst ];
-        entry = "syn_cls";
-        exits = [ ("syn_dag0", "EMIT"); ("syn_dag0", "DROP") ];
-        internal =
-          [ { Spec.src = "syn_cls"; event = "MATCH_SUCCESS"; dst = "syn_dag0" } ];
-      }
-    in
-    let program = Nfs.Nf_unit.compile ~opts ~name:"gen-syn" [ unit ] in
+    let program = Nfs.Nf_unit.compile ~opts:sh.syn_opts ~name:"gen-syn" [ unit ] in
     let pool = Netcore.Packet.Pool.create layout ~count:256 in
     {
       Oracle.worker;
       program;
       source = make_source ~profile ~seed ~gen ~pool ~packets:(min budget packets);
-      digest =
-        (fun fp ->
-          Fingerprint.feed_int_array fp scratch;
-          Fingerprint.feed_int_array fp seqs;
-          Fingerprint.feed_int fp !total);
+      digest;
     }
 
 (* ----- cases ----- *)
@@ -502,3 +540,94 @@ let spec_lint_input ?opts ~specs_dir ~name () : Compiler.lint_input =
       Nfs.Catalog.lint_input_from_files layout
         ~nf_file:(Filename.concat specs_dir (name ^ ".yaml"))
         ~specs_dir ~n_flows:64 ?opts ()
+
+(* ----- translation-validation inputs ----- *)
+
+(* All passes on: each generated program is proven across the full
+   {match_removal, prefetch_dedup, specialize} axis. Hooks stay `Off —
+   the caller hands the view to {!Analysis.Symcheck.check} and interprets
+   the verdicts itself. *)
+let verify_opts =
+  {
+    Compiler.match_removal = true;
+    prefetch_dedup = true;
+    prefetching = true;
+    lint = `Off;
+    verify_passes = `Off;
+    specialize = true;
+  }
+
+(* The same program shapes the oracle fuzzes (same seed, same draws),
+   compiled with every pass enabled and returned as the symbolic
+   checker's input. *)
+let gen_verify_input ~seed : Compiler.verify_input =
+  let rng = Rng.create seed in
+  let synthetic = Rng.bool rng in
+  let worker = fresh_worker () in
+  let layout = Worker.layout worker in
+  if synthetic then begin
+    let sh = synthetic_shape ~rng in
+    let unit, _digest = synthetic_unit layout ~seed ~sh ~flows:[||] in
+    Nfs.Nf_unit.verify_view ~opts:verify_opts ~name:"gen-syn" [ unit ]
+  end
+  else begin
+    let families, n_flows, _opts = chain_params ~rng in
+    let nf = chain_spec families in
+    Nfs.Catalog.verify_view layout ~nf ~modules:(Lazy.force builtin_modules) ~n_flows
+      ~opts:verify_opts ()
+  end
+
+(* The verifyeq subcommand's entry point for the on-disk compositions:
+   the same assembly the oracle cases run, through the full pipeline. *)
+let spec_verify_input ?(opts = verify_opts) ~specs_dir ~name () : Compiler.verify_input =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  match name with
+  | "upf_downlink" ->
+      let mgw = Traffic.Mgw.create ~seed:1 ~n_sessions:64 ~n_pdrs:4 () in
+      let _, instances, nf = upf_assembly layout ~specs_dir ~mgw in
+      Compiler.verify_view ~opts ~name:nf.Spec.n_name instances nf
+  | _ ->
+      Nfs.Catalog.verify_input_from_files layout
+        ~nf_file:(Filename.concat specs_dir (name ^ ".yaml"))
+        ~specs_dir ~n_flows:64 ~opts ()
+
+(* ----- random NF-C programs (parser round-trip property) ----- *)
+
+(* A random well-formed NF-C AST, built through {!Gunfu.Nfc.of_body} so
+   the temporaries list matches what [parse] would collect. Constants are
+   non-negative (the grammar has no unary minus) and identifiers avoid
+   the statement keywords. *)
+let random_nfc ~seed =
+  let rng = Rng.create seed in
+  let scopes =
+    [| Nfc.Packet; Nfc.Per_flow; Nfc.Sub_flow; Nfc.Control; Nfc.Temp; Nfc.Match_state |]
+  in
+  let fields = [| "a"; "b"; "len"; "port"; "x0"; "count" |] in
+  let ops =
+    [|
+      Nfc.Add; Nfc.Sub; Nfc.Mul; Nfc.Mod; Nfc.And; Nfc.Eq; Nfc.Ne; Nfc.Lt; Nfc.Gt;
+      Nfc.Le; Nfc.Ge;
+    |]
+  in
+  let events = [| "Event_Packet"; "Event_Drop"; "EMIT"; "hash_done" |] in
+  let pick a = a.(Rng.int rng (Array.length a)) in
+  let rec expr depth =
+    if depth = 0 || Rng.int rng 3 = 0 then
+      if Rng.bool rng then Nfc.Int (Rng.int rng 65)
+      else Nfc.Ref (pick scopes, pick fields)
+    else Nfc.Bin (pick ops, expr (depth - 1), expr (depth - 1))
+  in
+  let rec stmts depth n =
+    List.init n (fun _ ->
+        match Rng.int rng (if depth = 0 then 3 else 4) with
+        | 0 -> Nfc.Assign (pick scopes, pick fields, expr 3)
+        | 1 -> Nfc.Emit (pick events)
+        | 2 -> Nfc.Drop
+        | _ ->
+            Nfc.If
+              ( expr 2,
+                stmts (depth - 1) (1 + Rng.int rng 2),
+                stmts (depth - 1) (Rng.int rng 2) ))
+  in
+  Nfc.of_body ~action_name:"gen" (stmts 2 (1 + Rng.int rng 4))

@@ -47,3 +47,26 @@ val spec_case :
 val spec_lint_input :
   ?opts:Gunfu.Compiler.opts -> specs_dir:string -> name:string -> unit ->
   Gunfu.Compiler.lint_input
+
+(** Compiler options with every optimization pass enabled (match removal,
+    prefetch dedup, specialize) and both hooks off — what the
+    translation-validation entry points compile with. *)
+val verify_opts : Gunfu.Compiler.opts
+
+(** The symbolic checker's input for the generated program at [seed]:
+    the same shape (chain or synthetic) the oracle would fuzz, compiled
+    with {!verify_opts}. *)
+val gen_verify_input : seed:int -> Gunfu.Compiler.verify_input
+
+(** The symbolic checker's input for a composition in [specs_dir] — the
+    same assembly {!spec_case} executes, through the full pipeline
+    ({!Gunfu.Compiler.verify_view}). [opts] defaults to {!verify_opts}.
+    Accepts the names in {!spec_names}. *)
+val spec_verify_input :
+  ?opts:Gunfu.Compiler.opts -> specs_dir:string -> name:string -> unit ->
+  Gunfu.Compiler.verify_input
+
+(** A random well-formed NF-C program (pure function of [seed]), built
+    through {!Gunfu.Nfc.of_body} — the subject of the
+    parse-print round-trip property. *)
+val random_nfc : seed:int -> Gunfu.Nfc.t

@@ -29,6 +29,10 @@ type opts = {
   prefetch_dedup : bool;
   prefetching : bool;  (* false: compile with empty prefetch policies *)
   lint : lint_level;  (* run the static analyzer on every compile *)
+  verify_passes : lint_level;
+      (* translation validation: symbolically check each optimization pass
+         preserved observations (`Error fails the compile on a refutation;
+         Unknown verdicts only warn — the dynamic oracle still covers them) *)
   specialize : bool;  (* attach the specialized hot path (Specialize.install) *)
 }
 
@@ -38,6 +42,7 @@ let default_opts =
     prefetch_dedup = true;
     prefetching = true;
     lint = `Off;
+    verify_passes = `Off;
     specialize = false;
   }
 
@@ -320,6 +325,24 @@ type lint_input = {
 let lint_hook : (lint_input -> unit) option ref = ref None
 let set_lint_hook h = lint_hook := Some h
 
+(* Everything the translation validator needs: the spec-level program
+   before any pass, the post-match-removal form, the declared prefetch
+   policy before dedup stripped it, and the finished program (with the
+   specialized hot path attached when requested). *)
+type verify_input = {
+  vi_name : string;
+  vi_opts : opts;
+  vi_orig_instances : instance list;  (* pre match-removal *)
+  vi_orig_nf : Spec.nf_spec;
+  vi_instances : instance list;  (* post match-removal *)
+  vi_nf : Spec.nf_spec;
+  vi_pre_dedup : Prefetch.target list array;  (* declared policy, pre dedup *)
+  vi_program : Program.t;
+}
+
+let verify_hook : (verify_input -> unit) option ref = ref None
+let set_verify_hook h = verify_hook := Some h
+
 (* ----- top level ----- *)
 
 (* Everything up to (but excluding) prefetch dedup: what the analyzer
@@ -345,6 +368,48 @@ let lint_view ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
     li_opts = opts;
   }
 
+(* The back half of the compile: capture the declared prefetch policy,
+   run prefetch dedup, assemble the program, attach the hot path. Shared
+   between [compile] and [verify_view] so the validator sees exactly the
+   program a compile would ship. *)
+let finish_program ~opts (v : lint_input) =
+  let pre_dedup = Array.map (fun ci -> ci.Program.prefetch) v.li_info in
+  if opts.prefetch_dedup && opts.prefetching then
+    ignore (remove_redundant_prefetch v.li_info v.li_fsm ~start:v.li_start);
+  let program =
+    {
+      Program.p_name = v.li_name;
+      fsm = v.li_fsm;
+      info = v.li_info;
+      start = v.li_start;
+      done_cs = v.li_done;
+      payload = None;
+    }
+  in
+  if opts.specialize then Specialize.install program;
+  (pre_dedup, program)
+
+let verify_input_of ~opts ~orig_instances ~orig_nf (v : lint_input) ~pre_dedup
+    ~program =
+  {
+    vi_name = v.li_name;
+    vi_opts = opts;
+    vi_orig_instances = orig_instances;
+    vi_orig_nf = orig_nf;
+    vi_instances = v.li_instances;
+    vi_nf = v.li_nf;
+    vi_pre_dedup = pre_dedup;
+    vi_program = program;
+  }
+
+(* Compile without running the hooks and return the validator's input —
+   for standalone checking (CLI, fuzzing) where the caller interprets the
+   verdicts itself. *)
+let verify_view ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
+  let v = lint_view ~opts ~name instances nf in
+  let pre_dedup, program = finish_program ~opts v in
+  verify_input_of ~opts ~orig_instances:instances ~orig_nf:nf v ~pre_dedup ~program
+
 let compile ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
   let v = lint_view ~opts ~name instances nf in
   (match opts.lint with
@@ -355,17 +420,16 @@ let compile ?(opts = default_opts) ~name instances (nf : Spec.nf_spec) =
       | None ->
           fail "nf %s: opts.lint requested but no analyzer is linked (link the analysis library and call Register.install)"
             name));
-  if opts.prefetch_dedup && opts.prefetching then
-    ignore (remove_redundant_prefetch v.li_info v.li_fsm ~start:v.li_start);
-  let program =
-    {
-      Program.p_name = name;
-      fsm = v.li_fsm;
-      info = v.li_info;
-      start = v.li_start;
-      done_cs = v.li_done;
-      payload = None;
-    }
-  in
-  if opts.specialize then Specialize.install program;
+  let pre_dedup, program = finish_program ~opts v in
+  (match opts.verify_passes with
+  | `Off -> ()
+  | `Warn | `Error -> (
+      match !verify_hook with
+      | Some hook ->
+          hook
+            (verify_input_of ~opts ~orig_instances:instances ~orig_nf:nf v
+               ~pre_dedup ~program)
+      | None ->
+          fail "nf %s: opts.verify_passes requested but no analyzer is linked (link the analysis library and call Register.install)"
+            name));
   program

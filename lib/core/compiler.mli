@@ -31,13 +31,19 @@ type opts = {
   prefetch_dedup : bool;
   prefetching : bool;  (** [false]: compile with empty prefetch policies *)
   lint : lint_level;
+  verify_passes : lint_level;
+      (** translation validation (the [analysis] library's symbolic
+          checker, reached through {!set_verify_hook}): prove each
+          optimization pass preserved observations. [`Error] fails the
+          compile on a refuted pass; [Unknown] verdicts only warn — the
+          dynamic oracle still covers them. *)
   specialize : bool;
       (** attach the specialized hot path ({!Specialize.install}) to the
           compiled program *)
 }
 
-(** prefetching on, dedup on, match removal off, lint off, specialize
-    off. *)
+(** prefetching on, dedup on, match removal off, lint off, verification
+    off, specialize off. *)
 val default_opts : opts
 
 (** What the analyzer sees: the compile pipeline stopped just before
@@ -65,6 +71,35 @@ val set_lint_hook : (lint_input -> unit) -> unit
     like {!compile}. *)
 val lint_view :
   ?opts:opts -> name:string -> instance list -> Spec.nf_spec -> lint_input
+
+(** What the translation validator sees: the spec-level program before
+    any pass ([vi_orig_*]), the post-match-removal form, the declared
+    per-state prefetch policy before dedup stripped it, and the finished
+    {!Program.t} (with the specialized hot path installed when
+    [vi_opts.specialize]). *)
+type verify_input = {
+  vi_name : string;
+  vi_opts : opts;
+  vi_orig_instances : instance list;
+  vi_orig_nf : Spec.nf_spec;
+  vi_instances : instance list;
+  vi_nf : Spec.nf_spec;
+  vi_pre_dedup : Prefetch.target list array;
+  vi_program : Program.t;
+}
+
+(** Install the translation validator. The hook is expected to print
+    warning-severity findings and raise {!Compile_error} on refutations
+    when [vi_opts.verify_passes = `Error]. *)
+val set_verify_hook : (verify_input -> unit) -> unit
+
+(** Run the full compile pipeline (validation, match removal, flattening,
+    dedup, specialization) WITHOUT the lint/verify hooks and return the
+    validator's input — for standalone checking (CLI, fuzzing) where the
+    caller interprets the verdicts itself.
+    @raise Compile_error / {!Spec.Spec_error} like {!compile}. *)
+val verify_view :
+  ?opts:opts -> name:string -> instance list -> Spec.nf_spec -> verify_input
 
 (** @raise Compile_error (or {!Spec.Spec_error}) on invalid specs, missing
     action implementations, missing prefetch bindings, or — with

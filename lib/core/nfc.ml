@@ -259,6 +259,12 @@ and temps_of_expr acc = function
   | Ref (_, _) -> acc
   | Bin (_, a, b) -> temps_of_expr (temps_of_expr acc a) b
 
+(* Build a program from an already-constructed AST, collecting temporaries
+   exactly as [parse] does — so printing and re-parsing a generated body
+   reproduces the same [t], temporaries included. *)
+let of_body ~action_name body =
+  { action_name; body; temporaries = List.rev (List.fold_left temps_of_stmt [] body) }
+
 let parse src =
   let c = { toks = lex src } in
   (match peek c with

@@ -37,6 +37,11 @@ type t = {
 (** @raise Nfc_error on lexical or syntax errors. *)
 val parse : string -> t
 
+(** Build a program from an AST, collecting [temporaries] exactly as
+    {!parse} does — printing and re-parsing a generated body reproduces
+    the same [t]. *)
+val of_body : action_name:string -> stmt list -> t
+
 val keyword_of_scope : scope -> string
 val binop_symbol : binop -> string
 
@@ -54,6 +59,13 @@ type binding = {
 (** [Emit(Event_Packet)] maps to the ["packet"] system event; other names
     pass through as spec event labels. *)
 val event_of_name : string -> Event.t
+
+(** The static compute-cost weight of a statement/expression — the model
+    behind {!compile}'s [base_cycles = 4 + 2*weight] charge. Exposed so the
+    symbolic checker can validate the cycle model of compiled actions. *)
+val stmt_weight : stmt -> int
+
+val expr_weight : expr -> int
 
 (** Compile NF-C source to an executable NFAction. Memory charging happens
     inside the binding's accessors; the static statement weight models the

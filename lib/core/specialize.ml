@@ -176,3 +176,5 @@ let n_classes t = t.n_classes
 let user_classes t =
   Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.class_of_key []
   |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let next_table t = t.next

@@ -49,3 +49,10 @@ val n_classes : t -> int
 
 (** The interned user event keys with their classes, sorted by class. *)
 val user_classes : t -> (string * int) list
+
+(** The live dense Δ table, indexed [state * n_classes + class]; [-1]
+    marks a dead cell (dispatch defers to the interpreter). This is the
+    array the dispatcher reads — the symbolic equivalence checker audits
+    it cell by cell, and mutation tests corrupt it to prove the checker
+    notices. *)
+val next_table : t -> int array

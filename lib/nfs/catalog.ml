@@ -177,3 +177,15 @@ let lint_input_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =
   Spec.validate_nf nf ~known_modules:(List.map fst modules);
   let instances, _, _, _ = assemble layout ~nf ~modules ~n_flows in
   Compiler.lint_view ?opts ~name:nf.Spec.n_name instances nf
+
+(* The translation-validation path: same assembly, full compile pipeline,
+   no hooks — the caller hands the result to the symbolic checker. *)
+let verify_view layout ~(nf : Spec.nf_spec) ~modules ~n_flows ?opts () =
+  let instances, _, _, _ = assemble layout ~nf ~modules ~n_flows in
+  Compiler.verify_view ?opts ~name:nf.Spec.n_name instances nf
+
+let verify_input_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =
+  let nf = Spec.nf_spec_of_string (read_file nf_file) in
+  let modules = load_modules specs_dir in
+  Spec.validate_nf nf ~known_modules:(List.map fst modules);
+  verify_view layout ~nf ~modules ~n_flows ?opts ()

@@ -39,3 +39,14 @@ val build_from_files :
 val lint_input_from_files :
   Memsim.Layout.t -> nf_file:string -> specs_dir:string -> n_flows:int ->
   ?opts:Compiler.opts -> unit -> Compiler.lint_input
+
+(** Same assembly as {!build}, run through the full compile pipeline via
+    {!Gunfu.Compiler.verify_view} (no lint/verify hooks) — the
+    translation validator's input. *)
+val verify_view :
+  Memsim.Layout.t -> nf:Spec.nf_spec -> modules:(string * Spec.module_spec) list ->
+  n_flows:int -> ?opts:Compiler.opts -> unit -> Compiler.verify_input
+
+val verify_input_from_files :
+  Memsim.Layout.t -> nf_file:string -> specs_dir:string -> n_flows:int ->
+  ?opts:Compiler.opts -> unit -> Compiler.verify_input

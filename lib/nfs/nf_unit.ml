@@ -56,3 +56,9 @@ let chain ~name units =
 let compile ?(opts = Compiler.default_opts) ~name units =
   let nf, instances = chain ~name units in
   Compiler.compile ~opts ~name instances nf
+
+(* Compile a chain through the full pipeline with no hooks, returning the
+   translation validator's input. *)
+let verify_view ?(opts = Compiler.default_opts) ~name units =
+  let nf, instances = chain ~name units in
+  Compiler.verify_view ~opts ~name instances nf

@@ -20,3 +20,9 @@ val classified : classifier:Compiler.instance -> data_instance:Compiler.instance
 val chain : name:string -> t list -> Spec.nf_spec * Compiler.instance list
 
 val compile : ?opts:Compiler.opts -> name:string -> t list -> Program.t
+
+(** Compile a chain through the full pipeline WITHOUT the lint/verify
+    hooks and return the translation validator's input
+    ({!Gunfu.Compiler.verify_view}). *)
+val verify_view :
+  ?opts:Compiler.opts -> name:string -> t list -> Compiler.verify_input

@@ -8,6 +8,7 @@ let no_opt =
     prefetch_dedup = false;
     prefetching = true;
     lint = `Off;
+    verify_passes = `Off;
     specialize = false;
   }
 

@@ -347,6 +347,9 @@ let suite =
     Alcotest.test_case "fixture: unreachable state" `Quick
       (expect_single_finding "bad/unreachable.yaml" "unreachable-state" Report.Warning
          "orphan");
+    Alcotest.test_case "fixture: constant condition" `Quick
+      (expect_single_finding "bad/constant_condition.yaml" "constant-condition"
+         Report.Warning "decide");
     Alcotest.test_case "fixture: cold access carries witness" `Quick test_cold_access_witness;
     Alcotest.test_case "shipped module specs clean" `Quick test_shipped_modules_clean;
     Alcotest.test_case "shipped builds clean" `Quick test_shipped_builds_clean;

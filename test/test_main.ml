@@ -34,5 +34,6 @@ let () =
       ("fault", Test_fault.suite);
       ("telemetry", Test_telemetry.suite);
       ("specialize", Test_specialize.suite);
+      ("verifyeq", Test_verifyeq.suite);
       ("baseline", Test_baseline.suite);
     ]

@@ -214,6 +214,17 @@ let qcheck_arith_matches_ocaml =
       ignore (run_action a);
       Hashtbl.find e.tmp "r" = ((x + y) * 2) - (x mod z))
 
+let qcheck_print_parse_roundtrip =
+  (* The printer emits exactly the surface syntax the parser accepts, and
+     [of_body] collects temporaries the way [parse] does — so a generated
+     AST survives print-then-parse bit-for-bit (the foundation under the
+     symbolic checker's "the source we analyze is the source that ran"). *)
+  QCheck.Test.make ~name:"print/parse round-trip on generated programs" ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = Check.Progen.random_nfc ~seed in
+      Nfc.parse (Nfc.to_string p) = p)
+
 let suite =
   [
     Alcotest.test_case "parse listing 4" `Quick test_parse_listing4;
@@ -235,4 +246,5 @@ let suite =
     Alcotest.test_case "access log" `Quick test_access_log;
     Alcotest.test_case "cost scales with body" `Quick test_cost_scales_with_body;
     Helpers.qcheck qcheck_arith_matches_ocaml;
+    Helpers.qcheck qcheck_print_parse_roundtrip;
   ]
