@@ -310,8 +310,67 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize specializ
 
 (* ----- chaos command: the oracle under deterministic fault injection ----- *)
 
-let chaos_cmd programs seed packets profile spec specs_dir rate_ppm no_minimize =
+(* --kill-cores: the core-failure axis. Shard each case across [cores],
+   schedule a kill from the plan, recover on a survivor via
+   checkpoint/replay, and require equality with the failure-free
+   reference. *)
+let chaos_kill_cores programs seed packets profile spec specs_dir rate_ppm cores
+    epoch =
+  let rcases =
+    match spec with
+    | Some "all" ->
+        List.map
+          (fun name -> Check.Recovery.spec_rcase ~specs_dir ~name ~seed ~packets)
+          Check.Progen.spec_names
+    | Some name -> [ Check.Recovery.spec_rcase ~specs_dir ~name ~seed ~packets ]
+    | None ->
+        let profiles =
+          match profile with
+          | Some p when not (List.mem p Check.Progen.profiles) ->
+              invalid_arg
+                (Printf.sprintf "unknown profile %s (expected one of: %s)" p
+                   (String.concat ", " Check.Progen.profiles))
+          | Some p -> [ p ]
+          | None -> Check.Progen.profiles
+        in
+        List.concat_map
+          (fun profile ->
+            List.init programs (fun i ->
+                Check.Recovery.gen_rcase ~seed:(seed + i) ~profile ~packets))
+          profiles
+  in
+  let rplan =
+    {
+      Gunfu.Platform.Recovery.epoch;
+      log_capacity = max epoch Gunfu.Platform.Recovery.default_plan.Gunfu.Platform.Recovery.log_capacity;
+    }
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun rc ->
+      let plan = Check.Faultgen.create ~rate_ppm ~seed:rc.Check.Recovery.r_seed () in
+      let oc = Check.Recovery.check_case ~plan ~rplan ~cores rc in
+      if not (Check.Recovery.passed oc) then incr failed;
+      Fmt.pr "%a@." Check.Recovery.pp_outcome oc)
+    rcases;
+  if !failed = 0 then begin
+    Fmt.pr
+      "chaos --kill-cores: %d cases on %d cores (epoch %d): every kill \
+       recovered, exactly-once emits, reference equality@."
+      (List.length rcases) cores epoch;
+    `Ok ()
+  end
+  else
+    `Error
+      (false, Printf.sprintf "%d case(s) failed to recover from a core kill" !failed)
+
+let chaos_cmd programs seed packets profile spec specs_dir rate_ppm no_minimize
+    kill_cores cores epoch =
   try
+    if kill_cores then
+      chaos_kill_cores programs seed packets profile spec specs_dir rate_ppm cores
+        epoch
+    else
     let cases =
       match spec with
       | Some "all" -> Check.Progen.spec_cases ~specs_dir ~seed ~packets ()
@@ -384,6 +443,33 @@ let chaos_cmd programs seed packets profile spec specs_dir rate_ppm no_minimize 
   | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
   | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
   | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* ----- storm command: churn-storm chaos scenarios ----- *)
+
+let storm_cmd scenario seed =
+  try
+    let reports =
+      match scenario with
+      | None -> Check.Storm.all ~seed ()
+      | Some "pfcp" -> [ Check.Storm.pfcp_storm ~seed () ]
+      | Some "nat" -> [ Check.Storm.nat_rebalance_storm ~seed () ]
+      | Some "overload" -> [ Check.Storm.overload_storm ~seed () ]
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf "unknown storm %s (expected pfcp, nat or overload)" other)
+    in
+    List.iter (fun r -> Fmt.pr "@[<v>%a@]@." Check.Storm.pp_report r) reports;
+    let failed = List.filter (fun r -> not (Check.Storm.passed r)) reports in
+    if failed = [] then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d storm scenario(s) failed: %s" (List.length failed)
+            (String.concat ", "
+               (List.map (fun r -> r.Check.Storm.st_name) failed)) )
+  with
   | Invalid_argument msg -> `Error (false, msg)
   | Sys_error msg -> `Error (false, msg)
 
@@ -739,7 +825,12 @@ let chaos_t =
           and MSHR-starvation stalls, then require every executor to contain \
           each fault identically (same faulted counts, same taxonomy, same \
           per-flow streams) with conservation emits + drops + faulted = \
-          offered. Exits non-zero on divergence or any uncontained fault.")
+          offered. With $(b,--kill-cores), shard each case across a \
+          share-nothing platform, kill one core mid-run and require the \
+          checkpoint/replay recovery on a survivor to match the \
+          failure-free reference exactly (per-flow streams, state digest, \
+          exactly-once emits). Exits non-zero on divergence or any \
+          uncontained fault.")
     Term.(
       ret
         (const chaos_cmd
@@ -760,7 +851,41 @@ let chaos_t =
         $ Arg.(
             value & opt int Check.Faultgen.default_rate_ppm
             & info [ "rate-ppm" ] ~doc:"Injection probability per packet, in parts per million")
-        $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")))
+        $ Arg.(value & flag & info [ "no-minimize" ] ~doc:"Skip divergence minimization")
+        $ Arg.(
+            value & flag
+            & info [ "kill-cores" ]
+                ~doc:
+                  "Core-failure axis: kill one core per case and verify \
+                   checkpoint/replay recovery against the failure-free reference")
+        $ Arg.(
+            value & opt int 4
+            & info [ "cores" ] ~doc:"Platform cores for --kill-cores")
+        $ Arg.(
+            value & opt int Gunfu.Platform.Recovery.default_plan.Gunfu.Platform.Recovery.epoch
+            & info [ "epoch" ]
+                ~doc:"Checkpoint every EPOCH pulls per core (--kill-cores)")))
+
+let storm_t =
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Churn-storm chaos scenarios: a PFCP session storm (SMF-driven \
+          establishment/deletion churn against an undersized UPF over real \
+          encoded PFCP, data plane racing teardowns), cuckoo-capacity NAT \
+          churn with Migration-layer rebalancing ping-pong (every hop \
+          byte-preserving), and the full oracle matrix under an overload \
+          fault plan. Each scenario is seeded and self-checking; exits \
+          non-zero if any storm breaks an invariant.")
+    Term.(
+      ret
+        (const storm_cmd
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "scenario" ] ~docv:"NAME"
+                ~doc:"Run one scenario (pfcp, nat or overload); default all")
+        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed")))
 
 let lint_t =
   Cmd.v
@@ -905,6 +1030,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
           [
-            run_t; inspect_t; check_spec_t; check_t; chaos_t; compose_t; lint_t;
-            verifyeq_t; profile_t; trace_t; bench_t; list_t;
+            run_t; inspect_t; check_spec_t; check_t; chaos_t; storm_t; compose_t;
+            lint_t; verifyeq_t; profile_t; trace_t; bench_t; list_t;
           ]))

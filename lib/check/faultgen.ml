@@ -77,6 +77,22 @@ let corrupt t ~index (p : Netcore.Packet.t) =
       (Char.chr (Char.code (Bytes.get p.Netcore.Packet.buf i) lxor ((h + i) land 0xFF)))
   done
 
+(* Core-kill schedule (the platform-level Kill_core fault class). Chaos
+   control, not probability: whenever the platform has a core to spare the
+   plan always kills exactly one — the victim core (salt 6) after the
+   global pull with index [g] (salt 5), with [g] confined to the middle
+   half of the run so the victim has both state to lose and work left to
+   redirect. Single-core platforms are never killed (no survivor could
+   adopt), matching Kill_core's executor-inertness. *)
+let decide_kill t ~cores ~packets =
+  if cores < 2 || packets <= 0 then None
+  else
+    let lo = packets / 4 in
+    let span = max 1 ((3 * packets / 4) - lo) in
+    let g = lo + (draw t ~index:packets ~salt:5 mod span) in
+    let victim = draw t ~index:packets ~salt:6 mod cores in
+    Some (victim, g)
+
 (* Count of injections the plan decides over the first [packets] indices —
    what a run offered exactly [packets] pulls will arm. *)
 let planned t ~packets =

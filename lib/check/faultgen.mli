@@ -24,6 +24,13 @@ val planned : t -> packets:int -> int
 (** Number of injections the plan decides over pull indices
     [0 .. packets-1]. *)
 
+val decide_kill : t -> cores:int -> packets:int -> (int * int) option
+(** The [Kill_core] schedule for a platform run: [Some (victim, g)] kills
+    core [victim] right after the global pull with index [g] (confined to
+    the middle half of [packets]). Deterministic in (seed, cores, packets);
+    [None] when [cores < 2] — a lone core has no survivor to adopt its
+    flows, matching Kill_core's executor-inertness. *)
+
 val corrupt : t -> index:int -> Netcore.Packet.t -> unit
 (** Deterministically mangle a packet (truncate + scribble); exposed for
     the parser-robustness fuzz tests. *)

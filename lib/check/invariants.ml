@@ -178,6 +178,75 @@ let check_memstats (o : Oracle.observation) : violation list =
 let check (o : Oracle.observation) : violation list =
   check_conservation o @ check_flow_order o @ check_clock o @ check_memstats o
 
+(* ----- recovery-plane rules ----- *)
+
+(* Replay-aware conservation across a platform run with a core failure.
+   The adopter re-processes the victim's logged suffix, so live cores
+   collectively complete [offered + replayed] packets; after suppressing
+   the replayed duplicates exactly [offered] completions remain, the
+   emit/drop/fault split is preserved, and every suppressed duplicate is
+   content-identical to the original the dead core already emitted — the
+   exactly-once emit policy. [suppressed] pairs each suppressed duplicate
+   with the victim's original ([None] when no original exists, itself a
+   violation). *)
+let check_recovery ~offered ~(live : (string * Oracle.observation) list)
+    ~(deduped : Oracle.emit list)
+    ~(suppressed : (Oracle.emit * Oracle.emit option) list) : violation list =
+  let replayed = List.length suppressed in
+  let total =
+    List.fold_left (fun acc (_, o) -> acc + o.Oracle.o_run.Metrics.packets) 0 live
+  in
+  let all_emits = List.concat_map (fun (_, o) -> o.Oracle.o_emits) live in
+  let dups = List.map fst suppressed in
+  let drops l = List.length (List.filter (fun (e : Oracle.emit) -> e.Oracle.e_dropped) l) in
+  let faults l = List.length (List.filter emit_faulted l) in
+  List.concat
+    [
+      (if total <> offered + replayed then
+         [
+           v "recovery-conservation"
+             "live cores completed %d packets but offered=%d + replayed=%d" total
+             offered replayed;
+         ]
+       else []);
+      (if List.length deduped <> offered then
+         [
+           v "recovery-conservation" "%d deduplicated completions but %d offered"
+             (List.length deduped) offered;
+         ]
+       else []);
+      (if drops all_emits <> drops deduped + drops dups then
+         [
+           v "recovery-conservation"
+             "drop split broken: live cores dropped %d but deduped=%d + suppressed=%d"
+             (drops all_emits) (drops deduped) (drops dups);
+         ]
+       else []);
+      (if faults all_emits <> faults deduped + faults dups then
+         [
+           v "recovery-conservation"
+             "fault split broken: live cores faulted %d but deduped=%d + suppressed=%d"
+             (faults all_emits) (faults deduped) (faults dups);
+         ]
+       else []);
+      List.filter_map
+        (fun ((dup : Oracle.emit), orig) ->
+          match orig with
+          | None ->
+              Some
+                (v "exactly-once"
+                   "replayed completion (pkt %d, flow %d) has no original on the dead core"
+                   dup.Oracle.e_pktid dup.Oracle.e_flow)
+          | Some (orig : Oracle.emit) ->
+              if Oracle.emit_content dup <> Oracle.emit_content orig then
+                Some
+                  (v "exactly-once"
+                     "replayed completion (pkt %d, flow %d) diverged from the dead core's original"
+                     dup.Oracle.e_pktid dup.Oracle.e_flow)
+              else None)
+        suppressed;
+    ]
+
 (* ----- telemetry-plane rules ----- *)
 
 (* span-nesting: per packet (sp_unit), the span tree is well-nested —

@@ -14,6 +14,23 @@ val check_memstats : Oracle.observation -> violation list
 (** All of the above. *)
 val check : Oracle.observation -> violation list
 
+(** {2 Recovery-plane rules}
+
+    Replay-aware conservation across a platform run with a core failure:
+    live cores collectively complete [offered + replayed] packets; after
+    suppressing replayed duplicates exactly [offered] remain with the
+    emit/drop/fault split preserved; and every suppressed duplicate is
+    content-identical to the original the dead core already emitted
+    (exactly-once emits). [suppressed] pairs each duplicate with the
+    victim's original emit ([None] — no original — is itself a
+    violation). *)
+val check_recovery :
+  offered:int ->
+  live:(string * Oracle.observation) list ->
+  deduped:Oracle.emit list ->
+  suppressed:(Oracle.emit * Oracle.emit option) list ->
+  violation list
+
 (** {2 Telemetry-plane rules}
 
     Checked on a traced run: the span tree must be well-nested per packet

@@ -77,6 +77,16 @@ val task_counts : int list
 
 val packet_fingerprint : Netcore.Packet.t -> string
 
+(** What a packet's journey must look like regardless of executor (or,
+    for the recovery plane, regardless of which core processed it): the
+    packet id is deliberately excluded — ids are run-local. *)
+val emit_content : emit -> int * int * string * bool * int * string
+
+(** Emit contents grouped per flow hint in completion order, sorted by
+    flow — the per-flow stream comparison surface. *)
+val per_flow_streams :
+  emit list -> (int * (int * int * string * bool * int * string) list) list
+
 (** Run one executor over a fresh instance, recording all observables.
     With [~specialize:true] the compiled hot path (see {!Specialize}) is
     installed on the instance's program before the run and the label gains

@@ -293,11 +293,28 @@ let synthetic_shape ~rng =
   Spec.validate_module mspec;
   { syn_k = k; syn_states = shape; syn_mspec = mspec; syn_flows = n_flows; syn_opts = opts }
 
+(* The synthetic unit's mutable state, exposed so the recovery plane can
+   checkpoint it and re-home flows onto another core. Arrays are indexed
+   by *local slot* (the classifier's value); [syn_ident] maps a slot back
+   to the flow's universe id, which is what the action mixer keys on — so
+   a flow's behaviour is identical no matter which slot (on which core)
+   currently holds its state. *)
+type syn_state = {
+  syn_classifier : Nfs.Classifier.t;
+  syn_seqs : int array;
+  syn_scratch : int array;
+  syn_total : int ref;  (* commutative cross-flow sum *)
+  syn_ident : int array;  (* slot -> universe flow id *)
+  mutable syn_next : int;  (* first free slot (bump allocator) *)
+}
+
 (* The synthetic unit behind the shape: real classifier, state arena and
    per-state actions. [flows] populates the classifier (empty for
-   compile-only uses like translation validation). Returns the unit plus
-   the observable-state digest for the oracle. *)
-let synthetic_unit layout ~seed ~(sh : syn_shape) ~flows =
+   compile-only uses like translation validation); [ident] gives each
+   populated slot's universe flow id (defaults to the slot index — the
+   single-core layout). Returns the unit, the observable-state digest for
+   the oracle, and the state handle for the recovery plane. *)
+let synthetic_unit layout ~seed ~(sh : syn_shape) ?ident ~flows () =
   let k = sh.syn_k in
   let shape = sh.syn_states in
   let n_flows = sh.syn_flows in
@@ -316,6 +333,24 @@ let synthetic_unit layout ~seed ~(sh : syn_shape) ~flows =
   let seqs = Array.make n_flows 0 in
   let scratch = Array.make n_flows 0 in
   let total = ref 0 in
+  let ident =
+    match ident with
+    | Some ids ->
+        let a = Array.init n_flows Fun.id in
+        Array.blit ids 0 a 0 (Array.length ids);
+        a
+    | None -> Array.init n_flows Fun.id
+  in
+  let st =
+    {
+      syn_classifier = classifier;
+      syn_seqs = seqs;
+      syn_scratch = scratch;
+      syn_total = total;
+      syn_ident = ident;
+      syn_next = Array.length flows;
+    }
+  in
   let action i =
     let s = shape.(i) in
     Action.make ~base_cycles:10 ~base_instrs:8 ~name:(Printf.sprintf "syn.s%d" i)
@@ -326,7 +361,7 @@ let synthetic_unit layout ~seed ~(sh : syn_shape) ~flows =
           task.Nftask.temps.Nftask.regs.(seq_reg) <- seqs.(flow)
         end;
         let seq = task.Nftask.temps.Nftask.regs.(seq_reg) in
-        let h = mix seed flow seq i in
+        let h = mix seed ident.(flow) seq i in
         (* Per-flow state: order-dependent only within its own flow.
            Global total: addition, commutative across flows. *)
         scratch.(flow) <- (scratch.(flow) * 31) + (h land 0xffff);
@@ -374,7 +409,7 @@ let synthetic_unit layout ~seed ~(sh : syn_shape) ~flows =
     Fingerprint.feed_int_array fp seqs;
     Fingerprint.feed_int fp !total
   in
-  (unit, digest)
+  (unit, digest, st)
 
 let build_synthetic ~rng ~seed ~profile ~packets =
   let sh = synthetic_shape ~rng in
@@ -382,8 +417,8 @@ let build_synthetic ~rng ~seed ~profile ~packets =
     let worker = fresh_worker () in
     let layout = Worker.layout worker in
     let gen = flowgen_for ~profile ~seed ~n_flows:sh.syn_flows in
-    let unit, digest =
-      synthetic_unit layout ~seed ~sh ~flows:(Traffic.Flowgen.flows gen)
+    let unit, digest, _st =
+      synthetic_unit layout ~seed ~sh ~flows:(Traffic.Flowgen.flows gen) ()
     in
     let program = Nfs.Nf_unit.compile ~opts:sh.syn_opts ~name:"gen-syn" [ unit ] in
     let pool = Netcore.Packet.Pool.create layout ~count:256 in
@@ -422,6 +457,23 @@ let cases ~seed ~count ~packets : Oracle.case list =
       List.map (fun profile -> case ~seed:(seed + i) ~profile ~packets) profiles)
     (List.init count Fun.id)
 
+(* The generated program behind a seed, as data rather than a built
+   instance — the recovery plane rebuilds the same program once per core,
+   each populated with only that core's flow subset. Replays exactly the
+   draw sequence of {!case} (Rng.create, shape coin, then the shape's own
+   draws), so [recipe ~seed] and [case ~seed ...] describe the same
+   program. *)
+type gen_recipe =
+  | Chain of { families : family list; n_flows : int; opts : Compiler.opts }
+  | Synthetic of { shape : syn_shape }
+
+let recipe ~seed =
+  let rng = Rng.create seed in
+  if Rng.bool rng then Synthetic { shape = synthetic_shape ~rng }
+  else
+    let families, n_flows, opts = chain_params ~rng in
+    Chain { families; n_flows; opts }
+
 (* ----- cases built from the on-disk specs/ compositions ----- *)
 
 let catalog_spec_case ?opts ~specs_dir ~name ~seed ~packets () : Oracle.case =
@@ -459,11 +511,21 @@ let catalog_spec_case ?opts ~specs_dir ~name ~seed ~packets () : Oracle.case =
    FSMs substituted from the on-disk specs, wiring from upf_downlink.yaml
    — so the oracle (and the lint subcommand) genuinely works on the files
    under specs/. *)
-let upf_assembly layout ~specs_dir ~mgw =
+let upf_assembly ?(capacity = -1) layout ~specs_dir ~mgw =
   let upf =
-    Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw) ~n_pdrs:4 ()
+    if capacity >= 0 then
+      (* Recovery-plane variant: an empty UPF whose sessions arrive through
+         the normal PFCP admission path (per-core subsets, re-homing). *)
+      Nfs.Upf.create_empty layout ~name:"upf" ~capacity ~n_pdrs:4 ()
+    else begin
+      let upf =
+        Nfs.Upf.create layout ~name:"upf" ~sessions:(Traffic.Mgw.sessions mgw)
+          ~n_pdrs:4 ()
+      in
+      Nfs.Upf.populate upf;
+      upf
+    end
   in
-  Nfs.Upf.populate upf;
   let modules = Nfs.Catalog.load_modules specs_dir in
   let instances =
     List.map
@@ -567,7 +629,7 @@ let gen_verify_input ~seed : Compiler.verify_input =
   let layout = Worker.layout worker in
   if synthetic then begin
     let sh = synthetic_shape ~rng in
-    let unit, _digest = synthetic_unit layout ~seed ~sh ~flows:[||] in
+    let unit, _digest, _st = synthetic_unit layout ~seed ~sh ~flows:[||] () in
     Nfs.Nf_unit.verify_view ~opts:verify_opts ~name:"gen-syn" [ unit ]
   end
   else begin

@@ -28,6 +28,81 @@ val case : seed:int -> profile:string -> packets:int -> Oracle.case
 (** [count] seeds × all {!profiles}. *)
 val cases : seed:int -> count:int -> packets:int -> Oracle.case list
 
+(** {2 Recovery-plane building blocks}
+
+    The core-failure engine rebuilds one instance of a generated program
+    per simulated core, each populated with only the flows that core owns
+    — so the pieces behind {!case} (shape draws, flow universe, unit
+    assembly) are exposed as data here. *)
+
+(** Generated wire length (bytes) of every non-MGW packet. *)
+val wire_len : int
+
+(** The flow universe a generated case draws traffic from. *)
+val flowgen_for : profile:string -> seed:int -> n_flows:int -> Traffic.Flowgen.t
+
+(** The deliberately small memory system generated cases run under
+    (pressure makes reordering bugs observable). *)
+val small_mem_cfg : Memsim.Hierarchy.config
+
+val fresh_worker : unit -> Gunfu.Worker.t
+
+(** Catalog chain families drawn by the chain shape. *)
+type family = F_nat | F_lb | F_fw | F_nm
+
+val chain_spec : family list -> Gunfu.Spec.nf_spec
+val builtin_modules : (string * Gunfu.Spec.module_spec) list Lazy.t
+
+(** Per-state shape of the synthetic random DAG. *)
+type sstate = { s_hi : int option; s_drop : bool }
+
+(** The synthetic shape's draws plus the module spec they determine. *)
+type syn_shape = {
+  syn_k : int;
+  syn_states : sstate array;
+  syn_mspec : Gunfu.Spec.module_spec;
+  syn_flows : int;
+  syn_opts : Gunfu.Compiler.opts;
+}
+
+(** The synthetic unit's mutable state: arrays indexed by local slot,
+    [syn_ident] mapping each slot to the flow's universe id (what the
+    action mixer keys on — flow behaviour is placement-independent). *)
+type syn_state = {
+  syn_classifier : Nfs.Classifier.t;
+  syn_seqs : int array;
+  syn_scratch : int array;
+  syn_total : int ref;
+  syn_ident : int array;
+  mutable syn_next : int;
+}
+
+(** The unit behind the shape, its oracle digest, and its state handle.
+    [ident] gives each populated slot's universe flow id (default: the
+    slot index). *)
+val synthetic_unit :
+  Memsim.Layout.t -> seed:int -> sh:syn_shape -> ?ident:int array ->
+  flows:Netcore.Flow.t array -> unit ->
+  Nfs.Nf_unit.t * (Gunfu.Fingerprint.t -> unit) * syn_state
+
+(** The generated program behind a seed as data: replays exactly the draw
+    sequence of {!case}, so [recipe ~seed] describes the program
+    [case ~seed ...] would build. *)
+type gen_recipe =
+  | Chain of { families : family list; n_flows : int; opts : Gunfu.Compiler.opts }
+  | Synthetic of { shape : syn_shape }
+
+val recipe : seed:int -> gen_recipe
+
+(** The UPF downlink assembly behind the [upf_downlink] spec case: the
+    shipped UPF's instances with module FSMs substituted from [specs_dir].
+    With [capacity >= 0] the UPF starts empty (sessions arrive through the
+    PFCP admission path — the recovery/storm variant); default is the
+    pre-populated oracle shape. *)
+val upf_assembly :
+  ?capacity:int -> Memsim.Layout.t -> specs_dir:string -> mgw:Traffic.Mgw.t ->
+  Nfs.Upf.t * Gunfu.Compiler.instance list * Gunfu.Spec.nf_spec
+
 (** One case per composition in [specs_dir] (nat, sfc4, upf_downlink),
     executing the on-disk module FSMs. [opts] overrides the compiler
     options (default {!Gunfu.Compiler.default_opts}). *)

@@ -1,0 +1,851 @@
+(* Crash-tolerant scale-out: core-failure injection with checkpoint/replay
+   recovery.
+
+   A recovery case runs one generated (or spec-assembled) program across a
+   share-nothing multi-core platform: RSS pins each flow to one core
+   ({!Gunfu.Platform.Recovery.owner}), cores own disjoint flow subsets of
+   a common universe, and each core can journal its input stream — a state
+   checkpoint every [epoch] pulls plus a bounded replay log of the pulls
+   since (the {!Gunfu.Platform.Recovery} journal).
+
+   The chaos axis kills one core mid-run ({!Faultgen.decide_kill}): the
+   victim's stream is truncated right after global pull [g_kill] and a
+   surviving core adopts its flows — restore the victim's last checkpoint
+   through the Migration layer, replay the logged suffix (re-arming the
+   injections the victim recorded, never re-drawing or re-corrupting),
+   then absorb the victim's redirected remainder. Replayed completions are
+   deduplicated by run-local packet id (log clones keep their id precisely
+   so a replay looks like the same packet) and verified content-equal to
+   the victim's originals: the exactly-once emit policy.
+
+   Correctness is judged against a *failure-free reference*: the same
+   platform, sharding and injection schedule without the kill. A recovered
+   run must match it on per-flow emit-content streams and on a
+   location-independent state digest — per-flow NF state read from each
+   flow's final owner, commutative counters summed over live cores —
+   while {!Invariants.check_recovery} enforces the replay-aware
+   conservation law (live completions = offered + replayed).
+
+   Executors are RTC per core: a checkpoint taken between pulls is
+   quiescent (every previously pulled packet has fully completed), which
+   is what makes the journal's pull-boundary snapshots consistent. *)
+
+open Gunfu
+
+(* ----- per-core instances ----- *)
+
+(* One core's freshly built copy of the program, populated with only the
+   flows that core owns, plus the closures the recovery engine needs:
+   export/import of per-flow state (universe flow ids -> named snapshot
+   blobs through the Migration layer), commutative counters (import ADDS
+   — victim increments and adopter increments are disjoint), and a
+   location-independent per-flow digest. *)
+type core_instance = {
+  ci_worker : Worker.t;
+  ci_program : Program.t;
+  ci_pool : Netcore.Packet.Pool.pool;
+  ci_export : int list -> (string * string) list;
+  ci_import : (string * string) list -> unit;
+  ci_counters : unit -> (string * int) list;
+  ci_restore : (string * int) list -> unit;
+  ci_flow_digest : Fingerprint.t -> int -> unit;
+}
+
+type rcase = {
+  r_name : string;
+  r_seed : int;
+  r_packets : int;
+  r_universe : int;  (* flow/session universe size; hints are [0, universe) *)
+  r_cfg : Worker.cfg;  (* per-core config before LLC partitioning *)
+  r_trace : unit -> Workload.item list;
+      (* the case's global input stream, pristine packets; traced once per
+         check and shared (as clones) by the reference and killed passes,
+         so packet ids line up across both *)
+  r_build : Worker.t -> owned:int array -> core_instance;
+  r_repro : cores:int -> string;
+}
+
+(* ----- tracing ----- *)
+
+let drain (source : Workload.source) =
+  let rec go acc = match source () with Some it -> go (it :: acc) | None -> List.rev acc in
+  go []
+
+let owned_ids ~cores ~universe core =
+  Array.of_list
+    (List.filter
+       (fun i -> Platform.Recovery.owner ~cores i = core)
+       (List.init universe Fun.id))
+
+(* ----- generated cases (Progen.recipe) ----- *)
+
+(* GSYN1: the synthetic unit's per-flow state on the wire — key (u64),
+   universe flow id (u32), sequence number (u32), scratch accumulator
+   (u64). Same framing as the Migration formats. *)
+let syn_magic = "GSYN1"
+let syn_entry_bytes = 24
+
+let syn_export (st : Progen.syn_state) flow ids =
+  let table = Nfs.Classifier.table st.Progen.syn_classifier in
+  let present =
+    List.filter_map
+      (fun i ->
+        match Structures.Cuckoo.lookup table (Netcore.Flow.key64 (flow i)) with
+        | Some slot -> Some (i, slot)
+        | None -> None)
+      ids
+  in
+  let buf = Buffer.create (String.length syn_magic + 4 + (List.length present * syn_entry_bytes)) in
+  Buffer.add_string buf syn_magic;
+  Nfs.Migration.put_u32 buf (Int32.of_int (List.length present));
+  List.iter
+    (fun (i, slot) ->
+      Nfs.Migration.put_u64 buf (Netcore.Flow.key64 (flow i));
+      Nfs.Migration.put_u32 buf (Int32.of_int i);
+      Nfs.Migration.put_u32 buf (Int32.of_int st.Progen.syn_seqs.(slot));
+      Nfs.Migration.put_u64 buf (Int64.of_int st.Progen.syn_scratch.(slot)))
+    present;
+  Buffer.contents buf
+
+let syn_import (st : Progen.syn_state) blob =
+  let count =
+    Nfs.Migration.parse_header ~magic:syn_magic ~entry_bytes:syn_entry_bytes blob
+  in
+  if st.Progen.syn_next + count > Array.length st.Progen.syn_seqs then
+    raise (Nfs.Migration.Bad_snapshot "target synthetic state full");
+  let base = String.length syn_magic + 4 in
+  for e = 0 to count - 1 do
+    let off = base + (e * syn_entry_bytes) in
+    let key = Nfs.Migration.get_u64 blob off in
+    let ident = Int32.to_int (Nfs.Migration.get_u32 blob (off + 8)) in
+    let seq = Int32.to_int (Nfs.Migration.get_u32 blob (off + 12)) in
+    let scratch = Int64.to_int (Nfs.Migration.get_u64 blob (off + 16)) in
+    let slot = st.Progen.syn_next in
+    let shed = Nfs.Classifier.populate st.Progen.syn_classifier [ (key, slot) ] in
+    if shed > 0 then
+      raise (Nfs.Migration.Bad_snapshot "target synthetic classifier full");
+    st.Progen.syn_next <- slot + 1;
+    st.Progen.syn_ident.(slot) <- ident;
+    st.Progen.syn_seqs.(slot) <- seq;
+    st.Progen.syn_scratch.(slot) <- scratch
+  done
+
+let chain_instance ~families ~n_flows ~opts ~gen worker ~owned =
+  let layout = Worker.layout worker in
+  let built =
+    Nfs.Catalog.build layout ~nf:(Progen.chain_spec families)
+      ~modules:(Lazy.force Progen.builtin_modules) ~n_flows ~opts ()
+  in
+  let flow i = Traffic.Flowgen.flow gen i in
+  built.Nfs.Catalog.populate (Array.map flow owned);
+  {
+    ci_worker = worker;
+    ci_program = built.Nfs.Catalog.program;
+    ci_pool = Netcore.Packet.Pool.create layout ~count:256;
+    ci_export =
+      (fun ids ->
+        let flows = List.map flow ids in
+        List.map
+          (fun (sn : Nfs.Catalog.snapshotter) ->
+            (sn.Nfs.Catalog.sn_name, sn.Nfs.Catalog.sn_export flows))
+          built.Nfs.Catalog.snapshots);
+    ci_import =
+      (fun blobs ->
+        List.iter
+          (fun (sn : Nfs.Catalog.snapshotter) ->
+            match List.assoc_opt sn.Nfs.Catalog.sn_name blobs with
+            | Some blob -> ignore (sn.Nfs.Catalog.sn_import blob : int)
+            | None -> ())
+          built.Nfs.Catalog.snapshots);
+    ci_counters = (fun () -> []);
+    ci_restore = (fun _ -> ());
+    ci_flow_digest =
+      (fun fp i ->
+        List.iter
+          (fun (sn : Nfs.Catalog.snapshotter) ->
+            sn.Nfs.Catalog.sn_flow_digest fp (flow i))
+          built.Nfs.Catalog.snapshots);
+  }
+
+let synthetic_instance ~seed ~shape ~gen worker ~owned =
+  let layout = Worker.layout worker in
+  let flow i = Traffic.Flowgen.flow gen i in
+  let unit, _digest, st =
+    Progen.synthetic_unit layout ~seed ~sh:shape ~ident:owned
+      ~flows:(Array.map flow owned) ()
+  in
+  let program =
+    Nfs.Nf_unit.compile ~opts:shape.Progen.syn_opts ~name:"gen-syn" [ unit ]
+  in
+  let table = Nfs.Classifier.table st.Progen.syn_classifier in
+  {
+    ci_worker = worker;
+    ci_program = program;
+    ci_pool = Netcore.Packet.Pool.create layout ~count:256;
+    ci_export = (fun ids -> [ ("syn", syn_export st flow ids) ]);
+    ci_import =
+      (fun blobs ->
+        match List.assoc_opt "syn" blobs with
+        | Some blob -> syn_import st blob
+        | None -> ());
+    ci_counters = (fun () -> [ ("syn.total", !(st.Progen.syn_total)) ]);
+    ci_restore =
+      List.iter (fun (name, v) ->
+          if String.equal name "syn.total" then
+            st.Progen.syn_total := !(st.Progen.syn_total) + v);
+    ci_flow_digest =
+      (fun fp i ->
+        match Structures.Cuckoo.lookup table (Netcore.Flow.key64 (flow i)) with
+        | Some slot ->
+            Fingerprint.feed_bool fp true;
+            Fingerprint.feed_int fp st.Progen.syn_seqs.(slot);
+            Fingerprint.feed_int fp st.Progen.syn_scratch.(slot)
+        | None -> Fingerprint.feed_bool fp false);
+  }
+
+let gen_rcase ~seed ~profile ~packets : rcase =
+  let recipe = Progen.recipe ~seed in
+  let universe =
+    match recipe with
+    | Progen.Chain { n_flows; _ } -> n_flows
+    | Progen.Synthetic { shape } -> shape.Progen.syn_flows
+  in
+  let gen () = Progen.flowgen_for ~profile ~seed ~n_flows:universe in
+  {
+    r_name =
+      Printf.sprintf "rec-gen-%s-%d"
+        (match recipe with Progen.Chain _ -> "chain" | Progen.Synthetic _ -> "syn")
+        seed;
+    r_seed = seed;
+    r_packets = packets;
+    r_universe = universe;
+    r_cfg = { Worker.default_cfg with Worker.mem_cfg = Progen.small_mem_cfg };
+    r_trace =
+      (fun () ->
+        let worker = Progen.fresh_worker () in
+        let pool = Netcore.Packet.Pool.create (Worker.layout worker) ~count:256 in
+        drain (Progen.make_source ~profile ~seed ~gen:(gen ()) ~pool ~packets));
+    r_build =
+      (match recipe with
+      | Progen.Chain { families; n_flows; opts } ->
+          fun worker ~owned ->
+            chain_instance ~families ~n_flows ~opts ~gen:(gen ()) worker ~owned
+      | Progen.Synthetic { shape } ->
+          fun worker ~owned ->
+            synthetic_instance ~seed ~shape ~gen:(gen ()) worker ~owned);
+    r_repro =
+      (fun ~cores ->
+        Printf.sprintf
+          "gunfu_cli chaos --kill-cores --cores %d --seed %d --profile %s --packets %d"
+          cores seed profile packets);
+  }
+
+(* ----- cases over the on-disk specs/ compositions ----- *)
+
+let spec_universe = 64
+
+let upf_instance ~specs_dir ~mgw worker ~owned =
+  let layout = Worker.layout worker in
+  let upf, instances, nf =
+    Progen.upf_assembly ~capacity:spec_universe layout ~specs_dir ~mgw
+  in
+  Array.iter
+    (fun i ->
+      let s = Traffic.Mgw.session mgw i in
+      match
+        Nfs.Upf.install_session upf ~ue_ip:s.Traffic.Mgw.ue_ip ~teid:s.Traffic.Mgw.teid
+      with
+      | Ok _ -> ()
+      | Error cause ->
+          invalid_arg (Printf.sprintf "recovery: UPF session install rejected (cause %d)" cause))
+    owned;
+  let ue_ips ids = List.map (fun i -> (Traffic.Mgw.session mgw i).Traffic.Mgw.ue_ip) ids in
+  {
+    ci_worker = worker;
+    ci_program = Compiler.compile ~name:nf.Spec.n_name instances nf;
+    ci_pool = Netcore.Packet.Pool.create layout ~count:256;
+    ci_export = (fun ids -> [ ("upf", Nfs.Migration.export_upf upf (ue_ips ids)) ]);
+    ci_import =
+      (fun blobs ->
+        match List.assoc_opt "upf" blobs with
+        | Some blob -> ignore (Nfs.Migration.import_upf upf blob : int)
+        | None -> ());
+    ci_counters =
+      (fun () ->
+        [
+          ("upf.encapsulated", upf.Nfs.Upf.encapsulated);
+          ("upf.decapsulated", upf.Nfs.Upf.decapsulated);
+        ]);
+    ci_restore =
+      List.iter (fun (name, v) ->
+          if String.equal name "upf.encapsulated" then
+            upf.Nfs.Upf.encapsulated <- upf.Nfs.Upf.encapsulated + v
+          else if String.equal name "upf.decapsulated" then
+            upf.Nfs.Upf.decapsulated <- upf.Nfs.Upf.decapsulated + v);
+    ci_flow_digest =
+      (fun fp i ->
+        (* the export blob IS the session's identity (UE IP, TEID) when
+           present, and a zero-count header when not: location-independent
+           either way *)
+        Fingerprint.feed_string fp (Nfs.Migration.export_upf upf (ue_ips [ i ])));
+  }
+
+let spec_rcase ~specs_dir ~name ~seed ~packets : rcase =
+  let repro ~cores =
+    Printf.sprintf "gunfu_cli chaos --kill-cores --cores %d --spec %s --seed %d --packets %d"
+      cores name seed packets
+  in
+  match name with
+  | "upf_downlink" ->
+      let mgw = Traffic.Mgw.create ~seed ~n_sessions:spec_universe ~n_pdrs:4 () in
+      {
+        r_name = "rec-spec-upf_downlink";
+        r_seed = seed;
+        r_packets = packets;
+        r_universe = spec_universe;
+        r_cfg = Worker.default_cfg;
+        r_trace =
+          (fun () ->
+            let worker = Worker.create ~id:0 () in
+            let pool = Netcore.Packet.Pool.create (Worker.layout worker) ~count:256 in
+            drain (Workload.of_mgw_downlink mgw ~pool ~count:packets));
+        r_build = (fun worker ~owned -> upf_instance ~specs_dir ~mgw worker ~owned);
+        r_repro = repro;
+      }
+  | _ ->
+      let profile = "zipf" in
+      let gen () = Progen.flowgen_for ~profile ~seed ~n_flows:spec_universe in
+      {
+        r_name = "rec-spec-" ^ name;
+        r_seed = seed;
+        r_packets = packets;
+        r_universe = spec_universe;
+        r_cfg = Worker.default_cfg;
+        r_trace =
+          (fun () ->
+            let worker = Worker.create ~id:0 () in
+            let pool = Netcore.Packet.Pool.create (Worker.layout worker) ~count:256 in
+            drain
+              (Progen.make_source ~profile ~seed ~gen:(gen ()) ~pool ~packets));
+        r_build =
+          (fun worker ~owned ->
+            let layout = Worker.layout worker in
+            let built =
+              Nfs.Catalog.build_from_files layout
+                ~nf_file:(Filename.concat specs_dir (name ^ ".yaml"))
+                ~specs_dir ~n_flows:spec_universe ()
+            in
+            let gen = gen () in
+            let flow i = Traffic.Flowgen.flow gen i in
+            built.Nfs.Catalog.populate (Array.map flow owned);
+            {
+              ci_worker = worker;
+              ci_program = built.Nfs.Catalog.program;
+              ci_pool = Netcore.Packet.Pool.create layout ~count:256;
+              ci_export =
+                (fun ids ->
+                  let flows = List.map flow ids in
+                  List.map
+                    (fun (sn : Nfs.Catalog.snapshotter) ->
+                      (sn.Nfs.Catalog.sn_name, sn.Nfs.Catalog.sn_export flows))
+                    built.Nfs.Catalog.snapshots);
+              ci_import =
+                (fun blobs ->
+                  List.iter
+                    (fun (sn : Nfs.Catalog.snapshotter) ->
+                      match List.assoc_opt sn.Nfs.Catalog.sn_name blobs with
+                      | Some blob -> ignore (sn.Nfs.Catalog.sn_import blob : int)
+                      | None -> ())
+                    built.Nfs.Catalog.snapshots);
+              ci_counters = (fun () -> []);
+              ci_restore = (fun _ -> ());
+              ci_flow_digest =
+                (fun fp i ->
+                  List.iter
+                    (fun (sn : Nfs.Catalog.snapshotter) ->
+                      sn.Nfs.Catalog.sn_flow_digest fp (flow i))
+                    built.Nfs.Catalog.snapshots);
+            });
+        r_repro = repro;
+      }
+
+(* ----- the engine ----- *)
+
+(* Victim checkpoint payload: named per-NF snapshot blobs, commutative
+   counters (absolute at checkpoint time; restore ADDS) and the fault
+   plane's per-flow containment state. *)
+type ckpt = {
+  ck_snaps : (string * string) list;
+  ck_counters : (string * int) list;
+  ck_containment : (int * int * bool) list;
+}
+
+let take_ckpt (ci : core_instance) plane owned () =
+  let ids = Array.to_list owned in
+  {
+    ck_snaps = ci.ci_export ids;
+    ck_counters = ci.ci_counters ();
+    ck_containment = Fault.export_containment plane ids;
+  }
+
+(* What a core's source does next. [Deliver] hands out a clone of a traced
+   item (rolling the chaos plan at the item's GLOBAL index, so the
+   schedule is sharding-independent); [Replay] re-presents a logged clone,
+   re-arming the injection the victim recorded without re-corrupting (the
+   bytes are already mangled in the log copy); [Adopt] runs the
+   checkpoint-import thunk between two pulls — a quiescent point under
+   RTC. *)
+type op =
+  | Deliver of int * Workload.item
+  | Replay of Platform.Recovery.entry
+  | Adopt of (unit -> unit)
+
+let arm_plan ?plan ~plane ~g pkt =
+  match (plan, pkt) with
+  | Some fg, Some p -> (
+      match Faultgen.decide fg g with
+      | Some inj ->
+          (match inj with
+          | Fault.Corrupt_packet -> Faultgen.corrupt fg ~index:g p
+          | Fault.Raise_at _ | Fault.Stall_mshrs _ | Fault.Kill_core -> ());
+          Fault.inject plane ~packet_id:p.Netcore.Packet.id inj;
+          Some inj
+      | None -> None)
+  | _ -> None
+
+let make_source ?plan ~plane ~pool ?journal ops : Workload.source =
+  let ops = ref ops in
+  let rec next () =
+    match !ops with
+    | [] -> None
+    | Adopt f :: rest ->
+        ops := rest;
+        f ();
+        next ()
+    | Replay e :: rest ->
+        ops := rest;
+        let pkt = Option.map Netcore.Packet.clone e.Platform.Recovery.e_pkt in
+        Option.iter (Netcore.Packet.Pool.assign pool) pkt;
+        (match (e.Platform.Recovery.e_inj, pkt) with
+        | Some inj, Some p -> Fault.inject plane ~packet_id:p.Netcore.Packet.id inj
+        | _ -> ());
+        Some
+          {
+            Workload.packet = pkt;
+            aux = e.Platform.Recovery.e_aux;
+            flow_hint = e.Platform.Recovery.e_hint;
+          }
+    | Deliver (g, item) :: rest ->
+        ops := rest;
+        (match journal with
+        | Some (j, snapshot) ->
+            if Platform.Recovery.boundary j then
+              Platform.Recovery.checkpoint j (snapshot ())
+        | None -> ());
+        let pkt = Option.map Netcore.Packet.clone item.Workload.packet in
+        Option.iter (Netcore.Packet.Pool.assign pool) pkt;
+        let inj = arm_plan ?plan ~plane ~g pkt in
+        (match journal with
+        | Some (j, _) ->
+            Platform.Recovery.record j
+              {
+                Platform.Recovery.e_pkt = Option.map Netcore.Packet.clone pkt;
+                e_hint = item.Workload.flow_hint;
+                e_aux = item.Workload.aux;
+                e_inj = inj;
+              }
+        | None -> ());
+        Some
+          {
+            Workload.packet = pkt;
+            aux = item.Workload.aux;
+            flow_hint = item.Workload.flow_hint;
+          }
+  in
+  next
+
+(* Run one core to completion under RTC, recording the same observables
+   as the single-core oracle. *)
+let observe_core ~label ~plane (ci : core_instance) source : Oracle.observation =
+  let ctx = Worker.ctx ci.ci_worker in
+  let emits = ref [] in
+  let inputs = ref [] in
+  let on_complete (task : Nftask.t) =
+    let dropped =
+      Event.equal task.Nftask.event Event.Drop_packet
+      || Event.equal task.Nftask.event Event.Match_fail
+    in
+    let e_pkt, e_pktid, e_wire =
+      match task.Nftask.packet with
+      | Some p -> (Oracle.packet_fingerprint p, p.Netcore.Packet.id, p.Netcore.Packet.wire_len)
+      | None -> ("", -1, 0)
+    in
+    emits :=
+      {
+        Oracle.e_flow = task.Nftask.flow_hint;
+        e_aux = task.Nftask.aux;
+        e_event = Event.to_key task.Nftask.event;
+        e_dropped = dropped;
+        e_wire;
+        e_pkt;
+        e_pktid;
+        e_clock = ctx.Exec_ctx.clock;
+      }
+      :: !emits
+  in
+  let source =
+    Workload.tap
+      (fun item ->
+        let pid =
+          match item.Workload.packet with
+          | Some p -> p.Netcore.Packet.id
+          | None -> -1
+        in
+        inputs := (pid, item.Workload.flow_hint) :: !inputs)
+      source
+  in
+  let run = Rtc.run ~fault:plane ~on_complete ci.ci_worker ci.ci_program source in
+  {
+    Oracle.o_label = label;
+    o_run = run;
+    o_emits = List.rev !emits;
+    o_inputs = List.rev !inputs;
+    o_state = "";
+    o_mshr_pending =
+      Memsim.Hierarchy.mshr_pending_count ctx.Exec_ctx.mem ~now:ctx.Exec_ctx.clock;
+    o_mshr_limit = (Memsim.Hierarchy.config ctx.Exec_ctx.mem).Memsim.Hierarchy.mshr_count;
+  }
+
+(* Location-independent final-state digest: each universe flow's NF state
+   read from the core that finally owns it, its containment state, then
+   the commutative counters summed over live cores. *)
+let state_digest ~universe ~owner_of ~live (cis : core_instance array)
+    (planes : Fault.t array) =
+  Fingerprint.of_fn (fun fp ->
+      for i = 0 to universe - 1 do
+        let c = owner_of i in
+        cis.(c).ci_flow_digest fp i;
+        match Fault.export_containment planes.(c) [ i ] with
+        | [ (_, consec, poisoned) ] ->
+            Fingerprint.feed_int fp consec;
+            Fingerprint.feed_bool fp poisoned
+        | _ -> ()
+      done;
+      let totals : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      Array.iteri
+        (fun c ci ->
+          if live c then
+            List.iter
+              (fun (name, v) ->
+                Hashtbl.replace totals name
+                  (v + Option.value ~default:0 (Hashtbl.find_opt totals name)))
+              (ci.ci_counters ()))
+        cis;
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals []
+      |> List.sort compare
+      |> List.iter (fun (name, v) ->
+             Fingerprint.feed_string fp name;
+             Fingerprint.feed_int fp v))
+
+type content = int * int * string * bool * int * string
+
+(* One full platform pass, merged and digested. *)
+type pass = {
+  p_obs : (string * Oracle.observation) list;  (* live cores, core order *)
+  p_streams : (int * content list) list;  (* merged per-flow emit contents *)
+  p_digest : string;
+}
+
+let indexed items = List.mapi (fun g item -> (g, item)) items
+
+let delivers ~cores ~core ?lo ?hi items =
+  List.filter_map
+    (fun (g, item) ->
+      let mine = Platform.Recovery.owner ~cores item.Workload.flow_hint = core in
+      let above = match lo with Some l -> g > l | None -> true in
+      let below = match hi with Some h -> g <= h | None -> true in
+      if mine && above && below then Some (Deliver (g, item)) else None)
+    items
+
+(* The failure-free platform pass: every core processes its owned slice of
+   the global stream. [journal] turns on checkpoint/replay bookkeeping on
+   every core without consuming it — the inertness axis: journaling is
+   pure reads and clones, so observations must be byte-identical with it
+   on or off (pinned by test). *)
+let platform_pass ?plan ?(journal = false)
+    ?(rplan = Platform.Recovery.default_plan) ~cores ~items (rc : rcase) : pass =
+  let plat = Platform.create ~cfg:rc.r_cfg ~cores () in
+  let items = indexed items in
+  let cis =
+    Array.init cores (fun c ->
+        rc.r_build (Platform.worker plat c)
+          ~owned:(owned_ids ~cores ~universe:rc.r_universe c))
+  in
+  let planes = Array.init cores (fun _ -> Fault.create ()) in
+  let obs =
+    Array.to_list
+      (Array.init cores (fun c ->
+           let jopt =
+             if journal then
+               Some
+                 ( Platform.Recovery.journal rplan,
+                   take_ckpt cis.(c) planes.(c)
+                     (owned_ids ~cores ~universe:rc.r_universe c) )
+             else None
+           in
+           let source =
+             make_source ?plan ~plane:planes.(c) ~pool:cis.(c).ci_pool ?journal:jopt
+               (delivers ~cores ~core:c items)
+           in
+           let label = Printf.sprintf "core%d" c in
+           (label, observe_core ~label ~plane:planes.(c) cis.(c) source)))
+  in
+  let emits = List.concat_map (fun (_, o) -> o.Oracle.o_emits) obs in
+  {
+    p_obs = obs;
+    p_streams = Oracle.per_flow_streams emits;
+    p_digest =
+      state_digest ~universe:rc.r_universe
+        ~owner_of:(Platform.Recovery.owner ~cores)
+        ~live:(fun _ -> true) cis planes;
+  }
+
+let observe_platform ?plan ?journal ?rplan ~cores (rc : rcase) : pass =
+  platform_pass ?plan ?journal ?rplan ~cores ~items:(rc.r_trace ()) rc
+
+(* First difference between two passes, or [None]. *)
+let diff_passes ~(reference : pass) (obs : pass) : string option =
+  let rec diff_streams a b =
+    match (a, b) with
+    | [], [] -> None
+    | (fa, _) :: _, [] -> Some (Printf.sprintf "flow %d missing from recovered run" fa)
+    | [], (fb, _) :: _ -> Some (Printf.sprintf "recovered run invented flow %d" fb)
+    | (fa, sa) :: ra, (fb, sb) :: rb ->
+        if fa <> fb then
+          Some (Printf.sprintf "flow sets differ: %d (reference) vs %d (recovered)" fa fb)
+        else if List.length sa <> List.length sb then
+          Some
+            (Printf.sprintf "flow %d: %d completions (reference) vs %d (recovered)" fa
+               (List.length sa) (List.length sb))
+        else if sa <> sb then
+          Some (Printf.sprintf "flow %d: emit-content streams differ" fa)
+        else diff_streams ra rb
+  in
+  match diff_streams reference.p_streams obs.p_streams with
+  | Some d -> Some d
+  | None ->
+      if String.equal reference.p_digest obs.p_digest then None
+      else
+        Some
+          (Printf.sprintf "state digests differ: %s (reference) vs %s (recovered)"
+             reference.p_digest obs.p_digest)
+
+type outcome = {
+  oc_case : string;
+  oc_cores : int;
+  oc_packets : int;
+  oc_kill : (int * int) option;  (* (victim, global kill index) *)
+  oc_replayed : int;
+  oc_checkpoints : int;  (* checkpoints the victim took *)
+  oc_reference : pass;
+  oc_recovered : pass;
+  oc_violations : (string * Invariants.violation) list;
+  oc_divergence : string option;
+  oc_repro : string;
+}
+
+(* The chaos pass: same platform, same schedule, but core [victim] dies
+   right after global pull [g_kill] and core [(victim + 1) mod cores]
+   adopts its flows — checkpoint restore, suffix replay, redirected
+   remainder — all in the adopter's single run. *)
+let check_case ?plan ?kill ?(rplan = Platform.Recovery.default_plan) ~cores
+    (rc : rcase) : outcome =
+  let items = rc.r_trace () in
+  let packets = List.length items in
+  let kill =
+    match kill with
+    | Some _ as k -> k
+    | None -> Option.bind plan (fun fg -> Faultgen.decide_kill fg ~cores ~packets)
+  in
+  let reference = platform_pass ?plan ~rplan ~cores ~items rc in
+  let repro = rc.r_repro ~cores in
+  match kill with
+  | None ->
+      {
+        oc_case = rc.r_name;
+        oc_cores = cores;
+        oc_packets = packets;
+        oc_kill = None;
+        oc_replayed = 0;
+        oc_checkpoints = 0;
+        oc_reference = reference;
+        oc_recovered = reference;
+        oc_violations = [];
+        oc_divergence = None;
+        oc_repro = repro;
+      }
+  | Some (victim, g_kill) ->
+      if victim < 0 || victim >= cores then
+        invalid_arg "Recovery.check_case: victim out of range";
+      let adopter = (victim + 1) mod cores in
+      let ixitems = indexed items in
+      let plat = Platform.create ~cfg:rc.r_cfg ~cores () in
+      let cis =
+        Array.init cores (fun c ->
+            rc.r_build (Platform.worker plat c)
+              ~owned:(owned_ids ~cores ~universe:rc.r_universe c))
+      in
+      let planes = Array.init cores (fun _ -> Fault.create ()) in
+      (* 1. The victim runs its truncated stream, journaling every pull. *)
+      let j = Platform.Recovery.journal rplan in
+      let checkpoints = ref 0 in
+      let victim_owned = owned_ids ~cores ~universe:rc.r_universe victim in
+      let snapshot () =
+        incr checkpoints;
+        take_ckpt cis.(victim) planes.(victim) victim_owned ()
+      in
+      let vobs =
+        observe_core
+          ~label:(Printf.sprintf "core%d" victim)
+          ~plane:planes.(victim) cis.(victim)
+          (make_source ?plan ~plane:planes.(victim) ~pool:cis.(victim).ci_pool
+             ~journal:(j, snapshot)
+             (delivers ~cores ~core:victim ~hi:g_kill ixitems))
+      in
+      let ck =
+        match Platform.Recovery.last_checkpoint j with
+        | Some ck -> ck
+        | None -> snapshot () (* victim died before its first pull *)
+      in
+      let suffix = Platform.Recovery.suffix j in
+      (* 2. The adopter: own pre-kill slice, then checkpoint import +
+         suffix replay, then the merged post-kill remainder (its own items
+         and the victim's redirected ones, in global order). *)
+      let adopt () =
+        cis.(adopter).ci_import ck.ck_snaps;
+        cis.(adopter).ci_restore ck.ck_counters;
+        Fault.restore_containment planes.(adopter) ck.ck_containment
+      in
+      let post_kill =
+        List.filter_map
+          (fun (g, item) ->
+            let owner = Platform.Recovery.owner ~cores item.Workload.flow_hint in
+            if g > g_kill && (owner = adopter || owner = victim) then
+              Some (Deliver (g, item))
+            else None)
+          ixitems
+      in
+      let adopter_ops =
+        delivers ~cores ~core:adopter ~hi:g_kill ixitems
+        @ (Adopt adopt :: List.map (fun e -> Replay e) suffix)
+        @ post_kill
+      in
+      let aobs =
+        observe_core
+          ~label:(Printf.sprintf "core%d" adopter)
+          ~plane:planes.(adopter) cis.(adopter)
+          (make_source ?plan ~plane:planes.(adopter) ~pool:cis.(adopter).ci_pool
+             adopter_ops)
+      in
+      (* 3. Bystander cores, unaffected. *)
+      let others =
+        List.filter_map
+          (fun c ->
+            if c = victim || c = adopter then None
+            else
+              Some
+                ( Printf.sprintf "core%d" c,
+                  observe_core
+                    ~label:(Printf.sprintf "core%d" c)
+                    ~plane:planes.(c) cis.(c)
+                    (make_source ?plan ~plane:planes.(c) ~pool:cis.(c).ci_pool
+                       (delivers ~cores ~core:c ixitems)) ))
+          (List.init cores Fun.id)
+      in
+      (* 4. Exactly-once: every replayed completion is a duplicate of one
+         the victim already emitted — suppress it from the merged stream,
+         keep the pair for content verification. *)
+      let replay_ids : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Platform.Recovery.entry) ->
+          match e.Platform.Recovery.e_pkt with
+          | Some p -> Hashtbl.replace replay_ids p.Netcore.Packet.id ()
+          | None -> ())
+        suffix;
+      let victim_by_id : (int, Oracle.emit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Oracle.emit) -> Hashtbl.replace victim_by_id e.Oracle.e_pktid e)
+        vobs.Oracle.o_emits;
+      let suppressed, adopter_kept =
+        List.partition_map
+          (fun (e : Oracle.emit) ->
+            if e.Oracle.e_pktid >= 0 && Hashtbl.mem replay_ids e.Oracle.e_pktid then
+              Either.Left (e, Hashtbl.find_opt victim_by_id e.Oracle.e_pktid)
+            else Either.Right e)
+          aobs.Oracle.o_emits
+      in
+      (* Merged stream: victim first (its pre-kill emits made the wire),
+         then the adopter minus replays, then bystanders. Flow sets are
+         disjoint across cores, so per-flow order is concatenation order
+         only within the victim -> adopter pair, which matches global
+         arrival order. *)
+      let live_obs =
+        ((Printf.sprintf "core%d" victim, vobs)
+        :: (Printf.sprintf "core%d" adopter, aobs) :: others)
+      in
+      let merged =
+        vobs.Oracle.o_emits @ adopter_kept
+        @ List.concat_map (fun (_, o) -> o.Oracle.o_emits) others
+      in
+      let recovered =
+        {
+          p_obs = live_obs;
+          p_streams = Oracle.per_flow_streams merged;
+          p_digest =
+            state_digest ~universe:rc.r_universe
+              ~owner_of:(fun i ->
+                let c = Platform.Recovery.owner ~cores i in
+                if c = victim then adopter else c)
+              ~live:(fun c -> c <> victim) cis planes;
+        }
+      in
+      let per_core_violations =
+        List.concat_map
+          (fun (label, o) ->
+            List.map (fun viol -> (label, viol)) (Invariants.check o))
+          live_obs
+      in
+      let recovery_violations =
+        List.map
+          (fun viol -> ("recovery", viol))
+          (Invariants.check_recovery ~offered:packets ~live:live_obs ~deduped:merged
+             ~suppressed)
+      in
+      {
+        oc_case = rc.r_name;
+        oc_cores = cores;
+        oc_packets = packets;
+        oc_kill = Some (victim, g_kill);
+        oc_replayed = List.length suffix;
+        oc_checkpoints = !checkpoints;
+        oc_reference = reference;
+        oc_recovered = recovered;
+        oc_violations = per_core_violations @ recovery_violations;
+        oc_divergence = diff_passes ~reference recovered;
+        oc_repro = repro;
+      }
+
+let passed (oc : outcome) = oc.oc_violations = [] && oc.oc_divergence = None
+
+let pp_outcome ppf (oc : outcome) =
+  Fmt.pf ppf "%s cores=%d packets=%d %a replayed=%d ckpts=%d: %s" oc.oc_case
+    oc.oc_cores oc.oc_packets
+    (fun ppf -> function
+      | Some (v, g) -> Fmt.pf ppf "kill=core%d@%d" v g
+      | None -> Fmt.pf ppf "kill=none")
+    oc.oc_kill oc.oc_replayed oc.oc_checkpoints
+    (if passed oc then "recovered"
+     else
+       match oc.oc_divergence with
+       | Some d -> "DIVERGED: " ^ d
+       | None -> "INVARIANT VIOLATIONS")

@@ -65,6 +65,10 @@ type injection =
       (* the [countdown]-th guarded action of this packet faults before
          executing (0 = the first action) *)
   | Stall_mshrs of int  (* occupy all free MSHRs for N cycles at load *)
+  | Kill_core  (* the worker pulling this packet dies after processing it;
+                  interpreted by the platform recovery engine — executors
+                  (and {!on_load}) treat it as a no-op so a kill schedule
+                  leaking into a single-core run is inert *)
 
 type t = {
   poison_threshold : int;
@@ -135,7 +139,8 @@ let on_load t ~(mem : Memsim.Hierarchy.t) ~now (task : Nftask.t) =
       | Some (Stall_mshrs cycles) ->
           ignore (Memsim.Hierarchy.stall_mshrs mem ~now ~cycles);
           count t ~nf:"memsim" Mshr_stall;
-          None)
+          None
+      | Some Kill_core -> None)
 
 (* Exception barrier around one action execution. [nf] attributes the fault
    (the control state's instance name). Armed countdowns fire *before* the
@@ -215,6 +220,35 @@ let complete t ~flow ~faulted:fr =
       end
   | None -> if flow >= 0 then Hashtbl.remove t.consec flow);
   disposition
+
+(* --- containment checkpointing --------------------------------------- *)
+
+(* Per-flow containment state (consecutive-fault counter and poisoned
+   membership) for a set of flows, exported at checkpoint time. A core that
+   adopts the flows restores this before replaying, so poisoning evolves
+   from the same point it had reached on the dead core — otherwise a flow
+   two faults deep would need three more (not one) to poison after
+   adoption, and the recovered run would diverge from the failure-free
+   reference. *)
+let export_containment t flows =
+  List.map
+    (fun flow ->
+      ( flow,
+        Option.value ~default:0 (Hashtbl.find_opt t.consec flow),
+        Hashtbl.mem t.poisoned flow ))
+    flows
+
+let restore_containment t entries =
+  List.iter
+    (fun (flow, consec, poisoned) ->
+      if consec > 0 then Hashtbl.replace t.consec flow consec
+      else Hashtbl.remove t.consec flow;
+      if poisoned then begin
+        if not (Hashtbl.mem t.poisoned flow) then
+          Hashtbl.replace t.poisoned flow ();
+        t.degraded <- true
+      end)
+    entries
 
 (* Reason a task's current event encodes, if it is a containment marker. *)
 let reason_of_event = function

@@ -46,6 +46,12 @@ type injection =
   | Stall_mshrs of int
       (** occupy every free MSHR for the given cycles at load time,
           starving subsequent prefetches (timing/stats only) *)
+  | Kill_core
+      (** the worker pulling this packet dies after processing it. A
+          platform-level fault: the recovery engine (lib/check/recovery)
+          interprets it by truncating the victim's stream and re-homing its
+          flows; executors and {!on_load} ignore it, so a kill schedule
+          leaking into a single-core run is inert. *)
 
 type t
 
@@ -109,6 +115,15 @@ val convert : t -> nf:string -> reason -> Event.t
     normal completion of a poisoned flow becomes [Some Poisoned]. Updates
     consecutive-fault counters, the poisoned set and the degraded flag. *)
 val complete : t -> flow:int -> faulted:reason option -> reason option
+
+(** Per-flow containment snapshot for [flows]: (flow, consecutive-fault
+    counter, poisoned). Exported at checkpoint time so a core adopting the
+    flows can resume poisoning from exactly where the dead core left it. *)
+val export_containment : t -> int list -> (int * int * bool) list
+
+(** Install a containment snapshot (inverse of {!export_containment}).
+    Restoring any poisoned flow also sets the degraded flag. *)
+val restore_containment : t -> (int * int * bool) list -> unit
 
 (** The reason encoded in a task's event, when it is [Event.Faulted]. *)
 val reason_of_event : Event.t -> reason option

@@ -126,6 +126,12 @@ let make ?(src_mac = 0x020000000001) ?(dst_mac = 0x020000000002) ?arena ~flow
           p.sim_addr <- -1;
           p)
 
+(* Deep copy sharing nothing mutable with the original, keeping the same
+   id: a replay-log entry must later be replayed as "the same packet" (the
+   exactly-once dedup and the fault plane both key on id), while the
+   original may be rewritten or recycled by the run that pulled it. *)
+let clone t = { t with buf = Bytes.copy t.buf }
+
 let ipv4 t = Ipv4.decode t.buf ~off:t.l3_off
 
 (* Re-derive the 5-tuple from the actual header bytes (used by tests to

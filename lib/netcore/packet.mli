@@ -39,6 +39,12 @@ val make :
   ?src_mac:Ethernet.mac -> ?dst_mac:Ethernet.mac -> ?arena:Arena.t -> flow:Flow.t ->
   wire_len:int -> unit -> t
 
+(** Deep copy sharing no mutable state with the original but keeping its
+    id — replay-log entries must re-run as "the same packet" (exactly-once
+    dedup and fault injections key on id) even after the original buffer
+    was rewritten or recycled. *)
+val clone : t -> t
+
 (** Decode the (innermost) IPv4 header from the actual bytes. *)
 val ipv4 : t -> Ipv4.t
 

@@ -23,6 +23,20 @@ type built = {
   populate : Netcore.Flow.t array -> unit;
   nf_names : string list;  (* prefixes, in chain order *)
   digest : Fingerprint.t -> unit;
+  snapshots : snapshotter list;  (* one per stateful NF, chain order *)
+}
+
+(* Per-NF state migration capability: what the recovery plane needs to
+   checkpoint an NF, re-home its flows and compare state across homes
+   without knowing the family. [sn_flow_digest] feeds the *per-flow*
+   observable state (location-independent, unlike {!built.digest} which is
+   slot-layout-sensitive) — the basis of the oracle's recovery axis. *)
+and snapshotter = {
+  sn_name : string;  (* NF prefix *)
+  sn_export : Netcore.Flow.t list -> string;
+  sn_evict : Netcore.Flow.t list -> unit;
+  sn_import : string -> int;
+  sn_flow_digest : Fingerprint.t -> Netcore.Flow.t -> unit;
 }
 
 (* Observable state per family, fed in chain order so two runs of the same
@@ -47,6 +61,73 @@ let digest_nm (nm : Monitor.t) fp =
   Fingerprint.feed_string fp nm.Monitor.name;
   Fingerprint.feed_int_array fp nm.Monitor.pkt_count;
   Fingerprint.feed_int_array fp nm.Monitor.byte_count
+
+(* ----- per-family snapshotters ----- *)
+
+let flow_slot cls flow =
+  Structures.Cuckoo.lookup (Classifier.table cls) (Netcore.Flow.key64 flow)
+
+let snap_nat (nat : Nat.t) =
+  {
+    sn_name = nat.Nat.name;
+    sn_export = Migration.export_nat nat;
+    sn_evict = Migration.evict_nat nat;
+    sn_import = Migration.import_nat nat;
+    sn_flow_digest =
+      (fun fp flow ->
+        match flow_slot nat.Nat.classifier flow with
+        | None -> Fingerprint.feed_bool fp false
+        | Some idx ->
+            Fingerprint.feed_bool fp true;
+            Fingerprint.feed_int64 fp (Int64.of_int32 nat.Nat.map_ip.(idx));
+            Fingerprint.feed_int fp nat.Nat.map_port.(idx));
+  }
+
+let snap_lb (lb : Lb.t) =
+  {
+    sn_name = lb.Lb.name;
+    sn_export = Migration.export_lb lb;
+    sn_evict = Migration.evict_lb lb;
+    sn_import = Migration.import_lb lb;
+    sn_flow_digest =
+      (fun fp flow ->
+        match flow_slot lb.Lb.classifier flow with
+        | None -> Fingerprint.feed_bool fp false
+        | Some idx ->
+            Fingerprint.feed_bool fp true;
+            Fingerprint.feed_int fp lb.Lb.assignment.(idx));
+  }
+
+let snap_fw (fw : Firewall.t) =
+  {
+    sn_name = fw.Firewall.name;
+    sn_export = Migration.export_firewall fw;
+    sn_evict = Migration.evict_firewall fw;
+    sn_import = Migration.import_firewall fw;
+    sn_flow_digest =
+      (fun fp flow ->
+        match flow_slot fw.Firewall.classifier flow with
+        | None -> Fingerprint.feed_bool fp false
+        | Some idx ->
+            Fingerprint.feed_bool fp true;
+            Fingerprint.feed_bool fp fw.Firewall.verdicts.(idx));
+  }
+
+let snap_nm (nm : Monitor.t) =
+  {
+    sn_name = nm.Monitor.name;
+    sn_export = Migration.export_monitor nm;
+    sn_evict = Migration.evict_monitor nm;
+    sn_import = Migration.adopt_monitor nm;
+    sn_flow_digest =
+      (fun fp flow ->
+        match flow_slot nm.Monitor.classifier flow with
+        | None -> Fingerprint.feed_bool fp false
+        | Some idx ->
+            Fingerprint.feed_bool fp true;
+            Fingerprint.feed_int fp nm.Monitor.pkt_count.(idx);
+            Fingerprint.feed_int fp nm.Monitor.byte_count.(idx));
+  }
 
 let prefix_of inst =
   match String.rindex_opt inst '_' with
@@ -84,6 +165,7 @@ let assemble layout ~(nf : Spec.nf_spec) ~modules ~n_flows =
      state digest. *)
   let populates = ref [] in
   let digests = ref [] in
+  let snaps = ref [] in
   let instances =
     List.concat_map
       (fun prefix ->
@@ -95,22 +177,26 @@ let assemble layout ~(nf : Spec.nf_spec) ~modules ~n_flows =
             let nat = Nat.create layout ~name:prefix ~n_flows () in
             populates := Nat.populate nat :: !populates;
             digests := digest_nat nat :: !digests;
+            snaps := snap_nat nat :: !snaps;
             let u = if has_learner then Nat.dynamic_unit nat else Nat.unit nat in
             u.Nf_unit.instances
         | Lb_f ->
             let lb = Lb.create layout ~name:prefix ~n_flows () in
             populates := Lb.populate lb :: !populates;
             digests := digest_lb lb :: !digests;
+            snaps := snap_lb lb :: !snaps;
             (Lb.unit lb).Nf_unit.instances
         | Fw_f ->
             let fw = Firewall.create layout ~name:prefix ~n_flows () in
             populates := Firewall.populate fw :: !populates;
             digests := digest_fw fw :: !digests;
+            snaps := snap_fw fw :: !snaps;
             (Firewall.unit fw).Nf_unit.instances
         | Nm_f ->
             let nm = Monitor.create layout ~name:prefix ~n_flows () in
             populates := Monitor.populate nm :: !populates;
             digests := digest_nm nm :: !digests;
+            snaps := snap_nm nm :: !snaps;
             (Monitor.unit nm).Nf_unit.instances)
       order
   in
@@ -135,17 +221,20 @@ let assemble layout ~(nf : Spec.nf_spec) ~modules ~n_flows =
             fail "instance %s is a %s, composition says %s" inst_name
               i.Compiler.i_spec.Spec.m_name mtype)
     nf.Spec.n_modules;
-  (instances, List.rev !populates, List.rev !digests, order)
+  (instances, List.rev !populates, List.rev !digests, order, List.rev !snaps)
 
 let build layout ~(nf : Spec.nf_spec) ~modules ~n_flows
     ?(opts = Compiler.default_opts) () =
-  let instances, populates, digests, order = assemble layout ~nf ~modules ~n_flows in
+  let instances, populates, digests, order, snaps =
+    assemble layout ~nf ~modules ~n_flows
+  in
   let program = Compiler.compile ~opts ~name:nf.Spec.n_name instances nf in
   {
     program;
     populate = (fun flows -> List.iter (fun p -> p flows) populates);
     nf_names = order;
     digest = (fun fp -> List.iter (fun d -> d fp) digests);
+    snapshots = snaps;
   }
 
 (* Convenience: read and build from files. *)
@@ -175,13 +264,13 @@ let lint_input_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =
   let nf = Spec.nf_spec_of_string (read_file nf_file) in
   let modules = load_modules specs_dir in
   Spec.validate_nf nf ~known_modules:(List.map fst modules);
-  let instances, _, _, _ = assemble layout ~nf ~modules ~n_flows in
+  let instances, _, _, _, _ = assemble layout ~nf ~modules ~n_flows in
   Compiler.lint_view ?opts ~name:nf.Spec.n_name instances nf
 
 (* The translation-validation path: same assembly, full compile pipeline,
    no hooks — the caller hands the result to the symbolic checker. *)
 let verify_view layout ~(nf : Spec.nf_spec) ~modules ~n_flows ?opts () =
-  let instances, _, _, _ = assemble layout ~nf ~modules ~n_flows in
+  let instances, _, _, _, _ = assemble layout ~nf ~modules ~n_flows in
   Compiler.verify_view ?opts ~name:nf.Spec.n_name instances nf
 
 let verify_input_from_files layout ~nf_file ~specs_dir ~n_flows ?opts () =

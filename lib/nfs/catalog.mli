@@ -15,6 +15,21 @@ type built = {
   digest : Fingerprint.t -> unit;
       (** fold the chain's observable NF state (mappings, assignments,
           verdicts, counters) into a stable fingerprint, in chain order *)
+  snapshots : snapshotter list;
+      (** one per stateful NF, chain order — the recovery plane's
+          family-agnostic checkpoint/re-home/compare surface *)
+}
+
+(** Per-NF state migration capability. [sn_flow_digest] feeds one flow's
+    observable state — location-independent, unlike {!built.digest} which
+    is slot-layout-sensitive — making state comparable between an NF that
+    learned the flow and one that adopted it after a core failure. *)
+and snapshotter = {
+  sn_name : string;  (** NF prefix *)
+  sn_export : Netcore.Flow.t list -> string;
+  sn_evict : Netcore.Flow.t list -> unit;
+  sn_import : string -> int;
+  sn_flow_digest : Fingerprint.t -> Netcore.Flow.t -> unit;
 }
 
 (** @raise Catalog_error on unknown roles, missing specs or mismatched

@@ -94,6 +94,7 @@ type t = {
   arena : State_arena.t;
   policy : policy;
   verdicts : bool array;  (* true = accept *)
+  mutable next_free : int;  (* first unused verdict slot (bump allocator) *)
 }
 
 let state_bytes = 16
@@ -110,12 +111,14 @@ let create layout ~name ?arena ?(policy = default_policy) ~n_flows () =
         State_arena.create layout ~label:(name ^ ".per_flow") ~entry_bytes:state_bytes
           ~count:n_flows ()
   in
-  { name; classifier; arena; policy; verdicts = Array.make n_flows true }
+  { name; classifier; arena; policy; verdicts = Array.make n_flows true;
+    next_free = 0 }
 
 let populate t flows =
   Array.iteri
     (fun i flow -> t.verdicts.(i) <- evaluate t.policy flow = Accept)
     flows;
+  t.next_free <- max t.next_free (Array.length flows);
   let (_shed : int) =
     Classifier.populate t.classifier
       (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))

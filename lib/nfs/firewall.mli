@@ -31,6 +31,8 @@ type t = {
   arena : Structures.State_arena.t;
   policy : policy;
   verdicts : bool array;  (** true = accept *)
+  mutable next_free : int;
+      (** first unused verdict slot (bump allocator; imports append here) *)
 }
 
 val state_bytes : int

@@ -33,6 +33,7 @@ type t = {
   backends : int32 array;
   maglev : Maglev.t;
   assignment : int array;  (* flow index -> backend index *)
+  mutable next_free : int;  (* first unused assignment slot (bump allocator) *)
 }
 
 let state_bytes = 8
@@ -61,6 +62,7 @@ let create layout ~name ?arena ?(backends = default_backends) ~n_flows () =
        per worker. *)
     maglev = Maglev.build ~table_size:4099 ~n_backends:(Array.length backends) ();
     assignment = Array.make n_flows 0;
+    next_free = 0;
   }
 
 let populate t flows =
@@ -71,6 +73,7 @@ let populate t flows =
          changes. *)
       t.assignment.(i) <- Maglev.lookup t.maglev (Netcore.Flow.key64 flow))
     flows;
+  t.next_free <- max t.next_free (Array.length flows);
   let (_shed : int) =
     Classifier.populate t.classifier
       (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))

@@ -13,6 +13,9 @@ type t = {
   backends : Netcore.Ipv4.addr array;
   maglev : Structures.Maglev.t;
   assignment : int array;  (** flow index -> backend index *)
+  mutable next_free : int;
+      (** first unused assignment slot (bump allocator; imports append
+          here) *)
 }
 
 val state_bytes : int

@@ -36,6 +36,17 @@ let get_u64 s off : int64 =
     (Int64.logand (Int64.of_int32 (get_u32 s off)) 0xFFFFFFFFL)
     (Int64.shift_left (Int64.of_int32 (get_u32 s (off + 4))) 32)
 
+(* Shared header check: 5-byte magic then a u32 entry count; entries are
+   fixed-size from offset 9. Returns the validated count. *)
+let parse_header ~magic ~entry_bytes snapshot =
+  let n = String.length snapshot in
+  if n < 9 || String.sub snapshot 0 5 <> magic then
+    raise (Bad_snapshot "bad magic");
+  let count = Int32.to_int (get_u32 snapshot 5) in
+  if count < 0 || 9 + (count * entry_bytes) > n then
+    raise (Bad_snapshot "truncated");
+  count
+
 (* One NAT mapping on the wire: flow key (the lookup identity) plus the
    external endpoint that must be preserved. *)
 type nat_entry = { key : int64; ext_ip : Netcore.Ipv4.addr; ext_port : int }
@@ -64,11 +75,7 @@ let export_nat (nat : Nat.t) flows =
   Buffer.contents buf
 
 let parse_nat snapshot =
-  let n = String.length snapshot in
-  if n < 9 || String.sub snapshot 0 5 <> nat_magic then
-    raise (Bad_snapshot "bad magic");
-  let count = Int32.to_int (get_u32 snapshot 5) in
-  if count < 0 || 9 + (count * 14) > n then raise (Bad_snapshot "truncated");
+  let count = parse_header ~magic:nat_magic ~entry_bytes:14 snapshot in
   List.init count (fun i ->
       let off = 9 + (i * 14) in
       {
@@ -78,14 +85,21 @@ let parse_nat snapshot =
       })
 
 (* Remove the flows from the source NAT (after export): subsequent packets
-   of these flows MATCH_FAIL there. Freed mapping slots are not recycled —
-   the arena allocator is an upward bump, like the paper's pre-allocated
-   datablocks. *)
+   of these flows MATCH_FAIL there. Freed mapping slots are zeroed and
+   recycled onto the free list (like {!Nat.expire}), so a NAT that handed
+   flows away can later adopt flows back — rebalancing ping-pong. *)
 let evict_nat (nat : Nat.t) flows =
   List.iter
     (fun flow ->
-      ignore (Structures.Cuckoo.delete (Classifier.table nat.Nat.classifier)
-                (Netcore.Flow.key64 flow)))
+      let key = Netcore.Flow.key64 flow in
+      match Structures.Cuckoo.lookup (Classifier.table nat.Nat.classifier) key with
+      | None -> ()
+      | Some idx ->
+          ignore (Structures.Cuckoo.delete (Classifier.table nat.Nat.classifier) key);
+          nat.Nat.map_ip.(idx) <- 0l;
+          nat.Nat.map_port.(idx) <- 0;
+          nat.Nat.keys.(idx) <- 0L;
+          nat.Nat.free_slots <- nat.Nat.free_slots @ [ idx ])
     flows
 
 (* Install a snapshot into a target NAT, preserving external mappings.
@@ -97,30 +111,49 @@ let evict_nat (nat : Nat.t) flows =
 let import_nat (nat : Nat.t) snapshot =
   let entries = parse_nat snapshot in
   let table = Classifier.table nat.Nat.classifier in
-  if nat.Nat.next_free + List.length entries > Array.length nat.Nat.map_ip then
+  let headroom =
+    Array.length nat.Nat.map_ip - nat.Nat.next_free
+    + List.length nat.Nat.free_slots
+  in
+  if List.length entries > headroom then
     raise (Bad_snapshot "target NAT mapping table full");
   let saved_next = nat.Nat.next_free in
+  let saved_free = nat.Nat.free_slots in
+  (* (key, slot, overwritten mapping bytes) — enough to restore the target
+     exactly, whether the slot came off the free list or the bump region *)
   let installed = ref [] in
   let rollback () =
-    List.iter (fun key -> ignore (Structures.Cuckoo.delete table key)) !installed;
-    for idx = saved_next to nat.Nat.next_free - 1 do
-      nat.Nat.map_ip.(idx) <- 0l;
-      nat.Nat.map_port.(idx) <- 0;
-      nat.Nat.keys.(idx) <- 0L
-    done;
-    nat.Nat.next_free <- saved_next
+    List.iter
+      (fun (key, idx, ip, port, k) ->
+        ignore (Structures.Cuckoo.delete table key);
+        nat.Nat.map_ip.(idx) <- ip;
+        nat.Nat.map_port.(idx) <- port;
+        nat.Nat.keys.(idx) <- k)
+      !installed;
+    nat.Nat.next_free <- saved_next;
+    nat.Nat.free_slots <- saved_free
   in
   (try
      List.iter
        (fun e ->
-         let idx = nat.Nat.next_free in
-         nat.Nat.next_free <- idx + 1;
+         let idx =
+           match nat.Nat.free_slots with
+           | idx :: rest ->
+               nat.Nat.free_slots <- rest;
+               idx
+           | [] ->
+               let idx = nat.Nat.next_free in
+               nat.Nat.next_free <- idx + 1;
+               idx
+         in
+         installed :=
+           (e.key, idx, nat.Nat.map_ip.(idx), nat.Nat.map_port.(idx), nat.Nat.keys.(idx))
+           :: !installed;
          nat.Nat.map_ip.(idx) <- e.ext_ip;
          nat.Nat.map_port.(idx) <- e.ext_port;
          nat.Nat.keys.(idx) <- e.key;
          if not (Structures.Cuckoo.insert table ~key:e.key ~value:idx) then
-           raise (Bad_snapshot "target NAT match table full");
-         installed := e.key :: !installed)
+           raise (Bad_snapshot "target NAT match table full"))
        entries
    with exn ->
      rollback ();
@@ -153,10 +186,7 @@ let export_monitor (nm : Monitor.t) flows =
   Buffer.contents buf
 
 let import_monitor (nm : Monitor.t) ~flows snapshot =
-  let n = String.length snapshot in
-  if n < 9 || String.sub snapshot 0 5 <> nm_magic then raise (Bad_snapshot "bad magic");
-  let count = Int32.to_int (get_u32 snapshot 5) in
-  if count < 0 || 9 + (count * 24) > n then raise (Bad_snapshot "truncated");
+  let count = parse_header ~magic:nm_magic ~entry_bytes:24 snapshot in
   let by_key = Hashtbl.create 16 in
   Array.iteri (fun i f -> Hashtbl.replace by_key (Netcore.Flow.key64 f) i) flows;
   let imported = ref 0 in
@@ -173,3 +203,313 @@ let import_monitor (nm : Monitor.t) ~flows snapshot =
         incr imported
   done;
   !imported
+
+(* Remove the flows from a monitor (post-export): later packets of these
+   flows MATCH_FAIL. Counter slots are not recycled (bump allocator). *)
+let evict_monitor (nm : Monitor.t) flows =
+  List.iter
+    (fun flow ->
+      ignore
+        (Structures.Cuckoo.delete
+           (Classifier.table nm.Monitor.classifier)
+           (Netcore.Flow.key64 flow)))
+    flows
+
+(* Install monitor accounting as *fresh* flows (failover/adoption), unlike
+   {!import_monitor} which merges into flows the target already tracks:
+   each entry gets a new counter slot holding the exported totals, and the
+   flow key is admitted into the classifier. All-or-nothing like
+   {!import_nat}. *)
+let adopt_monitor (nm : Monitor.t) snapshot =
+  let count = parse_header ~magic:nm_magic ~entry_bytes:24 snapshot in
+  let table = Classifier.table nm.Monitor.classifier in
+  if nm.Monitor.next_free + count > Array.length nm.Monitor.pkt_count then
+    raise (Bad_snapshot "target monitor counter table full");
+  let saved_next = nm.Monitor.next_free in
+  let installed = ref [] in
+  let rollback () =
+    List.iter (fun key -> ignore (Structures.Cuckoo.delete table key)) !installed;
+    for idx = saved_next to nm.Monitor.next_free - 1 do
+      nm.Monitor.pkt_count.(idx) <- 0;
+      nm.Monitor.byte_count.(idx) <- 0
+    done;
+    nm.Monitor.next_free <- saved_next
+  in
+  (try
+     for i = 0 to count - 1 do
+       let off = 9 + (i * 24) in
+       let key = get_u64 snapshot off in
+       let idx = nm.Monitor.next_free in
+       nm.Monitor.next_free <- idx + 1;
+       nm.Monitor.pkt_count.(idx) <- Int64.to_int (get_u64 snapshot (off + 8));
+       nm.Monitor.byte_count.(idx) <- Int64.to_int (get_u64 snapshot (off + 16));
+       if not (Structures.Cuckoo.insert table ~key ~value:idx) then
+         raise (Bad_snapshot "target monitor match table full");
+       installed := key :: !installed
+     done
+   with exn ->
+     rollback ();
+     raise exn);
+  count
+
+(* ----- load balancer (backend pinning survives the move) ----- *)
+
+let lb_magic = "GNLB1"
+
+(* (key u64, backend u16): what must survive is the flow's backend pin —
+   re-running Maglev on the target could re-balance it elsewhere and break
+   the connection. *)
+let export_lb (lb : Lb.t) flows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf lb_magic;
+  let entries =
+    List.filter_map
+      (fun flow ->
+        let key = Netcore.Flow.key64 flow in
+        Option.map
+          (fun idx -> (key, lb.Lb.assignment.(idx)))
+          (Structures.Cuckoo.lookup (Classifier.table lb.Lb.classifier) key))
+      flows
+  in
+  put_u32 buf (Int32.of_int (List.length entries));
+  List.iter
+    (fun (key, backend) ->
+      put_u64 buf key;
+      put_u16 buf backend)
+    entries;
+  Buffer.contents buf
+
+let evict_lb (lb : Lb.t) flows =
+  List.iter
+    (fun flow ->
+      ignore
+        (Structures.Cuckoo.delete (Classifier.table lb.Lb.classifier)
+           (Netcore.Flow.key64 flow)))
+    flows
+
+let import_lb (lb : Lb.t) snapshot =
+  let count = parse_header ~magic:lb_magic ~entry_bytes:10 snapshot in
+  let table = Classifier.table lb.Lb.classifier in
+  if lb.Lb.next_free + count > Array.length lb.Lb.assignment then
+    raise (Bad_snapshot "target LB assignment table full");
+  (* Validate every entry before the first mutation. *)
+  for i = 0 to count - 1 do
+    let backend = get_u16 snapshot (9 + (i * 10) + 8) in
+    if backend >= Array.length lb.Lb.backends then
+      raise (Bad_snapshot "LB backend index out of range")
+  done;
+  let saved_next = lb.Lb.next_free in
+  let installed = ref [] in
+  let rollback () =
+    List.iter (fun key -> ignore (Structures.Cuckoo.delete table key)) !installed;
+    for idx = saved_next to lb.Lb.next_free - 1 do
+      lb.Lb.assignment.(idx) <- 0
+    done;
+    lb.Lb.next_free <- saved_next
+  in
+  (try
+     for i = 0 to count - 1 do
+       let off = 9 + (i * 10) in
+       let key = get_u64 snapshot off in
+       let idx = lb.Lb.next_free in
+       lb.Lb.next_free <- idx + 1;
+       lb.Lb.assignment.(idx) <- get_u16 snapshot (off + 8);
+       if not (Structures.Cuckoo.insert table ~key ~value:idx) then
+         raise (Bad_snapshot "target LB match table full");
+       installed := key :: !installed
+     done
+   with exn ->
+     rollback ();
+     raise exn);
+  count
+
+(* ----- firewall (admission verdicts survive the move) ----- *)
+
+let fw_magic = "GNFW1"
+
+(* (key u64, verdict u8): the verdict was decided at admission against the
+   *source* instance's policy; re-evaluating on the target (which may run a
+   different policy) could flip it mid-connection. *)
+let export_firewall (fw : Firewall.t) flows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf fw_magic;
+  let entries =
+    List.filter_map
+      (fun flow ->
+        let key = Netcore.Flow.key64 flow in
+        Option.map
+          (fun idx -> (key, fw.Firewall.verdicts.(idx)))
+          (Structures.Cuckoo.lookup (Classifier.table fw.Firewall.classifier) key))
+      flows
+  in
+  put_u32 buf (Int32.of_int (List.length entries));
+  List.iter
+    (fun (key, accept) ->
+      put_u64 buf key;
+      Buffer.add_char buf (if accept then '\001' else '\000'))
+    entries;
+  Buffer.contents buf
+
+let evict_firewall (fw : Firewall.t) flows =
+  List.iter
+    (fun flow ->
+      ignore
+        (Structures.Cuckoo.delete
+           (Classifier.table fw.Firewall.classifier)
+           (Netcore.Flow.key64 flow)))
+    flows
+
+let import_firewall (fw : Firewall.t) snapshot =
+  let count = parse_header ~magic:fw_magic ~entry_bytes:9 snapshot in
+  let table = Classifier.table fw.Firewall.classifier in
+  if fw.Firewall.next_free + count > Array.length fw.Firewall.verdicts then
+    raise (Bad_snapshot "target firewall verdict table full");
+  for i = 0 to count - 1 do
+    let v = Char.code snapshot.[9 + (i * 9) + 8] in
+    if v > 1 then raise (Bad_snapshot "firewall verdict out of range")
+  done;
+  let saved_next = fw.Firewall.next_free in
+  let installed = ref [] in
+  let rollback () =
+    List.iter (fun key -> ignore (Structures.Cuckoo.delete table key)) !installed;
+    for idx = saved_next to fw.Firewall.next_free - 1 do
+      fw.Firewall.verdicts.(idx) <- true
+    done;
+    fw.Firewall.next_free <- saved_next
+  in
+  (try
+     for i = 0 to count - 1 do
+       let off = 9 + (i * 9) in
+       let key = get_u64 snapshot off in
+       let idx = fw.Firewall.next_free in
+       fw.Firewall.next_free <- idx + 1;
+       fw.Firewall.verdicts.(idx) <- Char.code snapshot.[off + 8] = 1;
+       if not (Structures.Cuckoo.insert table ~key ~value:idx) then
+         raise (Bad_snapshot "target firewall match table full");
+       installed := key :: !installed
+     done
+   with exn ->
+     rollback ();
+     raise exn);
+  count
+
+(* ----- bare classifier (match table as the unit of state) ----- *)
+
+let cls_magic = "GCLS1"
+
+(* (key u64, value u32) pairs, exactly as resident in the cuckoo table.
+   Values are slot indices into whatever data structure sits behind the
+   classifier, so cross-instance imports usually pass [remap] to translate
+   them into the target's slot space. *)
+let export_classifier (cls : Classifier.t) keys =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf cls_magic;
+  let entries =
+    List.filter_map
+      (fun key ->
+        Option.map
+          (fun v -> (key, v))
+          (Structures.Cuckoo.lookup (Classifier.table cls) key))
+      keys
+  in
+  put_u32 buf (Int32.of_int (List.length entries));
+  List.iter
+    (fun (key, v) ->
+      put_u64 buf key;
+      put_u32 buf (Int32.of_int v))
+    entries;
+  Buffer.contents buf
+
+let evict_classifier (cls : Classifier.t) keys =
+  List.iter
+    (fun key -> ignore (Structures.Cuckoo.delete (Classifier.table cls) key))
+    keys
+
+let import_classifier ?(remap = fun v -> v) (cls : Classifier.t) snapshot =
+  let count = parse_header ~magic:cls_magic ~entry_bytes:12 snapshot in
+  let table = Classifier.table cls in
+  if
+    Structures.Cuckoo.population table + count
+    > Structures.Cuckoo.nbuckets table * Structures.Cuckoo.slots_per_bucket
+  then raise (Bad_snapshot "target classifier table full");
+  let installed = ref [] in
+  let rollback () =
+    List.iter (fun key -> ignore (Structures.Cuckoo.delete table key)) !installed
+  in
+  (try
+     for i = 0 to count - 1 do
+       let off = 9 + (i * 12) in
+       let key = get_u64 snapshot off in
+       let value = remap (Int32.to_int (get_u32 snapshot (off + 8)) land 0xFFFFFFFF) in
+       if not (Structures.Cuckoo.insert table ~key ~value) then
+         raise (Bad_snapshot "target classifier match table full");
+       installed := key :: !installed
+     done
+   with exn ->
+     rollback ();
+     raise exn);
+  count
+
+(* ----- UPF (PFCP sessions re-homed with their tunnel identity) ----- *)
+
+let upf_magic = "GUPF1"
+
+(* (ue_ip u32, teid u32): a PFCP session's identity. Everything else about
+   the session (PDR shapes, FAR) is derived from the UPF's fixed per-session
+   geometry, so re-homing reinstalls through the normal
+   {!Upf.install_session} admission path. *)
+let export_upf (upf : Upf.t) ue_ips =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf upf_magic;
+  let entries =
+    List.filter_map
+      (fun ue_ip ->
+        let key = Int64.logand (Int64.of_int32 ue_ip) 0xFFFFFFFFL in
+        Option.map
+          (fun idx -> upf.Upf.sessions.(idx))
+          (Structures.Cuckoo.lookup (Classifier.table upf.Upf.classifier) key))
+      ue_ips
+  in
+  put_u32 buf (Int32.of_int (List.length entries));
+  List.iter
+    (fun (s : Traffic.Mgw.session) ->
+      put_u32 buf s.Traffic.Mgw.ue_ip;
+      put_u32 buf s.Traffic.Mgw.teid)
+    entries;
+  Buffer.contents buf
+
+let evict_upf (upf : Upf.t) ue_ips =
+  List.iter (fun ue_ip -> ignore (Upf.remove_session upf ~ue_ip)) ue_ips
+
+(* All-or-nothing over the admission path: on any rejection the installed
+   prefix is torn back out (classifier keys deleted, session slots restored
+   to their previous contents, [n_active] rewound). *)
+let import_upf (upf : Upf.t) snapshot =
+  let count = parse_header ~magic:upf_magic ~entry_bytes:8 snapshot in
+  if upf.Upf.n_active + count > Array.length upf.Upf.sessions then
+    raise (Bad_snapshot "target UPF session table full");
+  let saved_active = upf.Upf.n_active in
+  let installed = ref [] in
+  let rollback () =
+    List.iter
+      (fun (ue_ip, idx, old_session) ->
+        ignore (Upf.remove_session upf ~ue_ip);
+        upf.Upf.sessions.(idx) <- old_session)
+      !installed;
+    upf.Upf.n_active <- saved_active
+  in
+  (try
+     for i = 0 to count - 1 do
+       let off = 9 + (i * 8) in
+       let ue_ip = get_u32 snapshot off in
+       let teid = get_u32 snapshot (off + 4) in
+       let idx = upf.Upf.n_active in
+       let old_session = upf.Upf.sessions.(idx) in
+       match Upf.install_session upf ~ue_ip ~teid with
+       | Ok _ -> installed := (ue_ip, idx, old_session) :: !installed
+       | Error _ -> raise (Bad_snapshot "target UPF rejected session")
+     done
+   with exn ->
+     rollback ();
+     raise exn);
+  count

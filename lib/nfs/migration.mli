@@ -6,6 +6,25 @@
 
 exception Bad_snapshot of string
 
+(** {2 Wire-format building blocks}
+
+    Little-endian primitives shared by every snapshot format, exposed so
+    other planes (e.g. the recovery engine's synthetic-program
+    checkpoints) can define additional formats with identical framing
+    semantics. *)
+
+val put_u16 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int32 -> unit
+val put_u64 : Buffer.t -> int64 -> unit
+val get_u16 : string -> int -> int
+val get_u32 : string -> int -> int32
+val get_u64 : string -> int -> int64
+
+(** Validate a snapshot's magic and length ([magic] + u32 count + [count]
+    fixed-size entries); returns the entry count.
+    @raise Bad_snapshot on bad magic or truncation. *)
+val parse_header : magic:string -> entry_bytes:int -> string -> int
+
 type nat_entry = { key : int64; ext_ip : Netcore.Ipv4.addr; ext_port : int }
 
 (** Export the NAT mappings of the given flows (flows without a mapping are
@@ -15,7 +34,9 @@ val export_nat : Nat.t -> Netcore.Flow.t list -> string
 (** @raise Bad_snapshot on malformed input. *)
 val parse_nat : string -> nat_entry list
 
-(** Remove the flows from the source NAT (post-export). *)
+(** Remove the flows from the source NAT (post-export); their mapping
+    slots are zeroed and recycled, so the source can adopt flows back
+    later (rebalancing ping-pong). *)
 val evict_nat : Nat.t -> Netcore.Flow.t list -> unit
 
 (** Install a snapshot, preserving external mappings; returns entries
@@ -30,3 +51,53 @@ val import_nat : Nat.t -> string -> int
 val export_monitor : Monitor.t -> Netcore.Flow.t list -> string
 
 val import_monitor : Monitor.t -> flows:Netcore.Flow.t array -> string -> int
+
+(** Remove the flows from the source monitor (post-export). *)
+val evict_monitor : Monitor.t -> Netcore.Flow.t list -> unit
+
+(** Install monitor accounting as fresh flows (failover/adoption): each
+    entry gets a new counter slot holding the exported totals and its key
+    is admitted into the classifier — unlike {!import_monitor}, which
+    merges into already-tracked flows. All-or-nothing.
+    @raise Bad_snapshot on malformed input or a full target. *)
+val adopt_monitor : Monitor.t -> string -> int
+
+(** LB backend pinning: (key, backend index) pairs — re-running Maglev on
+    the target could re-balance a live connection elsewhere. Import is
+    all-or-nothing and validates backend indices against the target.
+    @raise Bad_snapshot on malformed input, unknown backend, or a full
+    target. *)
+val export_lb : Lb.t -> Netcore.Flow.t list -> string
+
+val evict_lb : Lb.t -> Netcore.Flow.t list -> unit
+val import_lb : Lb.t -> string -> int
+
+(** Firewall admission verdicts: (key, verdict) pairs — the verdict was
+    decided against the *source* policy and must not be re-evaluated
+    mid-connection. All-or-nothing; verdict bytes outside {0,1} are
+    rejected.
+    @raise Bad_snapshot on malformed input or a full target. *)
+val export_firewall : Firewall.t -> Netcore.Flow.t list -> string
+
+val evict_firewall : Firewall.t -> Netcore.Flow.t list -> unit
+val import_firewall : Firewall.t -> string -> int
+
+(** Bare classifier match entries: (key, value) pairs exactly as resident.
+    Values are slot indices into the structure behind the classifier;
+    cross-instance imports pass [remap] to translate them into the
+    target's slot space. All-or-nothing.
+    @raise Bad_snapshot on malformed input or a full target. *)
+val export_classifier : Classifier.t -> int64 list -> string
+
+val evict_classifier : Classifier.t -> int64 list -> unit
+val import_classifier : ?remap:(int -> int) -> Classifier.t -> string -> int
+
+(** UPF PFCP sessions by identity (UE IP, TEID); re-homing reinstalls
+    through the normal {!Upf.install_session} admission path.
+    All-or-nothing: a mid-import rejection tears the installed prefix back
+    out and rewinds [n_active].
+    @raise Bad_snapshot on malformed input or a full target. *)
+val export_upf : Upf.t -> Netcore.Ipv4.addr list -> string
+
+val evict_upf : Upf.t -> Netcore.Ipv4.addr list -> unit
+val import_upf : Upf.t -> string -> int

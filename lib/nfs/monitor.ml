@@ -28,6 +28,7 @@ type t = {
   arena : State_arena.t;
   pkt_count : int array;
   byte_count : int array;
+  mutable next_free : int;  (* first unused counter slot (bump allocator) *)
 }
 
 let state_bytes = 16
@@ -50,6 +51,7 @@ let create layout ~name ?arena ~n_flows () =
     arena;
     pkt_count = Array.make n_flows 0;
     byte_count = Array.make n_flows 0;
+    next_free = 0;
   }
 
 let populate t flows =
@@ -57,7 +59,7 @@ let populate t flows =
     Classifier.populate t.classifier
       (Array.to_list (Array.mapi (fun i f -> (Netcore.Flow.key64 f, i)) flows))
   in
-  ()
+  t.next_free <- max t.next_free (Array.length flows)
 
 let account_action t =
   Action.make ~base_cycles:12 ~base_instrs:10 ~name:(t.name ^ ".account")

@@ -11,6 +11,8 @@ type t = {
   arena : Structures.State_arena.t;
   pkt_count : int array;
   byte_count : int array;
+  mutable next_free : int;
+      (** first unused counter slot (bump allocator; imports append here) *)
 }
 
 val state_bytes : int

@@ -356,8 +356,15 @@ let encap_action t =
       let si = pdr_idx / t.n_pdrs in
       let session = t.sessions.(si) in
       let p = Nftask.packet_exn task in
-      Netcore.Packet.encapsulate_gtpu p ~outer_src:t.upf_n3_addr
-        ~outer_dst:t.ran_addrs.(si mod Array.length t.ran_addrs)
+      (* RAN address keyed by the session's TEID, not its slot index: the
+         slot a session occupies is a placement accident (and changes when
+         state is re-homed after a core failure), while the TEID is the
+         session's identity — the outer header must survive migration. *)
+      let ran =
+        t.ran_addrs.(Int32.to_int session.Traffic.Mgw.teid land 0xFF
+                     mod Array.length t.ran_addrs)
+      in
+      Netcore.Packet.encapsulate_gtpu p ~outer_src:t.upf_n3_addr ~outer_dst:ran
         ~teid:session.Traffic.Mgw.teid;
       Nf_common.packet_write ctx task ~bytes:64;
       t.encapsulated <- t.encapsulated + 1;

@@ -85,6 +85,62 @@ let next_uplink t ~ran_ip ~upf_ip =
   Packet.encapsulate_gtpu pkt ~outer_src:ran_ip ~outer_dst:upf_ip ~teid:s.teid;
   (si, pkt)
 
+(* ----- session churn storms ----- *)
+
+(* A seeded teardown/re-setup storm over the session population. Each step
+   rolls an independent churn RNG: with probability [rate_ppm] / 1e6 the
+   storm flips one session (live -> torn down, or torn down -> re-setup);
+   otherwise it emits a plain downlink data packet via [next_downlink] —
+   which may well target a torn-down session, exercising the consumer's
+   session-miss path exactly like traffic racing a PFCP deletion. *)
+type churn_event =
+  | Churn_teardown of int
+  | Churn_setup of int
+  | Churn_data of int * int * Packet.t
+
+type churn = {
+  c_mgw : t;
+  c_rng : Memsim.Rng.t;
+  c_rate_ppm : int;
+  c_down : bool array;
+  mutable c_n_down : int;
+  mutable c_events : int;
+}
+
+let churn ?(seed = 29) ~rate_ppm t =
+  if rate_ppm < 0 || rate_ppm > 1_000_000 then invalid_arg "Mgw.churn";
+  {
+    c_mgw = t;
+    c_rng = Memsim.Rng.create seed;
+    c_rate_ppm = rate_ppm;
+    c_down = Array.make (Array.length t.sessions) false;
+    c_n_down = 0;
+    c_events = 0;
+  }
+
+let churn_next ?arena c =
+  if Memsim.Rng.int c.c_rng 1_000_000 < c.c_rate_ppm then begin
+    let i = Memsim.Rng.int c.c_rng (Array.length c.c_mgw.sessions) in
+    c.c_events <- c.c_events + 1;
+    if c.c_down.(i) then begin
+      c.c_down.(i) <- false;
+      c.c_n_down <- c.c_n_down - 1;
+      Churn_setup i
+    end
+    else begin
+      c.c_down.(i) <- true;
+      c.c_n_down <- c.c_n_down + 1;
+      Churn_teardown i
+    end
+  end
+  else
+    let si, pdr, pkt = next_downlink ?arena c.c_mgw in
+    Churn_data (si, pdr, pkt)
+
+let churn_live c i = not c.c_down.(i)
+let churn_down_count c = c.c_n_down
+let churn_events c = c.c_events
+
 (* ----- AMF initial-registration call flow ----- *)
 
 (* The state-access-heavy messages of the Free5GC initial registration test

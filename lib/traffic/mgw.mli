@@ -32,6 +32,36 @@ val next_downlink : ?arena:Netcore.Packet.Arena.t -> t -> int * int * Netcore.Pa
 val next_uplink :
   t -> ran_ip:Netcore.Ipv4.addr -> upf_ip:Netcore.Ipv4.addr -> int * Netcore.Packet.t
 
+(** {2 Session churn storms}
+
+    A seeded teardown/re-setup storm over the session population. Each
+    {!churn_next} step flips one session (live -> torn down, or back) with
+    probability [rate_ppm] / 1e6, and otherwise emits a plain downlink
+    data packet — possibly towards a torn-down session, exercising the
+    consumer's session-miss path like traffic racing a PFCP deletion. *)
+
+type churn_event =
+  | Churn_teardown of int  (** session index going down *)
+  | Churn_setup of int  (** torn-down session coming back *)
+  | Churn_data of int * int * Netcore.Packet.t
+      (** [(session_idx, pdr_idx, packet)], session possibly down *)
+
+type churn
+
+(** @raise Invalid_argument unless [rate_ppm] is in [0, 1_000_000]. *)
+val churn : ?seed:int -> rate_ppm:int -> t -> churn
+
+val churn_next : ?arena:Netcore.Packet.Arena.t -> churn -> churn_event
+
+(** Is session [i] currently set up? *)
+val churn_live : churn -> int -> bool
+
+(** Sessions currently torn down. *)
+val churn_down_count : churn -> int
+
+(** Total teardown + setup events emitted so far. *)
+val churn_events : churn -> int
+
 (** {2 AMF initial-registration call flow} *)
 
 type amf_msg =

@@ -34,6 +34,8 @@ let () =
       ("fault", Test_fault.suite);
       ("telemetry", Test_telemetry.suite);
       ("specialize", Test_specialize.suite);
+      ("recovery", Test_recovery.suite);
+      ("storm", Test_storm.suite);
       ("verifyeq", Test_verifyeq.suite);
       ("baseline", Test_baseline.suite);
     ]

@@ -197,6 +197,226 @@ let test_monitor_migration () =
   Alcotest.(check (pair int int)) "counters carried over" (42, 9000)
     (Nfs.Monitor.stats nm_b 5)
 
+(* ----- snapshot fuzz batteries for the other stateful families -----
+
+   Mirrors the NAT bit-flip battery: every single-bit corruption and every
+   truncation of a snapshot must either raise [Bad_snapshot] leaving the
+   target byte-identical, or import exactly what parses (and a
+   family-specific [undo] restores the target, proving we know precisely
+   what a successful import touched). *)
+
+let fuzz_snapshot ~snapshot ~import ~state ~undo =
+  let before = state () in
+  (* truncation: every strict prefix rejects atomically *)
+  for len = 0 to String.length snapshot - 1 do
+    (match import (String.sub snapshot 0 len) with
+    | exception Nfs.Migration.Bad_snapshot _ -> ()
+    | _ -> Alcotest.failf "truncated snapshot (%d bytes) accepted" len);
+    if state () <> before then
+      Alcotest.failf "truncated import (%d bytes) perturbed the target" len
+  done;
+  (* bit flips: reject atomically, or import what parses and undo cleanly *)
+  let accepted = ref 0 and rejected = ref 0 in
+  for bit = 0 to (String.length snapshot * 8) - 1 do
+    let mangled = Bytes.of_string snapshot in
+    Bytes.set mangled (bit / 8)
+      (Char.chr (Char.code snapshot.[bit / 8] lxor (1 lsl (bit mod 8))));
+    let mangled = Bytes.to_string mangled in
+    match import mangled with
+    | exception Nfs.Migration.Bad_snapshot _ ->
+        incr rejected;
+        if state () <> before then
+          Alcotest.failf "rejected import (bit %d) perturbed the target" bit
+    | _n ->
+        incr accepted;
+        undo mangled;
+        if state () <> before then
+          Alcotest.failf "undo after accepted import (bit %d) did not restore" bit
+  done;
+  Alcotest.(check bool) "some flips rejected" true (!rejected > 0);
+  Alcotest.(check bool) "some flips still parse" true (!accepted > 0)
+
+let test_lb_snapshot_fuzz () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen = Traffic.Flowgen.create ~seed:31 ~n_flows:64 () in
+  let flows = Traffic.Flowgen.flows gen in
+  let lb_a = Nfs.Lb.create layout ~name:"lba" ~n_flows:64 () in
+  Nfs.Lb.populate lb_a flows;
+  let lb_b = Nfs.Lb.create layout ~name:"lbb" ~n_flows:64 () in
+  let table_b = Nfs.Classifier.table lb_b.Nfs.Lb.classifier in
+  let snapshot = Nfs.Migration.export_lb lb_a [ flows.(3); flows.(7) ] in
+  let state () =
+    ( lb_b.Nfs.Lb.next_free,
+      Structures.Cuckoo.population table_b,
+      Array.copy lb_b.Nfs.Lb.assignment )
+  in
+  let nf0, _, asg0 = state () in
+  let undo mangled =
+    let n = (String.length mangled - 9) / 10 in
+    for i = 0 to n - 1 do
+      ignore (Structures.Cuckoo.delete table_b (Nfs.Migration.get_u64 mangled (9 + (i * 10))))
+    done;
+    for idx = nf0 to lb_b.Nfs.Lb.next_free - 1 do
+      lb_b.Nfs.Lb.assignment.(idx) <- asg0.(idx)
+    done;
+    lb_b.Nfs.Lb.next_free <- nf0
+  in
+  fuzz_snapshot ~snapshot ~import:(Nfs.Migration.import_lb lb_b) ~state ~undo
+
+let test_firewall_snapshot_fuzz () =
+  let worker = Worker.create ~id:0 () in
+  let layout = Worker.layout worker in
+  let gen = Traffic.Flowgen.create ~seed:32 ~n_flows:64 () in
+  let flows = Traffic.Flowgen.flows gen in
+  let fw_a = Nfs.Firewall.create layout ~name:"fwa" ~n_flows:64 () in
+  Nfs.Firewall.populate fw_a flows;
+  let fw_b = Nfs.Firewall.create layout ~name:"fwb" ~n_flows:64 () in
+  let table_b = Nfs.Classifier.table fw_b.Nfs.Firewall.classifier in
+  let snapshot = Nfs.Migration.export_firewall fw_a [ flows.(1); flows.(9) ] in
+  let state () =
+    ( fw_b.Nfs.Firewall.next_free,
+      Structures.Cuckoo.population table_b,
+      Array.copy fw_b.Nfs.Firewall.verdicts )
+  in
+  let nf0, _, v0 = state () in
+  let undo mangled =
+    let n = (String.length mangled - 9) / 9 in
+    for i = 0 to n - 1 do
+      ignore (Structures.Cuckoo.delete table_b (Nfs.Migration.get_u64 mangled (9 + (i * 9))))
+    done;
+    for idx = nf0 to fw_b.Nfs.Firewall.next_free - 1 do
+      fw_b.Nfs.Firewall.verdicts.(idx) <- v0.(idx)
+    done;
+    fw_b.Nfs.Firewall.next_free <- nf0
+  in
+  fuzz_snapshot ~snapshot ~import:(Nfs.Migration.import_firewall fw_b) ~state ~undo
+
+let test_classifier_snapshot_fuzz () =
+  let layout = Memsim.Layout.create () in
+  let mk name =
+    Nfs.Classifier.create layout ~name ~key_kind:"flow"
+      ~key_fn:(fun _ -> 0L)
+      ~capacity:64 ()
+  in
+  let cls_a = mk "ca" and cls_b = mk "cb" in
+  let src_keys = [ 0x1234L; 0x5678L; 0x9ABCL ] in
+  List.iteri
+    (fun i key -> ignore (Structures.Cuckoo.insert (Nfs.Classifier.table cls_a) ~key ~value:i))
+    src_keys;
+  (* resident target entries the fuzz must never disturb *)
+  let probe = [ 0xFF01L; 0xFF02L ] in
+  List.iteri
+    (fun i key -> ignore (Structures.Cuckoo.insert (Nfs.Classifier.table cls_b) ~key ~value:(40 + i)))
+    probe;
+  let snapshot = Nfs.Migration.export_classifier cls_a src_keys in
+  let table_b = Nfs.Classifier.table cls_b in
+  let state () =
+    ( Structures.Cuckoo.population table_b,
+      List.map (Structures.Cuckoo.lookup table_b) probe )
+  in
+  let undo mangled =
+    let n = (String.length mangled - 9) / 12 in
+    for i = 0 to n - 1 do
+      ignore (Structures.Cuckoo.delete table_b (Nfs.Migration.get_u64 mangled (9 + (i * 12))))
+    done
+  in
+  fuzz_snapshot ~snapshot ~import:(Nfs.Migration.import_classifier cls_b) ~state ~undo
+
+let test_upf_snapshot_fuzz () =
+  let layout = Memsim.Layout.create () in
+  let mk name = Nfs.Upf.create_empty layout ~name ~capacity:16 ~n_pdrs:4 () in
+  let upf_a = mk "ua" and upf_b = mk "ub" in
+  let install upf i =
+    match
+      Nfs.Upf.install_session upf ~ue_ip:(Traffic.Mgw.ue_ip_of_index i)
+        ~teid:(Traffic.Mgw.teid_of_index i)
+    with
+    | Ok _ -> ()
+    | Error c -> Alcotest.failf "setup: session %d rejected with cause %d" i c
+  in
+  install upf_a 0;
+  install upf_a 1;
+  (* resident target sessions, far (in Hamming distance) from the source's *)
+  install upf_b 40;
+  install upf_b 41;
+  let snapshot =
+    Nfs.Migration.export_upf upf_a
+      [ Traffic.Mgw.ue_ip_of_index 0; Traffic.Mgw.ue_ip_of_index 1 ]
+  in
+  let state () =
+    ( upf_b.Nfs.Upf.n_active,
+      Structures.Cuckoo.population (Nfs.Classifier.table upf_b.Nfs.Upf.classifier),
+      Structures.Cuckoo.population
+        (Nfs.Classifier.table upf_b.Nfs.Upf.uplink_classifier),
+      Array.copy upf_b.Nfs.Upf.sessions )
+  in
+  let na0, _, _, sess0 = state () in
+  let undo mangled =
+    let n = (String.length mangled - 9) / 8 in
+    for i = 0 to n - 1 do
+      ignore
+        (Nfs.Upf.remove_session upf_b
+           ~ue_ip:(Nfs.Migration.get_u32 mangled (9 + (i * 8))))
+    done;
+    for idx = na0 to upf_b.Nfs.Upf.n_active - 1 do
+      upf_b.Nfs.Upf.sessions.(idx) <- sess0.(idx)
+    done;
+    upf_b.Nfs.Upf.n_active <- na0
+  in
+  fuzz_snapshot ~snapshot ~import:(Nfs.Migration.import_upf upf_b) ~state ~undo
+
+(* ----- export -> scrub -> import preserves per-flow state (QCheck) -----
+
+   For every Catalog family: exporting a random flow subset, evicting it,
+   and importing the snapshot back must leave each flow's
+   location-independent state digest identical — the property the recovery
+   plane's checkpoint restore depends on. *)
+
+let qcheck_family_roundtrip family name =
+  (* setup is lazy so building this suite's test list stays cheap; the
+     monitor family adopts into fresh slots on every import, so the bump
+     arena is sized for all iterations (count x max subset). *)
+  let ctx =
+    lazy
+      (let worker = Worker.create ~id:0 () in
+       let layout = Worker.layout worker in
+       let built =
+         Nfs.Catalog.build layout
+           ~nf:(Check.Progen.chain_spec [ family ])
+           ~modules:(Lazy.force Check.Progen.builtin_modules)
+           ~n_flows:1024 ()
+       in
+       let gen = Traffic.Flowgen.create ~seed:55 ~n_flows:64 () in
+       let flows = Traffic.Flowgen.flows gen in
+       built.Nfs.Catalog.populate flows;
+       let sn =
+         match built.Nfs.Catalog.snapshots with
+         | [ sn ] -> sn
+         | l ->
+             Alcotest.failf "%s: expected one snapshotter, got %d" name
+               (List.length l)
+       in
+       (sn, flows))
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "export/scrub/import preserves %s flow digests" name)
+    ~count:8
+    QCheck.(list_of_size (Gen.int_range 1 24) (int_bound 63))
+    (fun idxs ->
+      let sn, flows = Lazy.force ctx in
+      let idxs = List.sort_uniq compare idxs in
+      let subset = List.map (fun i -> flows.(i)) idxs in
+      let digest flow =
+        Gunfu.Fingerprint.of_fn (fun fp -> sn.Nfs.Catalog.sn_flow_digest fp flow)
+      in
+      let before = List.map digest subset in
+      let blob = sn.Nfs.Catalog.sn_export subset in
+      sn.Nfs.Catalog.sn_evict subset;
+      ignore (sn.Nfs.Catalog.sn_import blob);
+      let after = List.map digest subset in
+      before = after && String.equal blob (sn.Nfs.Catalog.sn_export subset))
+
 (* ----- catalog ----- *)
 
 let specs_dir = "../specs"
@@ -265,4 +485,14 @@ let suite =
     Alcotest.test_case "catalog: file FSM drives execution" `Quick
       test_catalog_edited_fsm_drives_execution;
     Alcotest.test_case "catalog unknown role" `Quick test_catalog_unknown_role;
+    Alcotest.test_case "lb snapshot bit-flip/truncation fuzz" `Quick test_lb_snapshot_fuzz;
+    Alcotest.test_case "firewall snapshot bit-flip/truncation fuzz" `Quick
+      test_firewall_snapshot_fuzz;
+    Alcotest.test_case "classifier snapshot bit-flip/truncation fuzz" `Quick
+      test_classifier_snapshot_fuzz;
+    Alcotest.test_case "upf snapshot bit-flip/truncation fuzz" `Quick test_upf_snapshot_fuzz;
+    Helpers.qcheck (qcheck_family_roundtrip Check.Progen.F_nat "nat");
+    Helpers.qcheck (qcheck_family_roundtrip Check.Progen.F_lb "lb");
+    Helpers.qcheck (qcheck_family_roundtrip Check.Progen.F_fw "firewall");
+    Helpers.qcheck (qcheck_family_roundtrip Check.Progen.F_nm "monitor");
   ]
