@@ -123,8 +123,8 @@ let record ~fig ~title ~series ~x r =
 let record_metrics ~fig ~title ~series ~x metrics =
   Telemetry.Baseline.record baseline ~fig ~title ~series ~x metrics
 
-let write_baseline ~pr ~path =
-  let b = Telemetry.Baseline.to_baseline baseline ~pr in
+let write_baseline ?(collector = baseline) ~pr ~path () =
+  let b = Telemetry.Baseline.to_baseline collector ~pr in
   if b.Telemetry.Baseline.figures <> [] then begin
     let oc = open_out path in
     output_string oc (Telemetry.Baseline.to_string b);

@@ -22,19 +22,30 @@ let figures =
     ("micro", "substrate microbenchmarks (bechamel)", Microbench.run);
   ]
 
+(* Targets outside the default run: they record into their own collector
+   and write their own baseline file, so the committed BENCH_PR4.json is
+   not disturbed by an everything run (and vice versa). *)
+let extras = [ ("scr", "SCR vs RSS skew scale-out (PR9 companion)", Scr_bench.run) ]
+
 let usage () =
   print_endline "usage: main.exe [--specialize] [--check-baseline FILE] [figN|micro ...]";
   print_endline "  --specialize          run with the specialized hot path + packet arena";
   print_endline "  --check-baseline FILE compare collected series against FILE (exact);";
   print_endline "                        exits non-zero on drift, writes nothing";
   print_endline "available targets:";
-  List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) figures
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) figures;
+  print_endline "extra targets (not part of the default everything run):";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) extras
 
 (* Figures record their key series into Bench_common.baseline as they
    print; whatever ran is written out as a machine-readable baseline
    (validate / round-trip it with `gunfu_cli bench --json`). *)
 let baseline_pr = "PR4"
 let baseline_path = "BENCH_" ^ baseline_pr ^ ".json"
+
+(* The scr extra target's collector and baseline file. *)
+let scr_pr = "PR9"
+let scr_path = "BENCH_" ^ scr_pr ^ ".json"
 
 (* Metrics whose values are host wall-clock measurements (fig9's bechamel
    rates): present in every baseline but meaningless to compare exactly. *)
@@ -54,9 +65,14 @@ let check_baseline path =
       Printf.printf "\ncheck-baseline: cannot read %s: %s\n" path e;
       exit 2
   | Ok expected -> (
+      (* The scr target records into its own collector; route the diff by
+         the expected baseline's PR tag. *)
+      let collector =
+        if expected.Telemetry.Baseline.pr = scr_pr then Scr_bench.baseline
+        else Bench_common.baseline
+      in
       let actual =
-        Telemetry.Baseline.to_baseline Bench_common.baseline
-          ~pr:expected.Telemetry.Baseline.pr
+        Telemetry.Baseline.to_baseline collector ~pr:expected.Telemetry.Baseline.pr
       in
       match Telemetry.Baseline.diff ~expected ~actual ~skip:wallclock_metric with
       | [] ->
@@ -85,7 +101,7 @@ let () =
         usage ();
         exit 1
     | arg :: rest ->
-        (match List.find_opt (fun (name, _, _) -> name = arg) figures with
+        (match List.find_opt (fun (name, _, _) -> name = arg) (figures @ extras) with
         | Some target -> targets := !targets @ [ target ]
         | None ->
             Printf.printf "unknown target %S\n" arg;
@@ -102,4 +118,7 @@ let () =
   | targets -> List.iter (fun (_, _, run) -> run ()) targets);
   match !check with
   | Some path -> check_baseline path
-  | None -> Bench_common.write_baseline ~pr:baseline_pr ~path:baseline_path
+  | None ->
+      Bench_common.write_baseline ~pr:baseline_pr ~path:baseline_path ();
+      Bench_common.write_baseline ~collector:Scr_bench.baseline ~pr:scr_pr
+        ~path:scr_path ()

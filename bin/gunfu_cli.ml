@@ -314,31 +314,34 @@ let check_cmd programs seed packets profile spec specs_dir no_minimize specializ
    schedule a kill from the plan, recover on a survivor via
    checkpoint/replay, and require equality with the failure-free
    reference. *)
+(* Case selection shared by the platform axes: --kill-cores recovery,
+   chaos --model scr, and the scr command. *)
+let platform_rcases programs seed packets profile spec specs_dir =
+  match spec with
+  | Some "all" ->
+      List.map
+        (fun name -> Check.Recovery.spec_rcase ~specs_dir ~name ~seed ~packets)
+        Check.Progen.spec_names
+  | Some name -> [ Check.Recovery.spec_rcase ~specs_dir ~name ~seed ~packets ]
+  | None ->
+      let profiles =
+        match profile with
+        | Some p when not (List.mem p Check.Progen.profiles) ->
+            invalid_arg
+              (Printf.sprintf "unknown profile %s (expected one of: %s)" p
+                 (String.concat ", " Check.Progen.profiles))
+        | Some p -> [ p ]
+        | None -> Check.Progen.profiles
+      in
+      List.concat_map
+        (fun profile ->
+          List.init programs (fun i ->
+              Check.Recovery.gen_rcase ~seed:(seed + i) ~profile ~packets))
+        profiles
+
 let chaos_kill_cores programs seed packets profile spec specs_dir rate_ppm cores
     epoch =
-  let rcases =
-    match spec with
-    | Some "all" ->
-        List.map
-          (fun name -> Check.Recovery.spec_rcase ~specs_dir ~name ~seed ~packets)
-          Check.Progen.spec_names
-    | Some name -> [ Check.Recovery.spec_rcase ~specs_dir ~name ~seed ~packets ]
-    | None ->
-        let profiles =
-          match profile with
-          | Some p when not (List.mem p Check.Progen.profiles) ->
-              invalid_arg
-                (Printf.sprintf "unknown profile %s (expected one of: %s)" p
-                   (String.concat ", " Check.Progen.profiles))
-          | Some p -> [ p ]
-          | None -> Check.Progen.profiles
-        in
-        List.concat_map
-          (fun profile ->
-            List.init programs (fun i ->
-                Check.Recovery.gen_rcase ~seed:(seed + i) ~profile ~packets))
-          profiles
-  in
+  let rcases = platform_rcases programs seed packets profile spec specs_dir in
   let rplan =
     {
       Gunfu.Platform.Recovery.epoch;
@@ -364,12 +367,52 @@ let chaos_kill_cores programs seed packets profile spec specs_dir rate_ppm cores
     `Error
       (false, Printf.sprintf "%d case(s) failed to recover from a core kill" !failed)
 
+(* The SCR axis over a case list: each case at every core count, one
+   fault plan per case derived from its own seed (rate 0 = no plan). *)
+let scr_axis ~rcases ~cores_list ~rate_ppm ~spray ~engine =
+  let failed = ref 0 in
+  List.iter
+    (fun rc ->
+      let plan =
+        if rate_ppm = 0 then None
+        else Some (Check.Faultgen.create ~rate_ppm ~seed:rc.Check.Recovery.r_seed ())
+      in
+      List.iter
+        (fun cores ->
+          let oc = Check.Scrcheck.check_rcase ?plan ~spray ~engine ~cores rc in
+          if not (Check.Scrcheck.passed oc) then incr failed;
+          Fmt.pr "%a@." Check.Scrcheck.pp_outcome oc)
+        cores_list)
+    rcases;
+  !failed
+
+let chaos_scr programs seed packets profile spec specs_dir rate_ppm cores =
+  let rcases = platform_rcases programs seed packets profile spec specs_dir in
+  let failed =
+    scr_axis ~rcases ~cores_list:[ cores ] ~rate_ppm
+      ~spray:Scaleout.Spray.Round_robin ~engine:Scaleout.Scr.Engine_rtc
+  in
+  if failed = 0 then begin
+    Fmt.pr
+      "chaos --model scr: %d cases on %d cores at %d ppm: replicas converged, \
+       reference equality@."
+      (List.length rcases) cores rate_ppm;
+    `Ok ()
+  end
+  else
+    `Error
+      (false, Printf.sprintf "%d scr case(s) diverged or violated invariants" failed)
+
 let chaos_cmd programs seed packets profile spec specs_dir rate_ppm no_minimize
-    kill_cores cores epoch =
+    kill_cores model cores epoch =
   try
     if kill_cores then
       chaos_kill_cores programs seed packets profile spec specs_dir rate_ppm cores
         epoch
+    else if String.equal model "scr" then
+      chaos_scr programs seed packets profile spec specs_dir rate_ppm cores
+    else if not (String.equal model "rss") then
+      `Error (false, Printf.sprintf "unknown model %s (expected rss or scr)" model)
     else
     let cases =
       match spec with
@@ -446,19 +489,68 @@ let chaos_cmd programs seed packets profile spec specs_dir rate_ppm no_minimize
   | Invalid_argument msg -> `Error (false, msg)
   | Sys_error msg -> `Error (false, msg)
 
+(* ----- scr command: the State-Compute Replication axis ----- *)
+
+let scr_cmd programs seed packets profile spec specs_dir rate_ppm cores_list
+    spray_seed batch =
+  try
+    if cores_list = [] then invalid_arg "scr: --cores list must be non-empty";
+    List.iter
+      (fun c -> if c < 1 then invalid_arg "scr: core counts must be positive")
+      cores_list;
+    let rcases = platform_rcases programs seed packets profile spec specs_dir in
+    let spray =
+      match spray_seed with
+      | None -> Scaleout.Spray.Round_robin
+      | Some s -> Scaleout.Spray.Seeded s
+    in
+    let engine =
+      match batch with
+      | None -> Scaleout.Scr.Engine_rtc
+      | Some b -> Scaleout.Scr.Engine_batch b
+    in
+    let failed = scr_axis ~rcases ~cores_list ~rate_ppm ~spray ~engine in
+    if failed = 0 then begin
+      Fmt.pr
+        "scr: %d cases x cores {%s} engine=%s spray=%s at %d ppm: replicas \
+         converged, reference equality@."
+        (List.length rcases)
+        (String.concat "," (List.map string_of_int cores_list))
+        (Check.Scrcheck.engine_name engine)
+        (match spray_seed with
+        | None -> "round-robin"
+        | Some s -> Printf.sprintf "seeded(%d)" s)
+        rate_ppm;
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d scr case(s) diverged or violated invariants" failed )
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
 (* ----- storm command: churn-storm chaos scenarios ----- *)
 
-let storm_cmd scenario seed =
+let storm_cmd scenario seed model =
   try
     let reports =
-      match scenario with
-      | None -> Check.Storm.all ~seed ()
-      | Some "pfcp" -> [ Check.Storm.pfcp_storm ~seed () ]
-      | Some "nat" -> [ Check.Storm.nat_rebalance_storm ~seed () ]
-      | Some "overload" -> [ Check.Storm.overload_storm ~seed () ]
-      | Some other ->
+      match (model, scenario) with
+      | "scr", _ -> [ Check.Storm.scr_storm ~seed () ]
+      | "rss", None -> Check.Storm.all ~seed ()
+      | "rss", Some "pfcp" -> [ Check.Storm.pfcp_storm ~seed () ]
+      | "rss", Some "nat" -> [ Check.Storm.nat_rebalance_storm ~seed () ]
+      | "rss", Some "overload" -> [ Check.Storm.overload_storm ~seed () ]
+      | "rss", Some other ->
           invalid_arg
             (Printf.sprintf "unknown storm %s (expected pfcp, nat or overload)" other)
+      | other, _ ->
+          invalid_arg
+            (Printf.sprintf "unknown model %s (expected rss or scr)" other)
     in
     List.iter (fun r -> Fmt.pr "@[<v>%a@]@." Check.Storm.pp_report r) reports;
     let failed = List.filter (fun r -> not (Check.Storm.passed r)) reports in
@@ -859,8 +951,16 @@ let chaos_t =
                   "Core-failure axis: kill one core per case and verify \
                    checkpoint/replay recovery against the failure-free reference")
         $ Arg.(
+            value & opt string "rss"
+            & info [ "model" ] ~docv:"MODEL"
+                ~doc:
+                  "Scale-out model for the platform axis: rss (default; the \
+                   sharded executors) or scr (State-Compute Replication — run \
+                   each case through sprayed full replicas and require \
+                   reference equality under the fault plan)")
+        $ Arg.(
             value & opt int 4
-            & info [ "cores" ] ~doc:"Platform cores for --kill-cores")
+            & info [ "cores" ] ~doc:"Platform cores for --kill-cores / --model scr")
         $ Arg.(
             value & opt int Gunfu.Platform.Recovery.default_plan.Gunfu.Platform.Recovery.epoch
             & info [ "epoch" ]
@@ -885,7 +985,62 @@ let storm_t =
             & opt (some string) None
             & info [ "scenario" ] ~docv:"NAME"
                 ~doc:"Run one scenario (pfcp, nat or overload); default all")
-        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed")))
+        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed")
+        $ Arg.(
+            value & opt string "rss"
+            & info [ "model" ] ~docv:"MODEL"
+                ~doc:
+                  "Scale-out model: rss (default; the classic scenarios) or \
+                   scr (the State-Compute Replication update-stream storm)")))
+
+let scr_t =
+  Cmd.v
+    (Cmd.info "scr"
+       ~doc:
+         "State-Compute Replication axis: replicate each case's full per-flow \
+          state on every core, spray the packet stream with no flow affinity, \
+          ship compact absolute update records between replicas, and require \
+          exact equality with a single-core run-to-completion reference \
+          (per-flow emit streams, completion/drop/fault/wire totals, state \
+          digest), replica convergence at the quiescent barrier and \
+          update-stream conservation — optionally under a deterministic \
+          fault-injection plan armed at global stream indices. Exits non-zero \
+          on any divergence or invariant violation.")
+    Term.(
+      ret
+        (const scr_cmd
+        $ Arg.(value & opt int 5 & info [ "programs" ] ~doc:"Generated programs per profile")
+        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed for programs and the fault plan")
+        $ Arg.(value & opt int 96 & info [ "packets" ] ~doc:"Packets per case")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "profile" ]
+                ~doc:"Only this traffic profile (uniform, zipf, burst, mix); default all")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "spec" ]
+                ~doc:"Run a specs/ composition (nat, sfc4, upf_downlink or all) instead of generated programs")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ Arg.(
+            value & opt int 0
+            & info [ "rate-ppm" ]
+                ~doc:"Fault-injection probability per packet in ppm; 0 = no plan")
+        $ Arg.(
+            value
+            & opt (list int) [ 2; 4 ]
+            & info [ "cores" ] ~docv:"N,.."
+                ~doc:"Comma-separated replica counts to check each case at")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "spray-seed" ]
+                ~doc:"Seeded uniform spray instead of round-robin")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "batch" ] ~doc:"Use the batch-N engine instead of rtc")))
 
 let lint_t =
   Cmd.v
@@ -1030,6 +1185,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
           [
-            run_t; inspect_t; check_spec_t; check_t; chaos_t; storm_t; compose_t;
+            run_t; inspect_t; check_spec_t; check_t; chaos_t; scr_t; storm_t; compose_t;
             lint_t; verifyeq_t; profile_t; trace_t; bench_t; list_t;
           ]))

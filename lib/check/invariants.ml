@@ -354,6 +354,70 @@ let check_telemetry ?spans (tr : Trace.t) (run : Metrics.run) : violation list =
   check_span_nesting ~spans ~dropped:(Trace.dropped tr)
   @ check_span_budget tr run @ check_span_memstats tr run
 
+(* ----- SCR-plane rules ----- *)
+
+(* Update-stream conservation for a State-Compute Replication run. Every
+   flow-bearing completion must have emitted exactly one update record;
+   each record is broadcast to [cores - 1] peers and every broadcast copy
+   must end up exactly one of applied, coalesced (superseded while
+   pending) or stale (superseded by the peer's own local state) — the
+   barrier drains all pending sets, so nothing may remain in flight. And
+   the model's defining invariant: after the quiescent barrier all
+   replica digests are pairwise equal. *)
+let check_scr ~completions ~cores (res : Scaleout.Scr.result) : violation list =
+  let st = res.Scaleout.Scr.sr_stats in
+  let logged =
+    Array.fold_left
+      (fun a l -> a + Scaleout.Update_log.length l)
+      0 res.Scaleout.Scr.sr_logs
+  in
+  List.concat
+    [
+      (if not res.Scaleout.Scr.sr_converged then
+         [
+           v "scr-convergence"
+             "replica digests differ after the quiescent barrier: %s"
+             (String.concat " " (Array.to_list res.Scaleout.Scr.sr_replica_digests));
+         ]
+       else []);
+      (if st.Scaleout.Scr.st_records <> completions then
+         [
+           v "scr-emission"
+             "%d flow-bearing completions but %d update records emitted"
+             completions st.Scaleout.Scr.st_records;
+         ]
+       else []);
+      (if logged <> st.Scaleout.Scr.st_records then
+         [
+           v "scr-emission" "per-core logs hold %d records but %d were emitted"
+             logged st.Scaleout.Scr.st_records;
+         ]
+       else []);
+      (if
+         st.Scaleout.Scr.st_records * (cores - 1)
+         <> st.Scaleout.Scr.st_applied + st.Scaleout.Scr.st_coalesced
+            + st.Scaleout.Scr.st_stale
+       then
+         [
+           v "scr-conservation"
+             "%d records x %d peers = %d broadcast copies, but applied=%d + \
+              coalesced=%d + stale=%d = %d"
+             st.Scaleout.Scr.st_records (cores - 1)
+             (st.Scaleout.Scr.st_records * (cores - 1))
+             st.Scaleout.Scr.st_applied st.Scaleout.Scr.st_coalesced
+             st.Scaleout.Scr.st_stale
+             (st.Scaleout.Scr.st_applied + st.Scaleout.Scr.st_coalesced
+            + st.Scaleout.Scr.st_stale);
+         ]
+       else []);
+      (if st.Scaleout.Scr.st_barrier_applied > st.Scaleout.Scr.st_applied then
+         [
+           v "scr-conservation" "barrier applied %d records but only %d total applies"
+             st.Scaleout.Scr.st_barrier_applied st.Scaleout.Scr.st_applied;
+         ]
+       else []);
+    ]
+
 (* All invariants over every executor's observation of a case; the
    returned violations are tagged with the executor label. *)
 let check_case ?plan (case : Oracle.case) : (string * violation) list =

@@ -54,6 +54,16 @@ val check_telemetry :
   ?spans:Gunfu.Trace.span array ->
   Gunfu.Trace.t -> Gunfu.Metrics.run -> violation list
 
+(** {2 SCR-plane rules}
+
+    Update-stream conservation for a State-Compute Replication run:
+    every flow-bearing completion ([completions]) emitted exactly one
+    update record, every broadcast copy (records x [cores - 1] peers) is
+    accounted exactly once as applied, coalesced or stale, and after the
+    quiescent barrier all replica digests are pairwise equal. *)
+val check_scr :
+  completions:int -> cores:int -> Scaleout.Scr.result -> violation list
+
 (** Every executor over a fresh instance of the case; violations tagged
     with the executor label. [?plan] checks the invariants *under* a
     deterministic fault-injection schedule (conservation then reads

@@ -46,6 +46,10 @@ type core_instance = {
   ci_pool : Netcore.Packet.Pool.pool;
   ci_export : int list -> (string * string) list;
   ci_import : (string * string) list -> unit;
+  ci_apply : (string * string) list -> unit;
+      (* SCR update upsert: overwrite resident flows, admit absent ones
+         (the Migration apply surface) — unlike ci_import, safe on an
+         instance that already holds the flow *)
   ci_counters : unit -> (string * int) list;
   ci_restore : (string * int) list -> unit;
   ci_flow_digest : Fingerprint.t -> int -> unit;
@@ -130,6 +134,39 @@ let syn_import (st : Progen.syn_state) blob =
     st.Progen.syn_scratch.(slot) <- scratch
   done
 
+(* Upsert flavour of {!syn_import}: overwrite a resident flow's state in
+   place, admit an absent one into a fresh slot — the synthetic unit's SCR
+   update-apply surface. *)
+let syn_apply (st : Progen.syn_state) blob =
+  let count =
+    Nfs.Migration.parse_header ~magic:syn_magic ~entry_bytes:syn_entry_bytes blob
+  in
+  let table = Nfs.Classifier.table st.Progen.syn_classifier in
+  let base = String.length syn_magic + 4 in
+  for e = 0 to count - 1 do
+    let off = base + (e * syn_entry_bytes) in
+    let key = Nfs.Migration.get_u64 blob off in
+    let ident = Int32.to_int (Nfs.Migration.get_u32 blob (off + 8)) in
+    let seq = Int32.to_int (Nfs.Migration.get_u32 blob (off + 12)) in
+    let scratch = Int64.to_int (Nfs.Migration.get_u64 blob (off + 16)) in
+    let slot =
+      match Structures.Cuckoo.lookup table key with
+      | Some slot -> slot
+      | None ->
+          if st.Progen.syn_next >= Array.length st.Progen.syn_seqs then
+            raise (Nfs.Migration.Bad_snapshot "target synthetic state full");
+          let slot = st.Progen.syn_next in
+          let shed = Nfs.Classifier.populate st.Progen.syn_classifier [ (key, slot) ] in
+          if shed > 0 then
+            raise (Nfs.Migration.Bad_snapshot "target synthetic classifier full");
+          st.Progen.syn_next <- slot + 1;
+          slot
+    in
+    st.Progen.syn_ident.(slot) <- ident;
+    st.Progen.syn_seqs.(slot) <- seq;
+    st.Progen.syn_scratch.(slot) <- scratch
+  done
+
 let chain_instance ~families ~n_flows ~opts ~gen worker ~owned =
   let layout = Worker.layout worker in
   let built =
@@ -155,6 +192,14 @@ let chain_instance ~families ~n_flows ~opts ~gen worker ~owned =
           (fun (sn : Nfs.Catalog.snapshotter) ->
             match List.assoc_opt sn.Nfs.Catalog.sn_name blobs with
             | Some blob -> ignore (sn.Nfs.Catalog.sn_import blob : int)
+            | None -> ())
+          built.Nfs.Catalog.snapshots);
+    ci_apply =
+      (fun blobs ->
+        List.iter
+          (fun (sn : Nfs.Catalog.snapshotter) ->
+            match List.assoc_opt sn.Nfs.Catalog.sn_name blobs with
+            | Some blob -> ignore (sn.Nfs.Catalog.sn_apply blob : int)
             | None -> ())
           built.Nfs.Catalog.snapshots);
     ci_counters = (fun () -> []);
@@ -187,6 +232,11 @@ let synthetic_instance ~seed ~shape ~gen worker ~owned =
       (fun blobs ->
         match List.assoc_opt "syn" blobs with
         | Some blob -> syn_import st blob
+        | None -> ());
+    ci_apply =
+      (fun blobs ->
+        match List.assoc_opt "syn" blobs with
+        | Some blob -> syn_apply st blob
         | None -> ());
     ci_counters = (fun () -> [ ("syn.total", !(st.Progen.syn_total)) ]);
     ci_restore =
@@ -269,6 +319,11 @@ let upf_instance ~specs_dir ~mgw worker ~owned =
       (fun blobs ->
         match List.assoc_opt "upf" blobs with
         | Some blob -> ignore (Nfs.Migration.import_upf upf blob : int)
+        | None -> ());
+    ci_apply =
+      (fun blobs ->
+        match List.assoc_opt "upf" blobs with
+        | Some blob -> ignore (Nfs.Migration.apply_upf upf blob : int)
         | None -> ());
     ci_counters =
       (fun () ->
@@ -355,6 +410,14 @@ let spec_rcase ~specs_dir ~name ~seed ~packets : rcase =
                     (fun (sn : Nfs.Catalog.snapshotter) ->
                       match List.assoc_opt sn.Nfs.Catalog.sn_name blobs with
                       | Some blob -> ignore (sn.Nfs.Catalog.sn_import blob : int)
+                      | None -> ())
+                    built.Nfs.Catalog.snapshots);
+              ci_apply =
+                (fun blobs ->
+                  List.iter
+                    (fun (sn : Nfs.Catalog.snapshotter) ->
+                      match List.assoc_opt sn.Nfs.Catalog.sn_name blobs with
+                      | Some blob -> ignore (sn.Nfs.Catalog.sn_apply blob : int)
                       | None -> ())
                     built.Nfs.Catalog.snapshots);
               ci_counters = (fun () -> []);
@@ -610,8 +673,9 @@ let platform_pass ?plan ?(journal = false)
         ~live:(fun _ -> true) cis planes;
   }
 
-let observe_platform ?plan ?journal ?rplan ~cores (rc : rcase) : pass =
-  platform_pass ?plan ?journal ?rplan ~cores ~items:(rc.r_trace ()) rc
+let observe_platform ?plan ?journal ?rplan ?items ~cores (rc : rcase) : pass =
+  let items = match items with Some l -> l | None -> rc.r_trace () in
+  platform_pass ?plan ?journal ?rplan ~cores ~items rc
 
 (* First difference between two passes, or [None]. *)
 let diff_passes ~(reference : pass) (obs : pass) : string option =

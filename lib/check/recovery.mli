@@ -31,6 +31,10 @@ type core_instance = {
   ci_pool : Netcore.Packet.Pool.pool;
   ci_export : int list -> (string * string) list;
   ci_import : (string * string) list -> unit;
+  ci_apply : (string * string) list -> unit;
+      (** SCR update upsert: overwrite resident flows, admit absent ones —
+          unlike [ci_import], safe on an instance that already holds the
+          flow. *)
   ci_counters : unit -> (string * int) list;
   ci_restore : (string * int) list -> unit;
   ci_flow_digest : Fingerprint.t -> int -> unit;
@@ -73,10 +77,13 @@ type pass = {
 (** The failure-free platform pass. [~journal:true] turns on
     checkpoint/replay bookkeeping on every core without consuming it —
     journaling is pure reads and clones, so the observations must be
-    byte-identical with it on or off (the inertness pin). *)
+    byte-identical with it on or off (the inertness pin). [?items]
+    supplies a pre-drawn trace instead of calling [r_trace] — required
+    when a caller compares two passes of a case whose generator is
+    stateful (the UPF composition's mobile gateway). *)
 val observe_platform :
-  ?plan:Faultgen.t -> ?journal:bool -> ?rplan:Platform.Recovery.plan -> cores:int ->
-  rcase -> pass
+  ?plan:Faultgen.t -> ?journal:bool -> ?rplan:Platform.Recovery.plan ->
+  ?items:Workload.item list -> cores:int -> rcase -> pass
 
 (** First behavioural difference between two passes (per-flow streams,
     then state digest), or [None]. *)

@@ -289,5 +289,76 @@ let overload_storm ?(seed = 1) ?(profile = "mix") ?(packets = 96)
     st_failures = List.rev !failures;
   }
 
+(* ----- SCR update-stream storm ----- *)
+
+(* State-Compute Replication under overload: spray two generated programs
+   (a catalog chain profile and a synthetic one, whichever the seeds
+   draw) across [cores] full replicas with a seeded spray and a
+   saturating fault plan, and require single-core reference equality,
+   replica convergence and update-stream conservation while roughly one
+   packet in ten faults — the update records must carry containment
+   state as faithfully as NF state. *)
+let scr_storm ?(seed = 1) ?(packets = 96) ?(rate_ppm = 100_000) ?(cores = 4) ()
+    =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let metrics = ref [] in
+  (try
+     let rcases =
+       [
+         Recovery.gen_rcase ~seed ~profile:"mix" ~packets;
+         Recovery.gen_rcase ~seed:(seed + 1) ~profile:"zipf" ~packets;
+       ]
+     in
+     let records = ref 0 in
+     let applied = ref 0 in
+     let stale = ref 0 in
+     let faulted = ref 0 in
+     List.iter
+       (fun rc ->
+         let plan = Faultgen.create ~rate_ppm ~seed:rc.Recovery.r_seed () in
+         let oc =
+           Scrcheck.check_rcase ~plan ~spray:(Scaleout.Spray.Seeded seed) ~cores
+             rc
+         in
+         let st = oc.Scrcheck.so_stats in
+         records := !records + st.Scaleout.Scr.st_records;
+         applied := !applied + st.Scaleout.Scr.st_applied;
+         stale := !stale + st.Scaleout.Scr.st_stale;
+         List.iter
+           (fun (_, (o : Oracle.observation)) ->
+             faulted := !faulted + o.Oracle.o_run.Metrics.faulted)
+           oc.Scrcheck.so_scr.Recovery.p_obs;
+         (match oc.Scrcheck.so_divergence with
+         | Some d -> fail "scr diverged on %s: %s" oc.Scrcheck.so_case d
+         | None -> ());
+         List.iter
+           (fun (where, v) ->
+             fail "invariant violation (%s) on %s: %s/%s" where
+               oc.Scrcheck.so_case v.Invariants.v_rule v.Invariants.v_detail)
+           oc.Scrcheck.so_violations;
+         if not oc.Scrcheck.so_converged then
+           fail "replicas failed to converge on %s" oc.Scrcheck.so_case)
+       rcases;
+     if !faulted = 0 then
+       fail "overload plan at %d ppm injected nothing over %d packets" rate_ppm
+         (packets * List.length rcases);
+     metrics :=
+       [
+         ("cases", List.length rcases);
+         ("cores", cores);
+         ("records", !records);
+         ("applied", !applied);
+         ("stale", !stale);
+         ("faulted", !faulted);
+       ]
+   with e -> fail "uncontained exception: %s" (Printexc.to_string e));
+  {
+    st_name = "scr-overload";
+    st_seed = seed;
+    st_metrics = !metrics;
+    st_failures = List.rev !failures;
+  }
+
 let all ?(seed = 1) () =
   [ pfcp_storm ~seed (); nat_rebalance_storm ~seed (); overload_storm ~seed () ]

@@ -42,5 +42,14 @@ val nat_rebalance_storm :
 val overload_storm :
   ?seed:int -> ?profile:string -> ?packets:int -> ?rate_ppm:int -> unit -> report
 
+(** State-Compute Replication under overload: two generated programs
+    sprayed across [cores] full replicas (seeded spray) with a
+    saturating fault plan; requires single-core reference equality,
+    replica convergence and update-stream conservation
+    ({!Scrcheck.check_rcase}) while the fault plane quarantines roughly
+    one packet in ten. Selected by [gunfu_cli storm --model scr]. *)
+val scr_storm :
+  ?seed:int -> ?packets:int -> ?rate_ppm:int -> ?cores:int -> unit -> report
+
 (** All three storms at one seed. *)
 val all : ?seed:int -> unit -> report list

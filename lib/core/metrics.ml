@@ -62,6 +62,10 @@ type run = {
   faulted : int;  (* completions quarantined by the fault plane *)
   faults : (string * Fault.reason * int) list;  (* per-NF per-reason taxonomy *)
   degraded : bool;  (* at least one flow was poisoned during the run *)
+  imbalance : (float * float) option;
+      (* (offered, served) per-core max-to-mean load ratios; [Some] only on
+         merged multi-core runs — 1.0 means perfectly balanced, [cores]
+         means one core carried everything (skew collapse) *)
 }
 
 (* Latency in nanoseconds given the run's clock. *)
@@ -116,7 +120,12 @@ let pp_row ppf r =
   (* fault columns appear only when the plane actually quarantined work, so
      fault-free output is byte-identical to the pre-plane format *)
   if r.faulted > 0 then
-    Fmt.pf ppf " faulted=%d%s" r.faulted (if r.degraded then " DEGRADED" else "")
+    Fmt.pf ppf " faulted=%d%s" r.faulted (if r.degraded then " DEGRADED" else "");
+  (* imbalance columns appear only on merged multi-core runs, so
+     single-core output is byte-identical to the pre-imbalance format *)
+  match r.imbalance with
+  | Some (off, served) -> Fmt.pf ppf " imb=%.2f/%.2f" off served
+  | None -> ()
 
 (* One line per (nf, reason) taxonomy entry; empty output when no faults. *)
 let pp_faults ppf r =
@@ -143,6 +152,21 @@ let merge_faults runs =
          | 0 -> String.compare (Fault.reason_to_key ra) (Fault.reason_to_key rb)
          | c -> c)
 
+(* Per-core max-to-mean load ratio over a run set: offered = packets
+   pulled, served = completions that made the wire (packets - drops -
+   faulted). 1.0 is perfect balance; [cores] is total skew collapse. *)
+let load_imbalance runs =
+  let ratio f =
+    let loads = List.map (fun r -> float_of_int (max 0 (f r))) runs in
+    let total = List.fold_left ( +. ) 0. loads in
+    if total <= 0. then 1.0
+    else
+      let mean = total /. float_of_int (List.length loads) in
+      List.fold_left max 0. loads /. mean
+  in
+  ( ratio (fun r -> r.packets),
+    ratio (fun r -> r.packets - r.drops - r.faulted) )
+
 (* Sum of parallel per-core runs (multicore experiments): cycles is the max
    (cores run concurrently), counts add. *)
 let merge_parallel = function
@@ -167,6 +191,8 @@ let merge_parallel = function
         faulted = sum (fun r -> r.faulted);
         faults = merge_faults runs;
         degraded = List.exists (fun r -> r.degraded) runs;
+        imbalance =
+          (match runs with [ _ ] -> first.imbalance | _ -> Some (load_imbalance runs));
       }
 
 let pp_latency ppf (r : run) =

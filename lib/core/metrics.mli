@@ -40,6 +40,10 @@ type run = {
   faults : (string * Fault.reason * int) list;
       (** per-NF per-reason fault taxonomy, sorted (see {!Fault.counts}) *)
   degraded : bool;  (** at least one flow was poisoned during the run *)
+  imbalance : (float * float) option;
+      (** (offered, served) per-core max-to-mean load ratios, [Some] only
+          on merged multi-core runs: 1.0 is perfect balance, [cores] is one
+          core carrying everything (skew collapse) *)
 }
 
 (** Convert a cycle count to nanoseconds at the run's clock. *)
@@ -70,8 +74,14 @@ val pp_row : Format.formatter -> run -> unit
     fault-free run. *)
 val pp_faults : Format.formatter -> run -> unit
 
+(** Per-core (offered, served) max-to-mean load ratios over a run set —
+    offered counts packets pulled, served counts completions that made the
+    wire (packets - drops - faulted). *)
+val load_imbalance : run list -> float * float
+
 (** Combine concurrent per-core runs: counts add, cycles take the max
-    (latency distributions are not merged).
+    (latency distributions are not merged), and {!run.imbalance} is
+    computed over the inputs.
     @raise Invalid_argument on an empty list. *)
 val merge_parallel : run list -> run
 

@@ -71,4 +71,5 @@ let finish ?latency ?(faulted = 0) ?(faults = []) ?(degraded = false) t snap
     faulted;
     faults;
     degraded;
+    imbalance = None;
   }

@@ -36,6 +36,7 @@ and snapshotter = {
   sn_export : Netcore.Flow.t list -> string;
   sn_evict : Netcore.Flow.t list -> unit;
   sn_import : string -> int;
+  sn_apply : string -> int;  (* SCR update upsert: overwrite-or-admit *)
   sn_flow_digest : Fingerprint.t -> Netcore.Flow.t -> unit;
 }
 
@@ -73,6 +74,7 @@ let snap_nat (nat : Nat.t) =
     sn_export = Migration.export_nat nat;
     sn_evict = Migration.evict_nat nat;
     sn_import = Migration.import_nat nat;
+    sn_apply = Migration.apply_nat nat;
     sn_flow_digest =
       (fun fp flow ->
         match flow_slot nat.Nat.classifier flow with
@@ -89,6 +91,7 @@ let snap_lb (lb : Lb.t) =
     sn_export = Migration.export_lb lb;
     sn_evict = Migration.evict_lb lb;
     sn_import = Migration.import_lb lb;
+    sn_apply = Migration.apply_lb lb;
     sn_flow_digest =
       (fun fp flow ->
         match flow_slot lb.Lb.classifier flow with
@@ -104,6 +107,7 @@ let snap_fw (fw : Firewall.t) =
     sn_export = Migration.export_firewall fw;
     sn_evict = Migration.evict_firewall fw;
     sn_import = Migration.import_firewall fw;
+    sn_apply = Migration.apply_firewall fw;
     sn_flow_digest =
       (fun fp flow ->
         match flow_slot fw.Firewall.classifier flow with
@@ -119,6 +123,7 @@ let snap_nm (nm : Monitor.t) =
     sn_export = Migration.export_monitor nm;
     sn_evict = Migration.evict_monitor nm;
     sn_import = Migration.adopt_monitor nm;
+    sn_apply = Migration.apply_monitor nm;
     sn_flow_digest =
       (fun fp flow ->
         match flow_slot nm.Monitor.classifier flow with

@@ -29,6 +29,9 @@ and snapshotter = {
   sn_export : Netcore.Flow.t list -> string;
   sn_evict : Netcore.Flow.t list -> unit;
   sn_import : string -> int;
+  sn_apply : string -> int;
+      (** SCR update upsert: overwrite a resident flow's state in place,
+          admit an absent one (see {!Migration.apply_nat}) *)
   sn_flow_digest : Fingerprint.t -> Netcore.Flow.t -> unit;
 }
 

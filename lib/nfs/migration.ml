@@ -160,6 +160,44 @@ let import_nat (nat : Nat.t) snapshot =
      raise exn);
   List.length entries
 
+(* Upsert a snapshot into a target NAT: entries whose flow is already
+   resident get their mapping overwritten in place; absent flows are
+   admitted (free list first, then the bump region). This is the SCR
+   update-apply surface — an update record is an *absolute* per-flow state
+   snapshot, so applying only the latest pending record for a flow is
+   equivalent to applying all of them in sequence order, and re-applying is
+   idempotent. The frame is fully parsed before the first mutation.
+   @raise Bad_snapshot on malformed input or a full target. *)
+let apply_nat (nat : Nat.t) snapshot =
+  let entries = parse_nat snapshot in
+  let table = Classifier.table nat.Nat.classifier in
+  List.iter
+    (fun e ->
+      match Structures.Cuckoo.lookup table e.key with
+      | Some idx ->
+          nat.Nat.map_ip.(idx) <- e.ext_ip;
+          nat.Nat.map_port.(idx) <- e.ext_port
+      | None ->
+          let idx =
+            match nat.Nat.free_slots with
+            | idx :: rest ->
+                nat.Nat.free_slots <- rest;
+                idx
+            | [] ->
+                if nat.Nat.next_free >= Array.length nat.Nat.map_ip then
+                  raise (Bad_snapshot "target NAT mapping table full");
+                let idx = nat.Nat.next_free in
+                nat.Nat.next_free <- idx + 1;
+                idx
+          in
+          nat.Nat.map_ip.(idx) <- e.ext_ip;
+          nat.Nat.map_port.(idx) <- e.ext_port;
+          nat.Nat.keys.(idx) <- e.key;
+          if not (Structures.Cuckoo.insert table ~key:e.key ~value:idx) then
+            raise (Bad_snapshot "target NAT match table full"))
+    entries;
+  List.length entries
+
 (* ----- monitor counters (accounting survives scale events) ----- *)
 
 let nm_magic = "GNMC1"
@@ -252,6 +290,34 @@ let adopt_monitor (nm : Monitor.t) snapshot =
      raise exn);
   count
 
+(* Upsert monitor accounting as *absolute* totals: a resident flow's
+   counters are overwritten (NOT merged like {!import_monitor} — an SCR
+   update record carries the flow's authoritative running totals), an
+   absent flow is admitted with them. See {!apply_nat} for the contract. *)
+let apply_monitor (nm : Monitor.t) snapshot =
+  let count = parse_header ~magic:nm_magic ~entry_bytes:24 snapshot in
+  let table = Classifier.table nm.Monitor.classifier in
+  for i = 0 to count - 1 do
+    let off = 9 + (i * 24) in
+    let key = get_u64 snapshot off in
+    let pkts = Int64.to_int (get_u64 snapshot (off + 8)) in
+    let bytes = Int64.to_int (get_u64 snapshot (off + 16)) in
+    match Structures.Cuckoo.lookup table key with
+    | Some idx ->
+        nm.Monitor.pkt_count.(idx) <- pkts;
+        nm.Monitor.byte_count.(idx) <- bytes
+    | None ->
+        if nm.Monitor.next_free >= Array.length nm.Monitor.pkt_count then
+          raise (Bad_snapshot "target monitor counter table full");
+        let idx = nm.Monitor.next_free in
+        nm.Monitor.next_free <- idx + 1;
+        nm.Monitor.pkt_count.(idx) <- pkts;
+        nm.Monitor.byte_count.(idx) <- bytes;
+        if not (Structures.Cuckoo.insert table ~key ~value:idx) then
+          raise (Bad_snapshot "target monitor match table full")
+  done;
+  count
+
 (* ----- load balancer (backend pinning survives the move) ----- *)
 
 let lb_magic = "GNLB1"
@@ -323,6 +389,33 @@ let import_lb (lb : Lb.t) snapshot =
      raise exn);
   count
 
+(* Upsert backend pins (see {!apply_nat} for the SCR update contract).
+   Backend indices are validated before the first mutation. *)
+let apply_lb (lb : Lb.t) snapshot =
+  let count = parse_header ~magic:lb_magic ~entry_bytes:10 snapshot in
+  let table = Classifier.table lb.Lb.classifier in
+  for i = 0 to count - 1 do
+    let backend = get_u16 snapshot (9 + (i * 10) + 8) in
+    if backend >= Array.length lb.Lb.backends then
+      raise (Bad_snapshot "LB backend index out of range")
+  done;
+  for i = 0 to count - 1 do
+    let off = 9 + (i * 10) in
+    let key = get_u64 snapshot off in
+    let backend = get_u16 snapshot (off + 8) in
+    match Structures.Cuckoo.lookup table key with
+    | Some idx -> lb.Lb.assignment.(idx) <- backend
+    | None ->
+        if lb.Lb.next_free >= Array.length lb.Lb.assignment then
+          raise (Bad_snapshot "target LB assignment table full");
+        let idx = lb.Lb.next_free in
+        lb.Lb.next_free <- idx + 1;
+        lb.Lb.assignment.(idx) <- backend;
+        if not (Structures.Cuckoo.insert table ~key ~value:idx) then
+          raise (Bad_snapshot "target LB match table full")
+  done;
+  count
+
 (* ----- firewall (admission verdicts survive the move) ----- *)
 
 let fw_magic = "GNFW1"
@@ -391,6 +484,32 @@ let import_firewall (fw : Firewall.t) snapshot =
    with exn ->
      rollback ();
      raise exn);
+  count
+
+(* Upsert admission verdicts (see {!apply_nat} for the SCR update
+   contract). Verdict bytes are validated before the first mutation. *)
+let apply_firewall (fw : Firewall.t) snapshot =
+  let count = parse_header ~magic:fw_magic ~entry_bytes:9 snapshot in
+  let table = Classifier.table fw.Firewall.classifier in
+  for i = 0 to count - 1 do
+    let v = Char.code snapshot.[9 + (i * 9) + 8] in
+    if v > 1 then raise (Bad_snapshot "firewall verdict out of range")
+  done;
+  for i = 0 to count - 1 do
+    let off = 9 + (i * 9) in
+    let key = get_u64 snapshot off in
+    let accept = Char.code snapshot.[off + 8] = 1 in
+    match Structures.Cuckoo.lookup table key with
+    | Some idx -> fw.Firewall.verdicts.(idx) <- accept
+    | None ->
+        if fw.Firewall.next_free >= Array.length fw.Firewall.verdicts then
+          raise (Bad_snapshot "target firewall verdict table full");
+        let idx = fw.Firewall.next_free in
+        fw.Firewall.next_free <- idx + 1;
+        fw.Firewall.verdicts.(idx) <- accept;
+        if not (Structures.Cuckoo.insert table ~key ~value:idx) then
+          raise (Bad_snapshot "target firewall match table full")
+  done;
   count
 
 (* ----- bare classifier (match table as the unit of state) ----- *)
@@ -512,4 +631,24 @@ let import_upf (upf : Upf.t) snapshot =
    with exn ->
      rollback ();
      raise exn);
+  count
+
+(* Upsert PFCP sessions: a session already resident under its UE IP is
+   left alone (session identity — TEID, PDR shape — is immutable, so the
+   update carries nothing new for it); absent sessions are admitted through
+   the normal {!Upf.install_session} path. See {!apply_nat}. *)
+let apply_upf (upf : Upf.t) snapshot =
+  let count = parse_header ~magic:upf_magic ~entry_bytes:8 snapshot in
+  for i = 0 to count - 1 do
+    let off = 9 + (i * 8) in
+    let ue_ip = get_u32 snapshot off in
+    let teid = get_u32 snapshot (off + 4) in
+    let key = Int64.logand (Int64.of_int32 ue_ip) 0xFFFFFFFFL in
+    match Structures.Cuckoo.lookup (Classifier.table upf.Upf.classifier) key with
+    | Some _ -> ()
+    | None -> (
+        match Upf.install_session upf ~ue_ip ~teid with
+        | Ok _ -> ()
+        | Error _ -> raise (Bad_snapshot "target UPF rejected session"))
+  done;
   count

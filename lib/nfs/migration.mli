@@ -46,6 +46,29 @@ val evict_nat : Nat.t -> Netcore.Flow.t list -> unit
     @raise Bad_snapshot on malformed input or a full target. *)
 val import_nat : Nat.t -> string -> int
 
+(** {2 Update apply (State-Compute Replication)}
+
+    [apply_*] upsert a snapshot instead of importing it fresh: entries
+    whose flow is already resident have their state {e overwritten} in
+    place, absent flows are admitted. An SCR update record is an absolute
+    per-flow state snapshot, so applying only the latest pending record
+    for a flow equals applying all of them in sequence order, and
+    re-application is idempotent. Frames are fully parsed (and
+    range-validated) before the first mutation.
+    @raise Bad_snapshot on malformed input or a full target. *)
+
+val apply_nat : Nat.t -> string -> int
+
+(** Absolute counter overwrite — unlike {!import_monitor}, which merges. *)
+val apply_monitor : Monitor.t -> string -> int
+
+val apply_lb : Lb.t -> string -> int
+val apply_firewall : Firewall.t -> string -> int
+
+(** Resident sessions are left alone (session identity is immutable);
+    absent ones are admitted via {!Upf.install_session}. *)
+val apply_upf : Upf.t -> string -> int
+
 (** Monitor accounting export/import (added into the target's counters for
     flows present in [flows]). *)
 val export_monitor : Monitor.t -> Netcore.Flow.t list -> string

@@ -195,23 +195,34 @@ let install_session t ~ue_ip ~teid =
   if t.n_active >= Array.length t.sessions then Error Netcore.Pfcp.cause_no_resources
   else
     let key = Int64.logand (Int64.of_int32 ue_ip) 0xFFFFFFFFL in
-    if Structures.Cuckoo.lookup (Classifier.table t.classifier) key <> None then
+    let upkey = Int64.logand (Int64.of_int32 teid) 0xFFFFFFFFL in
+    let down = Classifier.table t.classifier in
+    let up = Classifier.table t.uplink_classifier in
+    if Structures.Cuckoo.lookup down key <> None then
       Error Netcore.Pfcp.cause_request_rejected (* duplicate UE IP *)
+    else if Structures.Cuckoo.lookup up upkey <> None then
+      (* A duplicate TEID would silently overwrite the owning session's
+         uplink route (cuckoo insert updates in place on key collision). *)
+      Error Netcore.Pfcp.cause_request_rejected
     else begin
       let idx = t.n_active in
+      let saved = t.sessions.(idx) in
       t.sessions.(idx) <- { Traffic.Mgw.ue_ip; teid; n_pdrs = t.n_pdrs };
-      let ok1 = Structures.Cuckoo.insert (Classifier.table t.classifier) ~key ~value:idx in
-      let ok2 =
-        Structures.Cuckoo.insert
-          (Classifier.table t.uplink_classifier)
-          ~key:(Int64.logand (Int64.of_int32 teid) 0xFFFFFFFFL)
-          ~value:idx
-      in
+      let ok1 = Structures.Cuckoo.insert down ~key ~value:idx in
+      let ok2 = ok1 && Structures.Cuckoo.insert up ~key:upkey ~value:idx in
       if ok1 && ok2 then begin
         t.n_active <- idx + 1;
         Ok idx
       end
-      else Error Netcore.Pfcp.cause_no_resources
+      else begin
+        (* All-or-nothing: a rejected install must leave no trace, or a
+           later session landing in this slot would be reachable through
+           the dead UE IP (and Migration.import_upf's rollback would be
+           unable to restore the pre-import state). *)
+        if ok1 then ignore (Structures.Cuckoo.delete down key);
+        t.sessions.(idx) <- saved;
+        Error Netcore.Pfcp.cause_no_resources
+      end
     end
 
 let remove_session t ~ue_ip =

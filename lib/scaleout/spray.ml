@@ -1,0 +1,49 @@
+(* Packet spraying: SCR's dispatch discipline. Because every core holds a
+   full state replica, the NIC may send a packet to ANY core — there is no
+   flow affinity to preserve, which is exactly what makes the model immune
+   to flow-size skew. The only obligation the dispatcher retains is
+   bookkeeping: stamping each item of a flow with its dense per-flow
+   sequence number, so replicas can order that flow's update stream.
+
+   Any assignment whatsoever is legal (the oracle's SCR axis fuzzes seeded
+   sprays to prove it); the policies here are the two a real NIC would
+   implement — pure round-robin, and a seeded uniform hash. *)
+
+open Gunfu
+
+type policy = Round_robin | Seeded of int
+
+(* splitmix-style avalanche: uniform, deterministic in (seed, index). *)
+let mix seed g =
+  let z = (g + 0x9E3779B9) lxor (seed * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 15)) * 0x2545F491 land max_int in
+  let z = (z lxor (z lsr 13)) * 0x5AB3B58D land max_int in
+  z lxor (z lsr 16)
+
+type slot = {
+  s_core : int;
+  s_seq : int;  (* dense 1-based per-flow sequence; 0 for hintless items *)
+}
+
+let assign policy ~cores (items : Workload.item list) =
+  if cores <= 0 then invalid_arg "Spray.assign: cores must be positive";
+  let core_of g =
+    match policy with
+    | Round_robin -> g mod cores
+    | Seeded seed -> mix seed g mod cores
+  in
+  let seqs : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.of_list
+    (List.mapi
+       (fun g (item : Workload.item) ->
+         let f = item.Workload.flow_hint in
+         let seq =
+           if f < 0 then 0
+           else begin
+             let s = 1 + Option.value ~default:0 (Hashtbl.find_opt seqs f) in
+             Hashtbl.replace seqs f s;
+             s
+           end
+         in
+         { s_core = core_of g; s_seq = seq })
+       items)

@@ -1,0 +1,19 @@
+(** Packet spraying: SCR's dispatch discipline. With full state replicas
+    on every core, any packet may go to any core — the dispatcher's only
+    obligation is stamping each item with its flow's dense per-flow
+    sequence number so replicas can order that flow's update stream. *)
+
+open Gunfu
+
+type policy =
+  | Round_robin  (** core = global index mod cores *)
+  | Seeded of int  (** seeded uniform hash of the global index *)
+
+type slot = {
+  s_core : int;
+  s_seq : int;  (** dense 1-based per-flow sequence; 0 for hintless items *)
+}
+
+(** One slot per item, in stream order.
+    @raise Invalid_argument when [cores <= 0]. *)
+val assign : policy -> cores:int -> Workload.item list -> slot array

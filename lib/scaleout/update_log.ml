@@ -1,0 +1,169 @@
+(* Compact per-flow state-update records — the unit of state the SCR model
+   ships between replicas (Xu et al., arXiv 2309.14647) instead of packets.
+
+   A record is an *absolute* snapshot of one flow's observable NF state at
+   one per-flow sequence number: the named single-flow export blobs the
+   Migration layer already defines (one per stateful NF of the chain), plus
+   the fault plane's per-flow containment state, which must follow the flow
+   across cores exactly like NF state does. Absoluteness is what buys
+   coalescing — applying only the latest pending record for a flow is
+   equivalent to applying all of them in sequence order, and re-application
+   is idempotent.
+
+   Records are framed on an explicit little-endian wire format ("GUPD1"):
+   a real system would ship these across cores via shared rings or across
+   machines. Unlike the Migration snapshot formats (fixed-size entries,
+   length-checked only), update frames carry variable-length payloads and
+   end in an FNV-1a checksum, so both truncation AND in-flight bit flips
+   are rejected at decode. *)
+
+exception Bad_update of string
+
+type record = {
+  u_flow : int;  (* universe flow id *)
+  u_seq : int;  (* per-flow sequence number, 1-based, dense *)
+  u_payload : (string * string) list;  (* NF name -> single-flow state blob *)
+  u_consec : int;  (* containment: consecutive faults on this flow *)
+  u_poisoned : bool;
+}
+
+let magic = "GUPD1"
+
+(* ----- little-endian primitives (Migration's framing conventions) ----- *)
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let put_u32 buf v =
+  put_u16 buf (v land 0xFFFF);
+  put_u16 buf ((v lsr 16) land 0xFFFF)
+
+let get_u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+let get_u32 s off = get_u16 s off lor (get_u16 s (off + 2) lsl 16)
+
+(* FNV-1a over a string prefix, folded to 32 bits. *)
+let checksum s len =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code s.[i]) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let encode (r : record) =
+  if r.u_flow < 0 then invalid_arg "Update_log.encode: negative flow";
+  if r.u_seq <= 0 then invalid_arg "Update_log.encode: sequence must be positive";
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic;
+  put_u32 buf r.u_flow;
+  put_u32 buf r.u_seq;
+  put_u32 buf r.u_consec;
+  Buffer.add_char buf (if r.u_poisoned then '\001' else '\000');
+  put_u16 buf (List.length r.u_payload);
+  List.iter
+    (fun (name, blob) ->
+      if String.length name > 0xFFFF then invalid_arg "Update_log.encode: NF name too long";
+      put_u16 buf (String.length name);
+      Buffer.add_string buf name;
+      put_u32 buf (String.length blob);
+      Buffer.add_string buf blob)
+    r.u_payload;
+  let body = Buffer.contents buf in
+  put_u32 buf (checksum body (String.length body));
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  (* magic(5) u32 flow/seq/consec + poisoned(1) + u16 count ... + u32 sum *)
+  if n < 5 + 4 + 4 + 4 + 1 + 2 + 4 then raise (Bad_update "truncated");
+  if String.sub s 0 5 <> magic then raise (Bad_update "bad magic");
+  let body_len = n - 4 in
+  if get_u32 s body_len <> checksum s body_len then
+    raise (Bad_update "checksum mismatch");
+  let flow = get_u32 s 5 in
+  let seq = get_u32 s 9 in
+  let consec = get_u32 s 13 in
+  let poisoned =
+    match s.[17] with
+    | '\000' -> false
+    | '\001' -> true
+    | _ -> raise (Bad_update "bad poisoned flag")
+  in
+  let count = get_u16 s 18 in
+  let off = ref 20 in
+  let payload =
+    List.init count (fun _ ->
+        if !off + 2 > body_len then raise (Bad_update "truncated");
+        let name_len = get_u16 s !off in
+        off := !off + 2;
+        if !off + name_len + 4 > body_len then raise (Bad_update "truncated");
+        let name = String.sub s !off name_len in
+        off := !off + name_len;
+        let blob_len = get_u32 s !off in
+        off := !off + 4;
+        if !off + blob_len > body_len then raise (Bad_update "truncated");
+        let blob = String.sub s !off blob_len in
+        off := !off + blob_len;
+        (name, blob))
+  in
+  if !off <> body_len then raise (Bad_update "trailing bytes");
+  if seq <= 0 then raise (Bad_update "bad sequence number");
+  { u_flow = flow; u_seq = seq; u_payload = payload; u_consec = consec; u_poisoned = poisoned }
+
+(* ----- per-core append log ----- *)
+
+type t = { mutable entries : record list; mutable n : int }
+
+let create () = { entries = []; n = 0 }
+
+let append t r =
+  t.entries <- r :: t.entries;
+  t.n <- t.n + 1
+
+let length t = t.n
+let records t = List.rev t.entries
+
+(* ----- sequence-monotonic application ----- *)
+
+(* An applier tracks each flow's high-water sequence number and hands only
+   strictly newer records to [apply] — stale records (already superseded
+   by a local completion or a later update) are skipped. Because records
+   are absolute, this makes application deterministic and order-insensitive
+   across every interleaving that respects per-flow sequence order: each
+   flow's state ends at its highest offered sequence number regardless of
+   how flows interleave. *)
+type applier = {
+  ap_apply : record -> unit;
+  ap_hwm : (int, int) Hashtbl.t;  (* flow -> resident sequence number *)
+  mutable ap_applied : int;
+  mutable ap_stale : int;
+  mutable ap_max_lag : int;  (* largest sequence gap bridged by one apply *)
+}
+
+let applier ~apply =
+  { ap_apply = apply; ap_hwm = Hashtbl.create 64; ap_applied = 0; ap_stale = 0; ap_max_lag = 0 }
+
+let resident ap flow = Option.value ~default:0 (Hashtbl.find_opt ap.ap_hwm flow)
+
+(* A local completion advances the flow's resident sequence without an
+   apply (the state was produced in place). *)
+let advance ap ~flow ~seq =
+  if seq > resident ap flow then Hashtbl.replace ap.ap_hwm flow seq
+
+let offer ap (r : record) =
+  let have = resident ap r.u_flow in
+  if r.u_seq <= have then begin
+    ap.ap_stale <- ap.ap_stale + 1;
+    false
+  end
+  else begin
+    ap.ap_apply r;
+    Hashtbl.replace ap.ap_hwm r.u_flow r.u_seq;
+    ap.ap_applied <- ap.ap_applied + 1;
+    ap.ap_max_lag <- max ap.ap_max_lag (r.u_seq - have);
+    true
+  end
+
+let applied ap = ap.ap_applied
+let stale ap = ap.ap_stale
+let max_lag ap = ap.ap_max_lag

@@ -1,0 +1,70 @@
+(** Compact per-flow state-update records — the unit of state SCR ships
+    between replicas instead of packets. A record is an {e absolute}
+    snapshot of one flow's observable NF state (the Migration layer's
+    named single-flow export blobs) plus the fault plane's per-flow
+    containment, stamped with the flow's dense 1-based sequence number.
+    Absoluteness buys coalescing (only the latest pending record per flow
+    needs applying) and idempotence (re-application is harmless). *)
+
+exception Bad_update of string
+
+type record = {
+  u_flow : int;  (** universe flow id *)
+  u_seq : int;  (** per-flow sequence number, 1-based, dense *)
+  u_payload : (string * string) list;  (** NF name -> single-flow state blob *)
+  u_consec : int;  (** containment: consecutive faults on this flow *)
+  u_poisoned : bool;
+}
+
+val magic : string
+
+(** "GUPD1" wire format, little-endian: magic, u32 flow, u32 seq,
+    u32 consec, u8 poisoned, u16 blob count, then (u16 name length, name,
+    u32 blob length, blob) per blob, closed by a u32 FNV-1a checksum over
+    everything before it — so decode rejects truncation {e and} bit flips.
+    @raise Invalid_argument on a negative flow or non-positive sequence. *)
+val encode : record -> string
+
+(** @raise Bad_update on bad magic, truncation, trailing bytes, checksum
+    mismatch, or out-of-range fields. *)
+val decode : string -> record
+
+(** {2 Per-core append log} *)
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val length : t -> int
+
+(** Records in append order. *)
+val records : t -> record list
+
+(** {2 Sequence-monotonic application}
+
+    An applier tracks each flow's resident sequence number and hands only
+    strictly newer records to [apply]. Because records are absolute, this
+    makes application deterministic and order-insensitive across every
+    interleaving that respects per-flow sequence order. *)
+
+type applier
+
+val applier : apply:(record -> unit) -> applier
+
+(** The flow's resident sequence number (0 when never seen). *)
+val resident : applier -> int -> int
+
+(** Record a local completion: the flow's state was produced in place, so
+    its resident sequence advances without an apply. *)
+val advance : applier -> flow:int -> seq:int -> unit
+
+(** Apply the record if it is newer than the flow's resident state;
+    returns [false] (and counts it stale) otherwise. *)
+val offer : applier -> record -> bool
+
+val applied : applier -> int
+val stale : applier -> int
+
+(** Largest sequence gap bridged by a single apply — how far a replica's
+    view of a flow lagged before it next needed it. *)
+val max_lag : applier -> int

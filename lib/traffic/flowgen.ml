@@ -94,3 +94,29 @@ let next t = snd (next_with_idx t)
 let batch t n = Array.init n (fun _ -> next t)
 
 let mean_wire_bytes t = mean_size t.size_model
+
+(* Deterministic alpha sweep over ONE shared flow universe: the
+   population (and its rank shuffle) is built once — million-flow
+   capable, the per-flow array being the only O(n) allocation shared by
+   every point — and each alpha gets its own generator with an
+   independently seeded rng, so sweep points differ only in skew. *)
+let alpha_sweep ?(seed = 42) ?(size_model = Fixed 64) ~n_flows alphas =
+  if n_flows <= 0 then invalid_arg "Flowgen.alpha_sweep: n_flows must be positive";
+  let rng = Memsim.Rng.create seed in
+  let flows = Array.init n_flows make_flow in
+  Memsim.Rng.shuffle rng flows;
+  let size_table = size_table_of_model size_model in
+  List.mapi
+    (fun k alpha ->
+      if alpha < 0.0 then
+        invalid_arg "Flowgen.alpha_sweep: alpha must be non-negative";
+      let zipf = if alpha = 0.0 then None else Some (Zipf.create ~n:n_flows ~s:alpha) in
+      ( alpha,
+        {
+          flows;
+          rng = Memsim.Rng.create (seed + (7919 * (k + 1)));
+          zipf;
+          size_model;
+          size_table;
+        } ))
+    alphas

@@ -33,3 +33,14 @@ val next : t -> Netcore.Packet.t
 val batch : t -> int -> Netcore.Packet.t array
 
 val mean_wire_bytes : t -> float
+
+(** Deterministic seeded alpha sweep over ONE shared flow universe: the
+    population (and its rank shuffle) is built once — million-flow
+    capable — and each alpha gets its own generator with an
+    independently seeded rng, so sweep points differ only in skew.
+    [0.] is uniform.
+    @raise Invalid_argument when [n_flows <= 0] or an alpha is
+    negative. *)
+val alpha_sweep :
+  ?seed:int -> ?size_model:size_model -> n_flows:int -> float list ->
+  (float * t) list

@@ -13,3 +13,6 @@ val sample : t -> Memsim.Rng.t -> int
 
 (** Probability mass of rank [i]. *)
 val pmf : t -> int -> float
+
+(** Cumulative probability mass of the [k] most popular ranks. *)
+val top_share : t -> k:int -> float

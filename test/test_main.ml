@@ -23,6 +23,7 @@ let () =
       ("spec-files", Test_spec_files.suite);
       ("latency", Test_latency.suite);
       ("scaleout", Test_scaleout.suite);
+      ("scr", Test_scr.suite);
       ("calibration", Test_calibration.suite);
       ("pfcp", Test_pfcp.suite);
       ("nas", Test_nas.suite);

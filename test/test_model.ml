@@ -171,6 +171,7 @@ let mk_run ?(cycles = 2_700_000) ?(packets = 1000) ?(wire = 64000) () =
     faulted = 0;
     faults = [];
     degraded = false;
+    imbalance = None;
   }
 
 let test_metrics_math () =

@@ -174,6 +174,7 @@ let obs_of_emits emits packets : Oracle.observation =
         faulted = 0;
         faults = [];
         degraded = false;
+        imbalance = None;
       };
     o_emits = emits;
     o_inputs = [];

@@ -234,6 +234,70 @@ let qcheck_pdr_range_lookup =
       in
       owner lo = pdr && owner hi = pdr)
 
+(* ----- alpha sweep (SCR skew bench wiring) ----- *)
+
+let test_alpha_sweep_shared_universe () =
+  let sweep = Traffic.Flowgen.alpha_sweep ~seed:5 ~n_flows:2048 [ 0.0; 0.9; 1.5 ] in
+  Alcotest.(check int) "one generator per alpha" 3 (List.length sweep);
+  let flows0 = Traffic.Flowgen.flows (snd (List.nth sweep 0)) in
+  List.iter
+    (fun (_, gen) ->
+      Alcotest.(check bool) "all points share ONE flow universe" true
+        (Traffic.Flowgen.flows gen == flows0))
+    sweep;
+  (* Rebuilding the sweep is deterministic. *)
+  let again = Traffic.Flowgen.alpha_sweep ~seed:5 ~n_flows:2048 [ 0.0; 0.9; 1.5 ] in
+  let draw gen = List.init 64 (fun _ -> fst (Traffic.Flowgen.next_with_idx gen)) in
+  List.iter2
+    (fun (a1, g1) (a2, g2) ->
+      Alcotest.(check (float 0.)) "same alpha" a1 a2;
+      Alcotest.(check (list int)) "same stream" (draw g1) (draw g2))
+    sweep again;
+  (* Higher alpha concentrates more of the stream on fewer flows. *)
+  let top_share gen =
+    let counts = Hashtbl.create 256 in
+    for _ = 1 to 4096 do
+      let idx, _ = Traffic.Flowgen.next_with_idx gen in
+      Hashtbl.replace counts idx (1 + Option.value ~default:0 (Hashtbl.find_opt counts idx))
+    done;
+    let top = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+    float_of_int top /. 4096.
+  in
+  let fresh alpha = snd (List.nth (Traffic.Flowgen.alpha_sweep ~seed:5 ~n_flows:2048 [ alpha ]) 0) in
+  Alcotest.(check bool) "alpha 1.5 concentrates vs uniform" true
+    (top_share (fresh 1.5) > 4. *. top_share (fresh 0.0));
+  Alcotest.check_raises "negative alpha rejected"
+    (Invalid_argument "Flowgen.alpha_sweep: alpha must be non-negative") (fun () ->
+      ignore (Traffic.Flowgen.alpha_sweep ~n_flows:16 [ -0.1 ]))
+
+let test_mgw_elephant_knob () =
+  let mgw = Traffic.Mgw.create ~seed:9 ~elephant:0.6 ~n_sessions:1024 ~n_pdrs:4 () in
+  let hits = ref 0 in
+  let n = 4000 in
+  for _ = 1 to n do
+    let si, _, _ = Traffic.Mgw.next_downlink mgw in
+    if si = 0 then incr hits
+  done;
+  let share = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "session 0 carries the elephant mass (%.2f)" share)
+    true
+    (share > 0.55 && share < 0.75);
+  (* elephant = 0 spends no rng draw: streams are byte-identical to a
+     generator built without the knob. *)
+  let plain = Traffic.Mgw.create ~seed:9 ~n_sessions:64 ~n_pdrs:4 () in
+  let zero = Traffic.Mgw.create ~seed:9 ~elephant:0.0 ~n_sessions:64 ~n_pdrs:4 () in
+  for i = 1 to 256 do
+    let a, pa, _ = Traffic.Mgw.next_downlink plain in
+    let b, pb, _ = Traffic.Mgw.next_downlink zero in
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "draw %d identical" i)
+      (a, pa) (b, pb)
+  done;
+  Alcotest.check_raises "elephant >= 1 rejected"
+    (Invalid_argument "Mgw.create: elephant must be in [0, 1)") (fun () ->
+      ignore (Traffic.Mgw.create ~elephant:1.0 ~n_sessions:4 ~n_pdrs:2 ()))
+
 let suite =
   [
     Alcotest.test_case "zipf pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
@@ -260,4 +324,7 @@ let suite =
     Alcotest.test_case "amf ue range" `Quick test_amf_ue_range;
     Alcotest.test_case "amf msg names distinct" `Quick test_amf_msg_names_distinct;
     Helpers.qcheck qcheck_pdr_range_lookup;
+    Alcotest.test_case "alpha sweep shares one universe" `Quick
+      test_alpha_sweep_shared_universe;
+    Alcotest.test_case "mgw elephant knob" `Quick test_mgw_elephant_knob;
   ]
