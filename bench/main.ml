@@ -25,13 +25,20 @@ let figures =
 (* Targets outside the default run: they record into their own collector
    and write their own baseline file, so the committed BENCH_PR4.json is
    not disturbed by an everything run (and vice versa). *)
-let extras = [ ("scr", "SCR vs RSS skew scale-out (PR9 companion)", Scr_bench.run) ]
+let extras =
+  [
+    ("scr", "SCR vs RSS skew scale-out (PR9 companion)", Scr_bench.run);
+    ("adapt", "adaptive vs static churn scenarios (PR10 companion)", Adapt_bench.run);
+  ]
 
 let usage () =
-  print_endline "usage: main.exe [--specialize] [--check-baseline FILE] [figN|micro ...]";
+  print_endline
+    "usage: main.exe [--specialize] [--check-baseline FILE] [--tolerance R] [figN|micro ...]";
   print_endline "  --specialize          run with the specialized hot path + packet arena";
-  print_endline "  --check-baseline FILE compare collected series against FILE (exact);";
+  print_endline "  --check-baseline FILE compare collected series against FILE;";
   print_endline "                        exits non-zero on drift, writes nothing";
+  print_endline "  --tolerance R         relative tolerance for --check-baseline";
+  print_endline "                        (default 0.0 = exact; CI smoke uses 0.05)";
   print_endline "available targets:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr) figures;
   print_endline "extra targets (not part of the default everything run):";
@@ -43,9 +50,11 @@ let usage () =
 let baseline_pr = "PR4"
 let baseline_path = "BENCH_" ^ baseline_pr ^ ".json"
 
-(* The scr extra target's collector and baseline file. *)
+(* The extra targets' collectors and baseline files. *)
 let scr_pr = "PR9"
 let scr_path = "BENCH_" ^ scr_pr ^ ".json"
+let adapt_pr = "PR10"
+let adapt_path = "BENCH_" ^ adapt_pr ^ ".json"
 
 (* Metrics whose values are host wall-clock measurements (fig9's bechamel
    rates): present in every baseline but meaningless to compare exactly. *)
@@ -53,7 +62,7 @@ let wallclock_metric = function
   | "switches_per_s" | "ns_per_switch" -> true
   | _ -> false
 
-let check_baseline path =
+let check_baseline ~tolerance path =
   let contents =
     let ic = open_in path in
     Fun.protect
@@ -65,20 +74,24 @@ let check_baseline path =
       Printf.printf "\ncheck-baseline: cannot read %s: %s\n" path e;
       exit 2
   | Ok expected -> (
-      (* The scr target records into its own collector; route the diff by
-         the expected baseline's PR tag. *)
+      (* The extra targets record into their own collectors; route the
+         diff by the expected baseline's PR tag. *)
       let collector =
         if expected.Telemetry.Baseline.pr = scr_pr then Scr_bench.baseline
+        else if expected.Telemetry.Baseline.pr = adapt_pr then Adapt_bench.baseline
         else Bench_common.baseline
       in
       let actual =
         Telemetry.Baseline.to_baseline collector ~pr:expected.Telemetry.Baseline.pr
       in
-      match Telemetry.Baseline.diff ~expected ~actual ~skip:wallclock_metric with
+      match
+        Telemetry.Baseline.diff ~tolerance ~expected ~actual ~skip:wallclock_metric ()
+      with
       | [] ->
-          Printf.printf "\ncheck-baseline: %s matches (%d figures, 0.0 tolerance)\n"
+          Printf.printf "\ncheck-baseline: %s matches (%d figures, %g tolerance)\n"
             path
             (List.length actual.Telemetry.Baseline.figures)
+            tolerance
       | drifts ->
           Printf.printf "\ncheck-baseline: %d drift(s) against %s:\n" (List.length drifts)
             path;
@@ -87,6 +100,7 @@ let check_baseline path =
 
 let () =
   let check = ref None in
+  let tolerance = ref 0.0 in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
@@ -98,6 +112,19 @@ let () =
         parse rest
     | "--check-baseline" :: [] ->
         Printf.printf "--check-baseline needs a file argument\n";
+        usage ();
+        exit 1
+    | "--tolerance" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some t when t >= 0.0 ->
+            tolerance := t;
+            parse rest
+        | _ ->
+            Printf.printf "--tolerance needs a non-negative number, got %S\n" r;
+            usage ();
+            exit 1)
+    | "--tolerance" :: [] ->
+        Printf.printf "--tolerance needs a number argument\n";
         usage ();
         exit 1
     | arg :: rest ->
@@ -117,8 +144,10 @@ let () =
       List.iter (fun (_, _, run) -> run ()) figures
   | targets -> List.iter (fun (_, _, run) -> run ()) targets);
   match !check with
-  | Some path -> check_baseline path
+  | Some path -> check_baseline ~tolerance:!tolerance path
   | None ->
       Bench_common.write_baseline ~pr:baseline_pr ~path:baseline_path ();
       Bench_common.write_baseline ~collector:Scr_bench.baseline ~pr:scr_pr
-        ~path:scr_path ()
+        ~path:scr_path ();
+      Bench_common.write_baseline ~collector:Adapt_bench.baseline ~pr:adapt_pr
+        ~path:adapt_path ()

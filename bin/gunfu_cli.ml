@@ -534,6 +534,62 @@ let scr_cmd programs seed packets profile spec specs_dir rate_ppm cores_list
   | Invalid_argument msg -> `Error (false, msg)
   | Sys_error msg -> `Error (false, msg)
 
+(* ----- adapt command: the closed-loop adaptive-runtime axis ----- *)
+
+let adapt_cmd programs seed packets profile spec specs_dir rate_ppm scr epoch
+    initial =
+  try
+    if rate_ppm > 0 && scr <> None then
+      invalid_arg
+        "adapt: --rate-ppm and --scr cannot be combined (replica re-cloning \
+         would detach armed injections)";
+    if epoch < 1 then invalid_arg "adapt: --epoch must be positive";
+    let initial =
+      match initial with
+      | "default" | "il" -> Adaptive.Config.default
+      | "rtc" -> Adaptive.Config.Rtc
+      | "batch" -> Adaptive.Config.Batch { batch = 32 }
+      | other ->
+          invalid_arg
+            (Printf.sprintf "adapt: unknown initial %s (expected default, rtc \
+                             or batch)" other)
+    in
+    let rcases = platform_rcases programs seed packets profile spec specs_dir in
+    let failed = ref 0 in
+    List.iter
+      (fun rc ->
+        let plan =
+          if rate_ppm = 0 then None
+          else Some (Check.Faultgen.create ~rate_ppm ~seed:rc.Check.Recovery.r_seed ())
+        in
+        let oc = Check.Adaptcheck.check_rcase ?plan ?scr ~epoch ~initial rc in
+        if not (Check.Adaptcheck.passed oc) then incr failed;
+        Fmt.pr "%a@." Check.Adaptcheck.pp_outcome oc)
+      rcases;
+    if !failed = 0 then begin
+      Fmt.pr
+        "adapt: %d cases (epoch %d, initial %s%s%s): every reconfiguration \
+         quiescent, reference equality@."
+        (List.length rcases) epoch
+        (Adaptive.Config.label initial)
+        (match scr with
+        | None -> ""
+        | Some c -> Printf.sprintf ", scr hand-off armed at %d cores" c)
+        (if rate_ppm > 0 then Printf.sprintf ", %d ppm faults" rate_ppm else "");
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d adaptive case(s) diverged or violated invariants"
+            !failed )
+  with
+  | Nfs.Catalog.Catalog_error msg -> `Error (false, "catalog: " ^ msg)
+  | Gunfu.Spec.Spec_error msg -> `Error (false, "spec: " ^ msg)
+  | Gunfu.Compiler.Compile_error msg -> `Error (false, "compile: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
 (* ----- storm command: churn-storm chaos scenarios ----- *)
 
 let storm_cmd scenario seed model =
@@ -993,6 +1049,53 @@ let storm_t =
                   "Scale-out model: rss (default; the classic scenarios) or \
                    scr (the State-Compute Replication update-stream storm)")))
 
+let adapt_t =
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Closed-loop adaptive-runtime axis: run each case under the \
+          telemetry-driven controller (signals from per-epoch trace \
+          attribution, knob moves applied only at quiescent pull \
+          boundaries) and require behavioural equality with the \
+          single-core run-to-completion reference — identical per-flow \
+          emit streams, totals and state digest — plus the decision-log \
+          invariants (quiescence, config-chain continuity, monotone \
+          clock). $(b,--scr) arms the skew hand-off rule with a \
+          replicated scale-out surface; $(b,--rate-ppm) runs under a \
+          deterministic fault plan. Exits non-zero on any divergence or \
+          invariant violation.")
+    Term.(
+      ret
+        (const adapt_cmd
+        $ Arg.(value & opt int 4 & info [ "programs" ] ~doc:"Generated programs per profile")
+        $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed for programs and the fault plan")
+        $ Arg.(value & opt int 768 & info [ "packets" ] ~doc:"Packets per case")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "profile" ]
+                ~doc:"Only this traffic profile (uniform, zipf, burst, mix); default all")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "spec" ]
+                ~doc:"Run a specs/ composition (nat, sfc4, upf_downlink or all) instead of generated programs")
+        $ Arg.(value & opt dir "specs" & info [ "specs-dir" ] ~doc:"Module spec directory")
+        $ Arg.(
+            value & opt int 0
+            & info [ "rate-ppm" ]
+                ~doc:"Fault-injection probability per packet in ppm; 0 = no plan")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "scr" ] ~docv:"CORES"
+                ~doc:"Arm the SCR hand-off rule with this replica count")
+        $ Arg.(value & opt int 96 & info [ "epoch" ] ~doc:"Window length in pulls")
+        $ Arg.(
+            value & opt string "default"
+            & info [ "initial" ] ~docv:"CONFIG"
+                ~doc:"Starting configuration: default (il-rr-8-d1), rtc or batch")))
+
 let scr_t =
   Cmd.v
     (Cmd.info "scr"
@@ -1185,6 +1288,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "gunfu" ~doc)
           [
-            run_t; inspect_t; check_spec_t; check_t; chaos_t; scr_t; storm_t; compose_t;
+            run_t; inspect_t; check_spec_t; check_t; chaos_t; scr_t; adapt_t;
+            storm_t; compose_t;
             lint_t; verifyeq_t; profile_t; trace_t; bench_t; list_t;
           ]))

@@ -1,0 +1,29 @@
+(** Executor configuration — the knob vector the adaptive controller
+    retunes online: executor family (rtc / batch / interleaved / SCR),
+    interleave width, task-selection policy, and prefetch distance. *)
+
+open Gunfu
+
+type t =
+  | Rtc
+  | Batch of { batch : int }
+  | Il of { policy : Scheduler.policy; n_tasks : int; distance : int }
+      (** the paper's interleaved function-stream executor *)
+  | Scr of { cores : int }
+      (** State-Compute Replication scale-out (rtc engine per core) *)
+
+(** The controller's neutral starting point: interleaved round-robin,
+    8 tasks, distance 1. *)
+val default : t
+
+(** Stable short label, e.g. ["il-rr-8-d1"] — used in run labels, decision
+    logs and bench series. *)
+val label : t -> string
+
+val equal : t -> t -> bool
+
+(** Whether the configuration runs on the single core (everything but
+    {!Scr}). *)
+val single_core : t -> bool
+
+val pp : Format.formatter -> t -> unit

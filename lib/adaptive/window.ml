@@ -1,0 +1,156 @@
+(* Per-epoch signal fold. Everything is computed as a delta between two
+   snapshots of the telemetry plane's *cumulative* books — level cycle
+   counters, switch/pull/action cycles, occupancy sums — never from the
+   span ring, which is bounded and lossy. The flow-hint histogram (skew,
+   projected RSS imbalance) comes from a driver-side tap on the source,
+   so the window sees every pull even when the ring has wrapped. *)
+
+open Gunfu
+
+type signals = {
+  w_index : int;
+  w_pulls : int;
+  w_completes : int;
+  w_cycles : int;
+  w_kpps : float;
+  w_mem_share : float;
+  w_deep_share : float;
+  w_switch_share : float;
+  w_mshr_occ : float;
+  w_active_occ : float;
+  w_fault_rate : float;
+  w_stalls : int;
+  w_skew : float;
+  w_imbalance : float;
+}
+
+(* Cumulative readings at the last cut. *)
+type snap = {
+  s_cycles : int;
+  s_completes : int;
+  s_mem : int;
+  s_deep : int;
+  s_switch : int;
+  s_occ : int * int * int;  (* samples, active sum, mshr sum *)
+  s_faults : int;
+  s_stalls : int;
+}
+
+type t = {
+  trace : Trace.t;
+  cores : int;
+  freq_ghz : float;
+  flows : (int, int) Hashtbl.t;  (* flow hint -> pulls this window *)
+  mutable pulls : int;
+  mutable index : int;
+  mutable last : snap;
+}
+
+let deep_cycles tr =
+  Trace.level_cycles tr Trace.Llc
+  + Trace.level_cycles tr Trace.Dram
+  + Trace.level_cycles tr Trace.Inflight
+
+let snap_of trace ~cycles ~completes ~faults ~stalls =
+  {
+    s_cycles = cycles;
+    s_completes = completes;
+    s_mem = Trace.mem_cycles trace;
+    s_deep = deep_cycles trace;
+    s_switch = Trace.switch_cycles trace;
+    s_occ = Trace.occupancy_totals trace;
+    s_faults = faults;
+    s_stalls = stalls;
+  }
+
+let create ?(freq_ghz = 2.7) ~cores trace =
+  if cores <= 0 then invalid_arg "Window.create: cores must be positive";
+  {
+    trace;
+    cores;
+    freq_ghz;
+    flows = Hashtbl.create 256;
+    pulls = 0;
+    index = 0;
+    last = snap_of trace ~cycles:0 ~completes:0 ~faults:0 ~stalls:0;
+  }
+
+let observe t (item : Workload.item) =
+  t.pulls <- t.pulls + 1;
+  let fh = item.Workload.flow_hint in
+  if fh >= 0 then
+    Hashtbl.replace t.flows fh (1 + Option.value ~default:0 (Hashtbl.find_opt t.flows fh))
+
+(* Busiest flow's share, and the max-to-mean core load if the window's
+   flows were RSS-pinned (flow mod cores) — the placement SCR's spray
+   replaces. *)
+let skew_and_imbalance t =
+  if t.pulls = 0 then (0.0, 1.0)
+  else begin
+    let top = ref 0 in
+    let per_core = Array.make t.cores 0 in
+    Hashtbl.iter
+      (fun fh n ->
+        if n > !top then top := n;
+        per_core.(fh mod t.cores) <- per_core.(fh mod t.cores) + n)
+      t.flows;
+    let hinted = Array.fold_left ( + ) 0 per_core in
+    let imb =
+      if hinted = 0 then 1.0
+      else
+        let mean = float_of_int hinted /. float_of_int t.cores in
+        float_of_int (Array.fold_left max 0 per_core) /. mean
+    in
+    (float_of_int !top /. float_of_int t.pulls, imb)
+  end
+
+let cut t ~cycles ~completes ~faults ~stalls =
+  let last = t.last in
+  let now = snap_of t.trace ~cycles ~completes ~faults ~stalls in
+  let dcycles = now.s_cycles - last.s_cycles in
+  let dcompletes = now.s_completes - last.s_completes in
+  let share v = if dcycles <= 0 then 0.0 else float_of_int v /. float_of_int dcycles in
+  let samples_now, active_now, mshr_now = now.s_occ in
+  let samples_last, active_last, mshr_last = last.s_occ in
+  let dsamples = samples_now - samples_last in
+  let occ_mean v =
+    if dsamples <= 0 then 0.0 else float_of_int v /. float_of_int dsamples
+  in
+  let skew, imbalance = skew_and_imbalance t in
+  let signals =
+    {
+      w_index = t.index;
+      w_pulls = t.pulls;
+      w_completes = dcompletes;
+      w_cycles = dcycles;
+      w_kpps =
+        (if dcycles <= 0 then 0.0
+         else
+           float_of_int dcompletes
+           /. (float_of_int dcycles /. (t.freq_ghz *. 1e9))
+           /. 1e3);
+      w_mem_share = share (now.s_mem - last.s_mem);
+      w_deep_share = share (now.s_deep - last.s_deep);
+      w_switch_share = share (now.s_switch - last.s_switch);
+      w_mshr_occ = occ_mean (mshr_now - mshr_last);
+      w_active_occ = occ_mean (active_now - active_last);
+      w_fault_rate =
+        (if t.pulls = 0 then 0.0
+         else float_of_int (now.s_faults - last.s_faults) /. float_of_int t.pulls);
+      w_stalls = now.s_stalls - last.s_stalls;
+      w_skew = skew;
+      w_imbalance = imbalance;
+    }
+  in
+  t.last <- now;
+  t.index <- t.index + 1;
+  t.pulls <- 0;
+  Hashtbl.reset t.flows;
+  signals
+
+let pp_signals ppf s =
+  Fmt.pf ppf
+    "w%d pulls=%d done=%d kpps=%.0f mem=%.2f deep=%.2f sw=%.2f occ=%.1f \
+     fault=%.3f stalls=%d skew=%.2f imb=%.2f"
+    s.w_index s.w_pulls s.w_completes s.w_kpps s.w_mem_share s.w_deep_share
+    s.w_switch_share s.w_mshr_occ s.w_fault_rate s.w_stalls s.w_skew s.w_imbalance

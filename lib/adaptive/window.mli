@@ -1,0 +1,45 @@
+(** Per-epoch signal fold: deltas over the telemetry plane's cumulative
+    attribution books (never the lossy span ring), plus a flow-hint tap for
+    skew, turned into the normalized signals the {!Policy} rules read. *)
+
+open Gunfu
+
+type signals = {
+  w_index : int;  (** window sequence number, from 0 *)
+  w_pulls : int;  (** items pulled in the window *)
+  w_completes : int;
+  w_cycles : int;  (** simulated cycles spent in the window *)
+  w_kpps : float;  (** completions per simulated second / 1e3 *)
+  w_mem_share : float;  (** demand-miss cycles / window cycles *)
+  w_deep_share : float;
+      (** LLC + DRAM + in-flight wait cycles / window cycles — the share
+          only more aggressive latency hiding can recover *)
+  w_switch_share : float;  (** task-switch overhead cycles / window cycles *)
+  w_mshr_occ : float;  (** mean in-flight fills per occupancy sample *)
+  w_active_occ : float;  (** mean active tasks per occupancy sample *)
+  w_fault_rate : float;  (** plane faults recorded / pulls *)
+  w_stalls : int;  (** injected MSHR-starvation events in the window *)
+  w_skew : float;  (** busiest flow's share of the window's pulls *)
+  w_imbalance : float;
+      (** projected max-to-mean core load if the window's flows were RSS-
+          pinned onto [cores] cores — what SCR's spray would flatten *)
+}
+
+type t
+
+(** [create ~cores trace] — [cores] is the scale-out width used for the
+    RSS-imbalance projection; [freq_ghz] (default 2.7) converts window
+    cycles into the kpps signal. @raise Invalid_argument when
+    [cores <= 0]. *)
+val create : ?freq_ghz:float -> cores:int -> Trace.t -> t
+
+(** Count one pulled item into the open window (the driver taps the
+    source with this). *)
+val observe : t -> Workload.item -> unit
+
+(** Close the open window: fold the trace-counter deltas since the last
+    cut with the driver-supplied cumulative [cycles] / [faults] / [stalls]
+    counters into signals, and start the next window. *)
+val cut : t -> cycles:int -> completes:int -> faults:int -> stalls:int -> signals
+
+val pp_signals : Format.formatter -> signals -> unit

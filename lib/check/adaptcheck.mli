@@ -1,0 +1,68 @@
+(** The adaptive oracle axis.
+
+    Drives a recovery case ({!Recovery.rcase} — generated program or
+    on-disk spec composition) through the closed-loop adaptive runtime
+    ({!Adaptive.Driver}) and requires behavioural equality with the
+    single-core run-to-completion reference: identical per-flow
+    emit-content streams, identical completion/drop/fault/wire-byte
+    totals, and an identical location-independent state digest — plus
+    {!Invariants.check} on the adaptive observation (single-core
+    configurations) and {!Invariants.check_adaptive} on the decision log,
+    proving every reconfiguration landed at a quiescent boundary.
+
+    The plant mirrors the recovery engine's delivery semantics (items
+    traced once, packets cloned per pull, fault plans armed at the
+    GLOBAL stream index), so the injection schedule is identical however
+    the controller reshapes execution. *)
+
+open Gunfu
+
+(** One adaptive pass over a case: pass observables (observation, merged
+    per-flow streams, state digest) plus the raw driver outcome.
+    [scr] arms the SCR hand-off rule with that core count and supplies
+    the plant's hand-off surface (case-built full replicas seeded from a
+    quiescent export, counter deltas folded back on return); [initial]
+    is the starting configuration, [epoch] (default 256) the window
+    length in pulls. *)
+val adaptive_pass :
+  ?plan:Faultgen.t ->
+  ?scr:int ->
+  ?params:Adaptive.Policy.params ->
+  ?epoch:int ->
+  initial:Adaptive.Config.t ->
+  items:Workload.item list ->
+  Recovery.rcase ->
+  Recovery.pass * Adaptive.Driver.outcome
+
+type outcome = {
+  ao_case : string;
+  ao_packets : int;
+  ao_epoch : int;
+  ao_moves : int;
+  ao_final : Adaptive.Config.t;
+  ao_decisions : Adaptive.Driver.decision list;
+  ao_run : Metrics.run;
+  ao_reference : Recovery.pass;
+  ao_adaptive : Recovery.pass;
+  ao_violations : (string * Invariants.violation) list;
+  ao_divergence : string option;
+  ao_repro : string;
+}
+
+(** Run the single-core reference and the adaptive pass over the same
+    traced stream and compare. @raise Invalid_argument when both [plan]
+    and [scr] are given — re-cloning inside the sprayed platform would
+    detach armed injections from their packets. *)
+val check_rcase :
+  ?plan:Faultgen.t ->
+  ?scr:int ->
+  ?params:Adaptive.Policy.params ->
+  ?epoch:int ->
+  ?initial:Adaptive.Config.t ->
+  Recovery.rcase ->
+  outcome
+
+(** No violations and no divergence. *)
+val passed : outcome -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -418,6 +418,91 @@ let check_scr ~completions ~cores (res : Scaleout.Scr.result) : violation list =
        else []);
     ]
 
+(* The adaptive-runtime rules: every applied move landed at a quiescent
+   boundary, the decision log's cumulative cycle stamps never regress,
+   consecutive decisions chain configurations without gaps, and the
+   bookkeeping (move count, decision spans) matches the log. *)
+let check_adaptive (oc : Adaptive.Driver.outcome) : violation list =
+  let module D = Adaptive.Driver in
+  let ds = oc.D.o_decisions in
+  let move_name d =
+    match d.D.d_move with
+    | Some m -> Adaptive.Policy.move_label m
+    | None -> "hold"
+  in
+  let quiescence =
+    List.filter_map
+      (fun (d : D.decision) ->
+        if d.D.d_move <> None && not (d.D.d_quiescent && d.D.d_pulled = d.D.d_completed)
+        then
+          Some
+            (v "adaptive-quiescence"
+               "window %d: %s applied at a non-quiescent boundary (pulled=%d \
+                completed=%d)"
+               d.D.d_index (move_name d) d.D.d_pulled d.D.d_completed)
+        else None)
+      ds
+  in
+  let holds =
+    List.filter_map
+      (fun (d : D.decision) ->
+        if d.D.d_move = None && not (Adaptive.Config.equal d.D.d_from d.D.d_to) then
+          Some
+            (v "adaptive-chain" "window %d: hold changed the config %s -> %s"
+               d.D.d_index
+               (Adaptive.Config.label d.D.d_from)
+               (Adaptive.Config.label d.D.d_to))
+        else None)
+      ds
+  in
+  let rec pairwise acc = function
+    | (a : D.decision) :: (b :: _ as rest) ->
+        let acc =
+          if Adaptive.Config.equal a.D.d_to b.D.d_from then acc
+          else
+            v "adaptive-chain" "window %d ended at %s but window %d starts from %s"
+              a.D.d_index
+              (Adaptive.Config.label a.D.d_to)
+              b.D.d_index
+              (Adaptive.Config.label b.D.d_from)
+            :: acc
+        in
+        let acc =
+          if b.D.d_cycles >= a.D.d_cycles then acc
+          else
+            v "adaptive-clock" "cycles regress from %d (window %d) to %d (window %d)"
+              a.D.d_cycles a.D.d_index b.D.d_cycles b.D.d_index
+            :: acc
+        in
+        pairwise acc rest
+    | _ -> List.rev acc
+  in
+  let n_moves = List.length (List.filter (fun d -> d.D.d_move <> None) ds) in
+  let counts =
+    (if n_moves <> oc.D.o_moves then
+       [ v "adaptive-count" "%d moves in the log but the outcome reports %d" n_moves oc.D.o_moves ]
+     else [])
+    @
+    let spans = Trace.decisions oc.D.o_trace in
+    if spans <> List.length ds then
+      [
+        v "adaptive-count" "%d decisions in the log but %d decision spans traced"
+          (List.length ds) spans;
+      ]
+    else []
+  in
+  let final =
+    match List.rev ds with
+    | last :: _ when not (Adaptive.Config.equal last.D.d_to oc.D.o_final) ->
+        [
+          v "adaptive-chain" "last decision leaves %s but the outcome reports final=%s"
+            (Adaptive.Config.label last.D.d_to)
+            (Adaptive.Config.label oc.D.o_final);
+        ]
+    | _ -> []
+  in
+  List.concat [ quiescence; holds; pairwise [] ds; counts; final ]
+
 (* All invariants over every executor's observation of a case; the
    returned violations are tagged with the executor label. *)
 let check_case ?plan (case : Oracle.case) : (string * violation) list =

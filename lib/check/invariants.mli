@@ -64,6 +64,18 @@ val check_telemetry :
 val check_scr :
   completions:int -> cores:int -> Scaleout.Scr.result -> violation list
 
+(** {2 Adaptive-runtime rules}
+
+    Checked on a closed-loop {!Adaptive.Driver.outcome}: every applied
+    move landed at a quiescent boundary (pulled = completed at the
+    apply), the decision log's cumulative cycle stamps never regress,
+    consecutive decisions chain configurations without gaps (a hold never
+    changes the config, and each window starts from the config the
+    previous one left), and the bookkeeping matches the log — the
+    outcome's move count and the telemetry plane's decision-span count
+    both equal what the log records. *)
+val check_adaptive : Adaptive.Driver.outcome -> violation list
+
 (** Every executor over a fresh instance of the case; violations tagged
     with the executor label. [?plan] checks the invariants *under* a
     deterministic fault-injection schedule (conservation then reads

@@ -49,7 +49,7 @@ let prefix_of program =
   let first = Program.step program (Program.start program) Event.Packet_arrival in
   walk first [] 0
 
-let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
+let run ?label ?(batch = default_batch) ?quiesce ?fault ?telemetry ?on_complete
     (worker : Worker.t) (program : Program.t) (source : Workload.source) =
   if batch <= 0 then invalid_arg "Batch_rtc.run: batch must be positive";
   let label =
@@ -232,13 +232,19 @@ let run ?label ?(batch = default_batch) ?fault ?telemetry ?on_complete
       Nftask.retire task
     done
   in
+  (* Batch boundaries are quiescent (the previous batch fully completed),
+     so the pause hook is polled before each fill; a hook that never
+     answers [true] leaves the run byte-identical to one without it. *)
+  let want_pause () = match quiesce with Some q -> q () | None -> false in
   let rec loop () =
-    let n = fill 0 in
-    if n > 0 then begin
-      prefetch_pass n;
-      process_pass n;
-      if n = batch then loop ()
-    end
+    if want_pause () then ()
+    else
+      let n = fill 0 in
+      if n > 0 then begin
+        prefetch_pass n;
+        process_pass n;
+        if n = batch then loop ()
+      end
   in
   Fun.protect
     ~finally:(fun () ->

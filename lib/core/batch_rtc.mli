@@ -14,8 +14,11 @@ val default_batch : int
     fault-injection plane (a fresh empty plane when omitted). [telemetry]
     attaches the span tracer for the duration of the run; its hooks never
     charge cycles, so traced and untraced runs are cycle-identical.
+    [quiesce] is polled before each batch fill (batch boundaries are
+    quiescent); once it answers [true] the run returns with
+    pulled = completed.
     @raise Invalid_argument when [batch <= 0]. *)
 val run :
-  ?label:string -> ?batch:int -> ?fault:Fault.t -> ?telemetry:Trace.t ->
-  ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
-  Workload.source -> Metrics.run
+  ?label:string -> ?batch:int -> ?quiesce:(unit -> bool) -> ?fault:Fault.t ->
+  ?telemetry:Trace.t -> ?on_complete:(Nftask.t -> unit) -> Worker.t ->
+  Program.t -> Workload.source -> Metrics.run

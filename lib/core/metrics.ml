@@ -195,6 +195,37 @@ let merge_parallel = function
           (match runs with [ _ ] -> first.imbalance | _ -> Some (load_imbalance runs));
       }
 
+(* Chain of sequential legs on one core (the adaptive driver's epochs):
+   counts and cycles both add. The fault taxonomy is taken from the last
+   leg — with a plane shared across the legs [Fault.counts] is cumulative,
+   so the last leg already carries the chain's totals ([?faults]
+   overrides when the legs used distinct planes). Latency distributions
+   are not merged. *)
+let merge_sequential ?label ?faults = function
+  | [] -> invalid_arg "Metrics.merge_sequential: empty"
+  | first :: _ as runs ->
+      let last = List.nth runs (List.length runs - 1) in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 runs in
+      {
+        label = (match label with Some l -> l | None -> first.label);
+        packets = sum (fun r -> r.packets);
+        drops = sum (fun r -> r.drops);
+        cycles = sum (fun r -> r.cycles);
+        instrs = sum (fun r -> r.instrs);
+        wire_bytes = sum (fun r -> r.wire_bytes);
+        switches = sum (fun r -> r.switches);
+        mem = List.fold_left (fun a r -> Memsim.Memstats.add a r.mem) Memsim.Memstats.zero runs;
+        freq_ghz = first.freq_ghz;
+        state_cycles =
+          Array.init Exec_ctx.n_classes (fun i ->
+              List.fold_left (fun a r -> a + r.state_cycles.(i)) 0 runs);
+        latency = None;
+        faulted = sum (fun r -> r.faulted);
+        faults = (match faults with Some f -> f | None -> last.faults);
+        degraded = List.exists (fun r -> r.degraded) runs;
+        imbalance = None;
+      }
+
 let pp_latency ppf (r : run) =
   match r.latency with
   | None -> Fmt.string ppf "latency: not collected"

@@ -85,4 +85,12 @@ val load_imbalance : run list -> float * float
     @raise Invalid_argument on an empty list. *)
 val merge_parallel : run list -> run
 
+(** Combine sequential legs on one core (the adaptive driver's epochs):
+    counts and cycles both add. The fault taxonomy comes from the last leg
+    (cumulative when the legs share one plane); [?faults] overrides it
+    when they don't. Latency distributions are not merged.
+    @raise Invalid_argument on an empty list. *)
+val merge_sequential :
+  ?label:string -> ?faults:(string * Fault.reason * int) list -> run list -> run
+
 val pp_latency : Format.formatter -> run -> unit

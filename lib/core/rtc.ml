@@ -7,8 +7,8 @@
    only the execution model differs — so comparisons isolate exactly the
    paper's variable. Prefetch policies are ignored. *)
 
-let run ?label ?fault ?telemetry ?on_complete (worker : Worker.t) (program : Program.t)
-    (source : Workload.source) =
+let run ?label ?quiesce ?fault ?telemetry ?on_complete (worker : Worker.t)
+    (program : Program.t) (source : Workload.source) =
   let label =
     Option.value label ~default:(Printf.sprintf "%s/rtc" (Program.name program))
   in
@@ -45,7 +45,13 @@ let run ?label ?fault ?telemetry ?on_complete (worker : Worker.t) (program : Pro
   let wire_bytes = ref 0 in
   let faulted = ref 0 in
   let latencies = Metrics.Collector.create () in
+  (* Every RTC pull boundary is quiescent (the previous packet completed),
+     so the pause hook simply stops the drain; a hook that never answers
+     [true] leaves the run byte-identical to one without it. *)
+  let want_pause () = match quiesce with Some q -> q () | None -> false in
   let rec drain () =
+    if want_pause () then ()
+    else
     match source () with
     | None -> ()
     | Some item ->

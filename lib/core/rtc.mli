@@ -11,8 +11,10 @@
     empty plane is used, so containment is always on but behaviour is
     byte-identical to a plane-less run. [telemetry] attaches the span
     tracer for the duration of the run; its hooks never charge cycles, so
-    traced and untraced runs are cycle-identical. *)
+    traced and untraced runs are cycle-identical. [quiesce] is polled
+    before each pull (every RTC pull boundary is quiescent); once it
+    answers [true] the run returns with pulled = completed. *)
 val run :
-  ?label:string -> ?fault:Fault.t -> ?telemetry:Trace.t ->
-  ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t ->
-  Workload.source -> Metrics.run
+  ?label:string -> ?quiesce:(unit -> bool) -> ?fault:Fault.t ->
+  ?telemetry:Trace.t -> ?on_complete:(Nftask.t -> unit) -> Worker.t ->
+  Program.t -> Workload.source -> Metrics.run

@@ -19,9 +19,12 @@ type completion = { completed : int; dropped : int; wire_bytes : int; faulted : 
    immediate execution, trading a (charged) scan for fewer wasted visits. *)
 type policy = Round_robin | Ready_first
 
-let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
-    (worker : Worker.t) (program : Program.t) ~n_tasks (source : Workload.source) =
+let run ?label ?(policy = Round_robin) ?(prefetch_distance = 1) ?quiesce ?fault
+    ?telemetry ?on_complete (worker : Worker.t) (program : Program.t) ~n_tasks
+    (source : Workload.source) =
   if n_tasks <= 0 then invalid_arg "Scheduler.run: n_tasks must be positive";
+  if prefetch_distance < 0 then
+    invalid_arg "Scheduler.run: prefetch_distance must be >= 0";
   let label =
     Option.value label
       ~default:(Printf.sprintf "%s/interleaved-%d" (Program.name program) n_tasks)
@@ -53,6 +56,13 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
     | _ -> None
   in
   let exhausted = ref false in
+  (* Quiescent-pause latch: once [quiesce] answers [true] at a pull
+     boundary no further source pulls happen — in-flight tasks and the
+     stash drain to completion and the run returns with every pulled item
+     completed. A [quiesce] that never answers [true] leaves the run
+     byte-identical to one without the hook. *)
+  let paused = ref false in
+  let want_pause () = match quiesce with Some q -> q () | None -> false in
   let stats = ref { completed = 0; dropped = 0; wire_bytes = 0; faulted = 0 } in
   let switches = ref 0 in
   let latencies = Metrics.Collector.create () in
@@ -95,7 +105,11 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
     match take_stashed () with
     | Some item -> Some item
     | None ->
-        if !exhausted then None
+        if !exhausted || !paused then None
+        else if want_pause () then begin
+          paused := true;
+          None
+        end
         else
           let rec pull () =
             match source () with
@@ -120,21 +134,64 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
       task.Nftask.pending_blocks
   in
 
+  (* Distance >= 2: also issue the resolvable targets of FSM successor
+     states, breadth-first up to [prefetch_distance - 1] steps ahead.
+     Fire-and-forget — readiness is still tracked only on the current
+     state's blocks; targets that resolve differently once the real
+     transition happens are mere cache pollution, and the issue cycles are
+     charged like any other software prefetch. *)
+  let speculate (task : Nftask.t) =
+    let seen = Hashtbl.create 8 in
+    let frontier = ref (Fsm.successors program.Program.fsm task.Nftask.cs) in
+    let depth = ref 1 in
+    while !depth < prefetch_distance && !frontier <> [] do
+      let next = ref [] in
+      List.iter
+        (fun cs ->
+          if
+            (not (Hashtbl.mem seen cs))
+            && (not (Program.is_done program cs))
+            && cs <> task.Nftask.cs
+          then begin
+            Hashtbl.add seen cs ();
+            let blocks =
+              Prefetch.resolve_all (Program.info program cs).Program.prefetch task
+            in
+            List.iter
+              (fun (addr, bytes) ->
+                if not (List.mem (addr, bytes) task.Nftask.pending_blocks) then
+                  ignore (Exec_ctx.prefetch ctx ~addr ~bytes))
+              blocks;
+            next := List.rev_append (Fsm.successors program.Program.fsm cs) !next
+          end)
+        !frontier;
+      frontier := !next;
+      incr depth
+    done
+  in
+
   (* Fetch (F): resolve the prefetch targets of the (new) current control
-     state and issue their prefetches right away. *)
+     state and issue their prefetches right away. Distance 0 issues
+     nothing — the action demand-fetches ([P_ready] so the next visit
+     executes immediately); distance 1 is the paper's policy. *)
   let fetch (task : Nftask.t) =
     let info = Program.info program task.Nftask.cs in
     let blocks = Prefetch.resolve_all info.Program.prefetch task in
     task.Nftask.pending_blocks <- blocks;
-    if blocks = [] then task.Nftask.p_state <- Nftask.P_ready
+    if prefetch_distance = 0 then task.Nftask.p_state <- Nftask.P_ready
     else begin
-      issue_prefetches task;
-      (* If everything is already resident (e.g. packed states fetched by an
-         earlier NF of the chain), run on the next visit without waiting. *)
-      task.Nftask.p_state <-
-        (if List.for_all (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes) blocks
-         then Nftask.P_ready
-         else Nftask.P_issued)
+      (if blocks = [] then task.Nftask.p_state <- Nftask.P_ready
+       else begin
+         issue_prefetches task;
+         (* If everything is already resident (e.g. packed states fetched by
+            an earlier NF of the chain), run on the next visit without
+            waiting. *)
+         task.Nftask.p_state <-
+           (if List.for_all (fun (addr, bytes) -> Exec_ctx.ready ctx ~addr ~bytes) blocks
+            then Nftask.P_ready
+            else Nftask.P_issued)
+       end);
+      if prefetch_distance >= 2 then speculate task
     end
   in
 
@@ -287,7 +344,7 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
            would never be visited again and the loop would spin forever. *)
         let refillable =
           lazy
-            ((not !exhausted)
+            ((not (!exhausted || !paused))
             || List.exists (fun i -> not (Hashtbl.mem inflight (flow_of i))) !stash)
         in
         let runnable i =
@@ -335,7 +392,8 @@ let run ?label ?(policy = Round_robin) ?fault ?telemetry ?on_complete
                 (Memsim.Hierarchy.mshr_pending_count ctx.Exec_ctx.mem
                    ~now:ctx.Exec_ctx.clock));
         advance ();
-        if !exhausted && !stash = [] && not (any_active ()) then continue_run := false
+        if (!exhausted || !paused) && !stash = [] && not (any_active ()) then
+          continue_run := false
       done);
   Worker.finish ?latency:(Metrics.Collector.summarize latencies)
     ~faulted:!stats.faulted ~faults:(Fault.counts plane)

@@ -19,8 +19,21 @@ type policy = Round_robin | Ready_first
     plane (a fresh empty plane when omitted). [telemetry] attaches the span
     tracer for the duration of the run; its hooks never charge cycles, so
     traced and untraced runs are cycle-identical.
-    @raise Invalid_argument when [n_tasks <= 0]. *)
+
+    [prefetch_distance] (default 1, the paper's policy) tunes the Fetch
+    step: 0 issues nothing (every access demand-fetches), and [d >= 2] also
+    speculatively issues the resolvable targets of FSM successor states up
+    to [d - 1] transitions ahead (fire-and-forget; readiness is tracked on
+    the current state's blocks only).
+
+    [quiesce] is polled at pull boundaries; once it answers [true] the run
+    stops pulling, drains every in-flight task and stashed item, and
+    returns with pulled = completed — the adaptive driver's observation-safe
+    reconfiguration point. A hook that never answers [true] leaves the run
+    byte-identical to one without it.
+    @raise Invalid_argument when [n_tasks <= 0] or [prefetch_distance < 0]. *)
 val run :
-  ?label:string -> ?policy:policy -> ?fault:Fault.t -> ?telemetry:Trace.t ->
+  ?label:string -> ?policy:policy -> ?prefetch_distance:int ->
+  ?quiesce:(unit -> bool) -> ?fault:Fault.t -> ?telemetry:Trace.t ->
   ?on_complete:(Nftask.t -> unit) -> Worker.t -> Program.t -> n_tasks:int ->
   Workload.source -> Metrics.run

@@ -37,6 +37,7 @@ type phase =
   | Action_body     (* one NFAction execution *)
   | Task_switch     (* scheduler visit overhead *)
   | Complete        (* instant: terminal event reached (emit/drop/fault) *)
+  | Decision        (* instant: adaptive-controller reconfiguration *)
 
 let phase_name = function
   | Pull -> "pull"
@@ -47,6 +48,7 @@ let phase_name = function
   | Action_body -> "action"
   | Task_switch -> "switch"
   | Complete -> "complete"
+  | Decision -> "decision"
 
 type span = {
   sp_ts : int;      (* start, in simulated cycles *)
@@ -175,6 +177,9 @@ type t = {
   latencies : Hist.t;
   occ_ring : occupancy array;
   mutable occ_total : int;
+  mutable occ_active_sum : int;  (* cumulative, exact under ring overflow *)
+  mutable occ_mshr_sum : int;
+  mutable decisions : int;
 }
 
 let default_capacity = 65536
@@ -225,6 +230,9 @@ let create ?(capacity = default_capacity) () =
     latencies = Hist.create ();
     occ_ring = Array.make 8192 { oc_ts = 0; oc_active = 0; oc_mshr = 0 };
     occ_total = 0;
+    occ_active_sum = 0;
+    occ_mshr_sum = 0;
+    decisions = 0;
   }
 
 let push t sp =
@@ -349,7 +357,15 @@ let on_switch t ~ts ~dur ~task =
 let on_occupancy t ~ts ~active ~mshr =
   t.occ_ring.(t.occ_total mod Array.length t.occ_ring) <-
     { oc_ts = ts; oc_active = active; oc_mshr = mshr };
-  t.occ_total <- t.occ_total + 1
+  t.occ_total <- t.occ_total + 1;
+  t.occ_active_sum <- t.occ_active_sum + active;
+  t.occ_mshr_sum <- t.occ_mshr_sum + mshr
+
+(* The adaptive controller applied (or held) a reconfiguration; [note] is
+   the move label. Runtime span: no task/unit/flow. *)
+let on_decision t ~ts ~note =
+  t.decisions <- t.decisions + 1;
+  push t { dummy_span with sp_ts = ts; sp_phase = Decision; sp_note = note }
 
 (* Task [task] reached a terminal event. [note] is the event key
    (EMIT/DROP/FAULT[r]/...), [latency] the cycles since its pull. *)
@@ -412,3 +428,8 @@ let latencies t = t.latencies
 let occupancy t =
   let n = min t.occ_total (Array.length t.occ_ring) in
   Array.init n (fun i -> t.occ_ring.((t.occ_total - n + i) mod Array.length t.occ_ring))
+
+(* (samples, sum of active tasks, sum of in-flight MSHR fills) over every
+   occupancy sample ever taken — exact under ring overflow. *)
+let occupancy_totals t = (t.occ_total, t.occ_active_sum, t.occ_mshr_sum)
+let decisions t = t.decisions

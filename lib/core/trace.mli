@@ -30,6 +30,7 @@ type phase =
   | Action_body
   | Task_switch
   | Complete
+  | Decision  (** adaptive-controller reconfiguration (runtime span) *)
 
 val phase_name : phase -> string
 
@@ -94,6 +95,10 @@ val on_switch : t -> ts:int -> dur:int -> task:int -> unit
 val on_occupancy : t -> ts:int -> active:int -> mshr:int -> unit
 val on_complete : t -> ts:int -> task:int -> note:string -> latency:int -> unit
 
+(** Adaptive-controller decision (runtime span, no task/unit/flow); [note]
+    is the move label. *)
+val on_decision : t -> ts:int -> note:string -> unit
+
 (** {2 Accessors} *)
 
 val total_spans : t -> int
@@ -131,3 +136,11 @@ val action_rows : t -> (string * string * int * int) list
 
 val latencies : t -> Hist.t
 val occupancy : t -> occupancy array
+
+(** [(samples, active-task sum, in-flight MSHR sum)] over every occupancy
+    sample ever taken — exact under ring overflow, so windowed means are
+    computable by delta. *)
+val occupancy_totals : t -> int * int * int
+
+(** Decision spans recorded via {!on_decision}. *)
+val decisions : t -> int

@@ -122,16 +122,23 @@ let equal (a : t) (b : t) = a = b
 
 (* ----- drift check ----- *)
 
-(* Compare a freshly collected baseline against an expected one, exact
-   (0.0 tolerance: the series are simulated, so any drift is a behaviour
-   change). Only the figures that actually ran are compared — a partial
-   bench run checks its slice. [skip] names metrics whose *values* are
-   host wall-clock measurements (their presence is still required); pass
-   [fun _ -> false] to compare everything. Returns human-readable drift
-   lines, empty when clean. *)
-let diff ~expected ~actual ~skip =
+(* Compare a freshly collected baseline against an expected one, exact by
+   default (0.0 tolerance: the series are simulated, so any drift is a
+   behaviour change). [tolerance] relaxes the value comparison to a
+   relative bound — the CI bench-drift smoke runs at a small non-zero
+   tolerance so a slow shared runner never turns timing-adjacent series
+   into false alarms. Only the figures that actually ran are compared — a
+   partial bench run checks its slice. [skip] names metrics whose *values*
+   are host wall-clock measurements (their presence is still required);
+   pass [fun _ -> false] to compare everything. Returns human-readable
+   drift lines, empty when clean. *)
+let diff ?(tolerance = 0.0) ~expected ~actual ~skip () =
   let out = ref [] in
   let drift fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let within ev av =
+    if tolerance <= 0.0 then ev = av
+    else abs_float (ev -. av) <= tolerance *. Float.max (abs_float ev) (abs_float av)
+  in
   let check_point ctx (e : point) (a : point) =
     if e.x <> a.x then drift "%s: x %g <> %g" ctx e.x a.x;
     let keys l = List.map fst l in
@@ -142,7 +149,7 @@ let diff ~expected ~actual ~skip =
     else
       List.iter2
         (fun (k, ev) (_, av) ->
-          if (not (skip k)) && ev <> av then
+          if (not (skip k)) && not (within ev av) then
             drift "%s (x=%g): %s %.17g <> %.17g" ctx e.x k ev av)
         e.metrics a.metrics
   in

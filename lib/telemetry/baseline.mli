@@ -22,13 +22,17 @@ val of_json : Json_lite.t -> (t, string) result
 val of_string : string -> (t, string) result
 val equal : t -> t -> bool
 
-(** Exact (0.0 tolerance) drift check of [actual] against [expected],
-    restricted to the figures present in [actual] so a partial bench run
+(** Drift check of [actual] against [expected], exact by default
+    ([tolerance] 0.0) or within a relative bound (the CI smoke's relaxed
+    mode: values agree when [|e - a| <= tolerance * max |e| |a|]).
+    Restricted to the figures present in [actual] so a partial bench run
     checks its slice. [skip] names metrics whose values are host
     wall-clock measurements — their presence is still required, only the
     value comparison is waived. Returns human-readable drift lines
     (empty = clean). *)
-val diff : expected:t -> actual:t -> skip:(string -> bool) -> string list
+val diff :
+  ?tolerance:float -> expected:t -> actual:t -> skip:(string -> bool) -> unit ->
+  string list
 
 (** {2 Collection during a bench run} *)
 

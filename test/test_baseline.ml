@@ -55,7 +55,7 @@ let test_committed_baseline_roundtrips () =
       | Ok b' -> Alcotest.(check bool) "round-trips" true (Baseline.equal b b')
       | Error e -> Alcotest.failf "re-parse failed: %s" e);
       Alcotest.(check (list string)) "self-diff is clean" []
-        (Baseline.diff ~expected:b ~actual:b ~skip:(fun _ -> false))
+        (Baseline.diff ~expected:b ~actual:b ~skip:(fun _ -> false) ())
 
 let test_rejects () =
   List.iter
@@ -78,7 +78,7 @@ let contains haystack needle =
   go 0
 
 let expect_drift label ~expected ~actual ~skip needle =
-  match Baseline.diff ~expected ~actual ~skip with
+  match Baseline.diff ~expected ~actual ~skip () with
   | [] -> Alcotest.failf "%s: drift not detected" label
   | lines ->
       Alcotest.(check bool)
@@ -128,13 +128,13 @@ let tweaked delta =
 let test_diff_exact_tolerance () =
   let b = sample () in
   Alcotest.(check (list string)) "identical baselines are clean" []
-    (Baseline.diff ~expected:b ~actual:b ~skip:no_skip);
+    (Baseline.diff ~expected:b ~actual:b ~skip:no_skip ());
   (* 0.0 tolerance: even an ulp-scale nudge is drift. *)
   expect_drift "tiny value drift" ~expected:b ~actual:(tweaked 1e-12) ~skip:no_skip
     "mpps";
   (* ... unless the metric is skip-listed. *)
   Alcotest.(check (list string)) "skip waives the value comparison" []
-    (Baseline.diff ~expected:b ~actual:(tweaked 1e-12) ~skip:(fun k -> k = "mpps"))
+    (Baseline.diff ~expected:b ~actual:(tweaked 1e-12) ~skip:(fun k -> k = "mpps") ())
 
 let test_diff_shapes () =
   let b = sample () in
@@ -143,7 +143,7 @@ let test_diff_shapes () =
     { b with Baseline.figures = [ List.hd b.Baseline.figures ] }
   in
   Alcotest.(check (list string)) "partial run checks its slice" []
-    (Baseline.diff ~expected:b ~actual:partial ~skip:no_skip);
+    (Baseline.diff ~expected:b ~actual:partial ~skip:no_skip ());
   (* ... but a figure the expected baseline has never seen is drift. *)
   let renamed =
     {

@@ -38,5 +38,6 @@ let () =
       ("recovery", Test_recovery.suite);
       ("storm", Test_storm.suite);
       ("verifyeq", Test_verifyeq.suite);
+      ("adaptive", Test_adaptive.suite);
       ("baseline", Test_baseline.suite);
     ]
